@@ -1,0 +1,58 @@
+// fusion-bench regenerates the paper's evaluation artifacts: every table
+// and figure of §3/§6 plus the ablations listed in DESIGN.md, over the
+// deterministic simulated cluster.
+//
+// Usage:
+//
+//	fusion-bench -list
+//	fusion-bench -experiment fig13
+//	fusion-bench -experiment all -scale 0.5 -queries 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or \"all\"")
+		scale      = flag.Float64("scale", 1.0, "dataset scale relative to the laptop-scale defaults")
+		queries    = flag.Int("queries", workload.QueriesPerCell, "queries per measured cell")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range workload.Experiments {
+			fmt.Printf("%-16s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+	workload.QueriesPerCell = *queries
+	lab := workload.NewLab(*scale)
+
+	run := func(e workload.Experiment) {
+		start := time.Now()
+		report := e.Run(lab)
+		report.Print(os.Stdout)
+		fmt.Printf("  [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, e := range workload.Experiments {
+			run(e)
+		}
+		return
+	}
+	e, err := workload.Find(*experiment)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run(e)
+}

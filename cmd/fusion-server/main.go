@@ -1,0 +1,57 @@
+// fusion-server runs one Fusion storage node: a disk-backed block store
+// serving the node RPC interface (block operations plus Filter/Project
+// pushdown) over TCP. A cluster is simply n of these processes; any
+// fusion-cli pointed at all of them acts as a coordinator (§4.1: no
+// dedicated coordinator role).
+//
+// Usage:
+//
+//	fusion-server -id 0 -listen 127.0.0.1:7070 -data /var/lib/fusion/node0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/tcpnet"
+)
+
+func main() {
+	var (
+		id     = flag.Int("id", 0, "node id")
+		listen = flag.String("listen", "127.0.0.1:7070", "listen address")
+		data   = flag.String("data", "", "block storage directory (default: in-memory)")
+	)
+	flag.Parse()
+
+	var bs cluster.BlockStore
+	if *data == "" {
+		log.Printf("node %d: using in-memory block store (pass -data for persistence)", *id)
+		bs = cluster.NewMemStore()
+	} else {
+		ds, err := cluster.NewDiskStore(*data)
+		if err != nil {
+			log.Fatalf("opening block store: %v", err)
+		}
+		bs = ds
+	}
+	node := cluster.NewNode(*id, bs)
+	srv, err := tcpnet.NewServer(node, *listen)
+	if err != nil {
+		log.Fatalf("starting server: %v", err)
+	}
+	fmt.Printf("fusion-server node %d listening on %s\n", *id, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("node %d: shutting down", *id)
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+// lpq-tool works with lpq analytics objects on the local filesystem:
+// inspect footers, convert CSV data, dump rows, and generate the
+// evaluation datasets.
+//
+// Usage:
+//
+//	lpq-tool inspect <file.lpq>
+//	lpq-tool convert <in.csv> <out.lpq> [-rowgroup 100000] [-sep ,]
+//	lpq-tool head <file.lpq> [-n 10]
+//	lpq-tool gen  <lineitem|taxi|recipenlg|ukpp> <out.lpq>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/fusionstore/fusion/internal/datasets"
+	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/tpch"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	case "convert":
+		cmdConvert(os.Args[2:])
+	case "head":
+		cmdHead(os.Args[2:])
+	case "gen":
+		cmdGen(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func cmdInspect(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(args[0])
+	die(err)
+	f, err := lpq.Open(data)
+	die(err)
+	footer := f.Footer()
+	fmt.Printf("%s: %d bytes, %d columns, %d row groups, %d rows, %d chunks\n\n",
+		args[0], len(data), len(footer.Columns), len(footer.RowGroups),
+		footer.NumRows(), footer.NumChunks())
+	fmt.Printf("%-4s %-24s %-8s %12s %12s %8s\n", "id", "column", "type", "disk bytes", "raw bytes", "ratio")
+	for ci, col := range footer.Columns {
+		var disk, raw uint64
+		for _, rg := range footer.RowGroups {
+			disk += rg.Chunks[ci].Size
+			raw += rg.Chunks[ci].RawSize
+		}
+		ratio := 0.0
+		if disk > 0 {
+			ratio = float64(raw) / float64(disk)
+		}
+		fmt.Printf("%-4d %-24s %-8s %12d %12d %7.1fx\n", ci, col.Name, col.Type, disk, raw, ratio)
+	}
+}
+
+func cmdConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	rowgroup := fs.Int("rowgroup", 100000, "rows per row group")
+	sep := fs.String("sep", ",", "field separator")
+	die(fs.Parse(args))
+	rest := fs.Args()
+	if len(rest) != 2 {
+		usage()
+	}
+	in, err := os.Open(rest[0])
+	die(err)
+	defer in.Close()
+	opts := lpq.CSVOptions{RowGroupRows: *rowgroup}
+	if *sep != "" {
+		opts.Comma = rune((*sep)[0])
+	}
+	data, err := lpq.FromCSV(in, opts)
+	die(err)
+	die(os.WriteFile(rest[1], data, 0o644))
+	fmt.Printf("wrote %s: %d bytes\n", rest[1], len(data))
+}
+
+func cmdHead(args []string) {
+	fs := flag.NewFlagSet("head", flag.ExitOnError)
+	n := fs.Int("n", 10, "rows to print")
+	die(fs.Parse(args))
+	rest := fs.Args()
+	if len(rest) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(rest[0])
+	die(err)
+	f, err := lpq.Open(data)
+	die(err)
+	footer := f.Footer()
+	names := make([]string, len(footer.Columns))
+	cols := make([]lpq.ColumnData, len(footer.Columns))
+	for ci, c := range footer.Columns {
+		names[ci] = c.Name
+		col, err := f.ReadChunk(0, ci)
+		die(err)
+		cols[ci] = col
+	}
+	fmt.Println(strings.Join(names, "\t"))
+	limit := min(*n, footer.RowGroups[0].NumRows)
+	for row := 0; row < limit; row++ {
+		cells := make([]string, len(cols))
+		for ci, col := range cols {
+			switch col.Type {
+			case lpq.Int64:
+				cells[ci] = strconv.FormatInt(col.Ints[row], 10)
+			case lpq.Float64:
+				cells[ci] = strconv.FormatFloat(col.Floats[row], 'g', -1, 64)
+			default:
+				cells[ci] = col.Strings[row]
+			}
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+}
+
+func cmdGen(args []string) {
+	if len(args) != 2 {
+		usage()
+	}
+	var data []byte
+	var err error
+	switch args[0] {
+	case "lineitem":
+		data, err = tpch.Generate(tpch.DefaultConfig())
+	case "taxi":
+		data, err = datasets.Taxi(datasets.TaxiConfig())
+	case "recipenlg":
+		data, err = datasets.RecipeNLG(datasets.RecipeConfig())
+	case "ukpp":
+		data, err = datasets.UKPP(datasets.UKPPConfig())
+	default:
+		usage()
+	}
+	die(err)
+	die(os.WriteFile(args[1], data, 0o644))
+	fmt.Printf("wrote %s: %d bytes\n", args[1], len(data))
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpq-tool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  lpq-tool inspect <file.lpq>
+  lpq-tool convert [-rowgroup N] [-sep ,] <in.csv> <out.lpq>
+  lpq-tool head [-n 10] <file.lpq>
+  lpq-tool gen <lineitem|taxi|recipenlg|ukpp> <out.lpq>`)
+	os.Exit(2)
+}

@@ -1,0 +1,166 @@
+// Package fusion is the public API of the Fusion analytics object store —
+// a from-scratch implementation of "Fusion: An Analytics Object Store
+// Optimized for Query Pushdown" (ASPLOS 2025).
+//
+// Fusion erasure-codes columnar analytics objects so that no column chunk
+// (the smallest computable unit of a PAX file) is ever split across storage
+// nodes, and executes SQL queries with fine-grained, cost-based computation
+// pushdown. See README.md for an overview, DESIGN.md for the architecture
+// and EXPERIMENTS.md for the paper-reproduction results.
+//
+// The minimal flow:
+//
+//	cluster := fusion.NewSimCluster(fusion.DefaultSimConfig()) // or NewTCPClient(addrs)
+//	s, err := fusion.NewStore(cluster, fusion.FusionOptions())
+//	stats, err := s.Put("lineitem", objectBytes)               // an lpq object
+//	res, err := s.Query("SELECT l_orderkey FROM lineitem WHERE l_shipdate < 100")
+//	data, err := s.Get("lineitem", 0, 0)
+//
+// Columnar objects are built with the lpq writer (or converted from CSV):
+//
+//	w := fusion.NewObjectWriter([]fusion.Column{{Name: "id", Type: fusion.Int64}}, fusion.DefaultWriterOptions())
+//	w.WriteRowGroup([]fusion.ColumnData{fusion.IntColumn(ids)})
+//	object, err := w.Finish()
+//
+// This package is a facade: implementations live under internal/ and are
+// re-exported here as type aliases, so the whole documented surface is
+// importable by downstream modules.
+package fusion
+
+import (
+	"io"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/erasure"
+	"github.com/fusionstore/fusion/internal/gateway"
+	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/simnet"
+	"github.com/fusionstore/fusion/internal/store"
+	"github.com/fusionstore/fusion/internal/tcpnet"
+)
+
+// Store is the analytics object store client/coordinator: Put, Get, Query,
+// Delete, Scrub, RepairNode.
+type Store = store.Store
+
+// Options configure a Store; see FusionOptions and BaselineOptions for the
+// two configurations the paper evaluates.
+type Options = store.Options
+
+// Result is a query's output.
+type Result = store.Result
+
+// PutStats reports how an object was stored.
+type PutStats = store.PutStats
+
+// ScrubOptions and ScrubReport drive integrity scrubbing.
+type (
+	ScrubOptions = store.ScrubOptions
+	ScrubReport  = store.ScrubReport
+)
+
+// NewStore builds a store over a cluster transport.
+func NewStore(client Cluster, opts Options) (*Store, error) { return store.New(client, opts) }
+
+// FusionOptions is the paper's Fusion configuration: file-format-aware
+// coding (RS(9,6)) with adaptive pushdown and a 2% storage budget.
+func FusionOptions() Options { return store.FusionOptions() }
+
+// BaselineOptions is the paper's baseline: fixed-block coding with
+// coordinator-side chunk reassembly.
+func BaselineOptions() Options { return store.BaselineOptions() }
+
+// Erasure-code parameters.
+type ErasureParams = erasure.Params
+
+// The paper's two standard codes.
+var (
+	RS96   = erasure.RS96
+	RS1410 = erasure.RS1410
+)
+
+// Cluster is the transport interface a Store runs over.
+type Cluster = cluster.Client
+
+// SimConfig configures the deterministic in-process cluster (the
+// evaluation substrate).
+type SimConfig = simnet.Config
+
+// SimCluster is the in-process cluster.
+type SimCluster = simnet.Cluster
+
+// DefaultSimConfig returns the paper-calibrated 9-node configuration.
+func DefaultSimConfig() SimConfig { return simnet.DefaultConfig() }
+
+// NewSimCluster starts an in-process cluster.
+func NewSimCluster(cfg SimConfig) *SimCluster { return simnet.New(cfg) }
+
+// NewSimLatencyModel builds the latency model matching a sim config; set it
+// on Options.Model to get simulated per-query latencies.
+func NewSimLatencyModel(cfg SimConfig) *simnet.LatencyModel { return simnet.NewLatencyModel(cfg) }
+
+// NewTCPClient connects to fusion-server nodes (node i at addrs[i]).
+func NewTCPClient(addrs []string) *tcpnet.Client { return tcpnet.NewClient(addrs) }
+
+// NewNodeServer serves one storage node over TCP (see cmd/fusion-server).
+func NewNodeServer(id int, bs cluster.BlockStore, listen string) (*tcpnet.Server, error) {
+	return tcpnet.NewServer(cluster.NewNode(id, bs), listen)
+}
+
+// Block stores backing a storage node.
+func NewMemBlockStore() cluster.BlockStore { return cluster.NewMemStore() }
+
+// NewDiskBlockStore persists blocks as files under dir.
+func NewDiskBlockStore(dir string) (cluster.BlockStore, error) { return cluster.NewDiskStore(dir) }
+
+// NewGatewayHandler returns the HTTP front door (see cmd/fusion-gateway).
+func NewGatewayHandler(s *Store) *gateway.Handler { return gateway.New(s) }
+
+//
+// Columnar object building (the lpq format).
+//
+
+// Type is a column's logical type.
+type Type = lpq.Type
+
+// Column types.
+const (
+	Int64   = lpq.Int64
+	Float64 = lpq.Float64
+	String  = lpq.String
+)
+
+// Column, ColumnData and the writer build lpq objects.
+type (
+	Column        = lpq.Column
+	ColumnData    = lpq.ColumnData
+	ObjectWriter  = lpq.Writer
+	WriterOptions = lpq.WriterOptions
+	Object        = lpq.File
+)
+
+// Column constructors.
+var (
+	IntColumn    = lpq.IntColumn
+	FloatColumn  = lpq.FloatColumn
+	StringColumn = lpq.StringColumn
+)
+
+// NewObjectWriter builds lpq objects row group by row group.
+func NewObjectWriter(schema []Column, opts WriterOptions) *ObjectWriter {
+	return lpq.NewWriter(schema, opts)
+}
+
+// DefaultWriterOptions matches the paper's file generation (dictionary
+// encoding + Snappy, 20000-row pages).
+func DefaultWriterOptions() WriterOptions { return lpq.DefaultWriterOptions() }
+
+// OpenObject parses an lpq object for local reading.
+func OpenObject(data []byte) (*Object, error) { return lpq.Open(data) }
+
+// CSVOptions configure FromCSV.
+type CSVOptions = lpq.CSVOptions
+
+// FromCSV converts CSV input (header row required) into an lpq object with
+// inferred column types.
+func FromCSV(r io.Reader, opts CSVOptions) ([]byte, error) { return lpq.FromCSV(r, opts) }

@@ -1,0 +1,3 @@
+module github.com/fusionstore/fusion
+
+go 1.22

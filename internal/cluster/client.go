@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/fusionstore/fusion/internal/rpc"
+)
+
+// Client is how a coordinator reaches storage nodes. Implementations:
+// simnet.Cluster (deterministic in-process simulation) and tcpnet.Client
+// (real sockets).
+type Client interface {
+	// Call sends one request to the given node and waits for its response.
+	// Transport-level failures (node down, connection refused) are returned
+	// as errors; application-level failures arrive in Response.Err.
+	Call(node int, req *rpc.Request) (*rpc.Response, error)
+	// NumNodes returns the cluster size.
+	NumNodes() int
+}
+
+// ErrNodeDown reports a call to an unreachable node.
+var ErrNodeDown = errors.New("cluster: node down")
+
+// CallChecked performs a Call and converts application errors to Go errors.
+func CallChecked(c Client, node int, req *rpc.Request) (*rpc.Response, error) {
+	resp, err := c.Call(node, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("cluster: node %d: %s", node, resp.Err)
+	}
+	return resp, nil
+}
+
+// ParallelResult is one completed call from Parallel.
+type ParallelResult struct {
+	Index int
+	Node  int
+	Req   *rpc.Request
+	Resp  *rpc.Response
+	Err   error
+}
+
+// Parallel issues all calls concurrently and returns results indexed like
+// the input. The coordinator fans its filter and projection stages out this
+// way (§4.3).
+func Parallel(c Client, nodes []int, reqs []*rpc.Request) []ParallelResult {
+	if len(nodes) != len(reqs) {
+		panic("cluster: nodes and reqs length mismatch")
+	}
+	results := make([]ParallelResult, len(reqs))
+	done := make(chan int, len(reqs))
+	for i := range reqs {
+		go func(i int) {
+			resp, err := c.Call(nodes[i], reqs[i])
+			results[i] = ParallelResult{Index: i, Node: nodes[i], Req: reqs[i], Resp: resp, Err: err}
+			done <- i
+		}(i)
+	}
+	for range reqs {
+		<-done
+	}
+	return results
+}

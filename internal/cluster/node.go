@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/fusionstore/fusion/internal/bitmap"
+	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/sql"
+)
+
+// Node is one Fusion storage node: a block store plus the in-situ pushdown
+// executor. Every node is identical; any of them can additionally act as a
+// coordinator (§4.1), which the store layer implements on top of Client.
+type Node struct {
+	ID     int
+	Blocks BlockStore
+}
+
+// NewNode returns a node backed by the given store.
+func NewNode(id int, bs BlockStore) *Node {
+	return &Node{ID: id, Blocks: bs}
+}
+
+// Handle executes one request against this node. It never panics on
+// malformed input; errors are reported in Response.Err.
+func (n *Node) Handle(req *rpc.Request) *rpc.Response {
+	switch req.Kind {
+	case rpc.KindPing:
+		return &rpc.Response{}
+	case rpc.KindPutBlock:
+		if err := n.Blocks.Put(req.BlockID, req.Data); err != nil {
+			return errResp(err)
+		}
+		return &rpc.Response{}
+	case rpc.KindGetBlock:
+		data, err := n.Blocks.Get(req.BlockID, req.Offset, req.Length)
+		if err != nil {
+			return errResp(err)
+		}
+		return &rpc.Response{Data: data, Cost: rpc.Cost{DiskBytes: uint64(len(data))}}
+	case rpc.KindDeleteBlock:
+		if err := n.Blocks.Delete(req.BlockID); err != nil {
+			return errResp(err)
+		}
+		return &rpc.Response{}
+	case rpc.KindBlockSize:
+		size, err := n.Blocks.Size(req.BlockID)
+		if err != nil {
+			return errResp(err)
+		}
+		return &rpc.Response{Size: size}
+	case rpc.KindFilter:
+		return n.handleFilter(req)
+	case rpc.KindProject:
+		return n.handleProject(req)
+	case rpc.KindAggregate:
+		return n.handleAggregate(req)
+	default:
+		return errResp(fmt.Errorf("cluster: unknown request kind %d", req.Kind))
+	}
+}
+
+// readChunk loads and decodes the referenced column chunk from local
+// storage, returning the decoded values and the disk/processing cost.
+func (n *Node) readChunk(ref rpc.ChunkRef) (lpq.ColumnData, rpc.Cost, error) {
+	raw, err := n.Blocks.Get(ref.BlockID, ref.Offset, ref.Meta.Size)
+	if err != nil {
+		return lpq.ColumnData{}, rpc.Cost{}, err
+	}
+	cost := rpc.Cost{DiskBytes: uint64(len(raw)), ProcBytes: ref.Meta.RawSize}
+	col, err := lpq.DecodeChunk(ref.Type, ref.Meta, raw)
+	if err != nil {
+		return lpq.ColumnData{}, cost, err
+	}
+	return col, cost, nil
+}
+
+// handleFilter runs a pushed-down comparison on a local chunk and returns
+// the compressed result bitmap (§5: the node reads the chunk, decompresses
+// and decodes it, runs the filter, and Snappy-compresses the bitmap).
+func (n *Node) handleFilter(req *rpc.Request) *rpc.Response {
+	col, cost, err := n.readChunk(req.Chunk)
+	if err != nil {
+		return errRespCost(err, cost)
+	}
+	cmp := &sql.Compare{Column: "pushdown", Op: req.Op, Value: req.Value}
+	bm, err := sql.EvalCompare(cmp, col)
+	if err != nil {
+		return errRespCost(err, cost)
+	}
+	return &rpc.Response{Data: bm.Marshal(), Matches: bm.Count(), Cost: cost}
+}
+
+// handleProject returns the chunk values selected by the request bitmap in
+// plain (uncompressed) encoding — the projection-stage reply whose size the
+// cost model weighs against shipping the compressed chunk (§4.3).
+func (n *Node) handleProject(req *rpc.Request) *rpc.Response {
+	col, cost, err := n.readChunk(req.Chunk)
+	if err != nil {
+		return errRespCost(err, cost)
+	}
+	bm, err := bitmap.Unmarshal(req.Bitmap)
+	if err != nil {
+		return errRespCost(err, cost)
+	}
+	if bm.Len() != col.Len() {
+		return errRespCost(fmt.Errorf("cluster: bitmap has %d rows, chunk has %d", bm.Len(), col.Len()), cost)
+	}
+	sel := SelectRows(col, bm)
+	data := EncodePlain(sel)
+	return &rpc.Response{Data: data, Matches: sel.Len(), Cost: cost}
+}
+
+// handleAggregate computes a partial aggregate over the selected rows of a
+// local chunk: only the accumulator crosses the network, never the values.
+func (n *Node) handleAggregate(req *rpc.Request) *rpc.Response {
+	col, cost, err := n.readChunk(req.Chunk)
+	if err != nil {
+		return errRespCost(err, cost)
+	}
+	bm, err := bitmap.Unmarshal(req.Bitmap)
+	if err != nil {
+		return errRespCost(err, cost)
+	}
+	if bm.Len() != col.Len() {
+		return errRespCost(fmt.Errorf("cluster: bitmap has %d rows, chunk has %d", bm.Len(), col.Len()), cost)
+	}
+	// The accumulator gathers count, sum and extrema at once; the
+	// coordinator extracts whichever the query's aggregates need.
+	state := sql.NewAggState(sql.AggCount)
+	state.AddColumn(col, bm)
+	return &rpc.Response{Matches: bm.Count(), Agg: state, Cost: cost}
+}
+
+func errResp(err error) *rpc.Response { return &rpc.Response{Err: err.Error()} }
+
+func errRespCost(err error, c rpc.Cost) *rpc.Response {
+	return &rpc.Response{Err: err.Error(), Cost: c}
+}
+
+// SelectRows returns the subset of col's values whose bits are set.
+func SelectRows(col lpq.ColumnData, bm *bitmap.Bitmap) lpq.ColumnData {
+	out := lpq.ColumnData{Type: col.Type}
+	switch col.Type {
+	case lpq.Int64:
+		out.Ints = make([]int64, 0, bm.Count())
+		bm.ForEach(func(i int) { out.Ints = append(out.Ints, col.Ints[i]) })
+	case lpq.Float64:
+		out.Floats = make([]float64, 0, bm.Count())
+		bm.ForEach(func(i int) { out.Floats = append(out.Floats, col.Floats[i]) })
+	default:
+		out.Strings = make([]string, 0, bm.Count())
+		bm.ForEach(func(i int) { out.Strings = append(out.Strings, col.Strings[i]) })
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+// Package colenc implements the physical column encodings used by the lpq
+// PAX file format: plain, fixed-width bit-packing, run-length encoding, and
+// dictionary encoding (§2, Fig. 3 of the paper). Each encoding is a
+// self-contained byte-slice codec; the lpq writer composes them per column
+// chunk and layers Snappy compression on top.
+package colenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Encoding identifies how the values of a page are encoded.
+type Encoding uint8
+
+const (
+	// Plain stores values back to back with no transformation.
+	Plain Encoding = iota
+	// Dict stores a dictionary page of distinct values plus bit-packed codes.
+	Dict
+	// RLE stores (run-length, value) pairs of unsigned integers.
+	RLEEnc
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case Plain:
+		return "PLAIN"
+	case Dict:
+		return "DICT"
+	case RLEEnc:
+		return "RLE"
+	default:
+		return fmt.Sprintf("Encoding(%d)", uint8(e))
+	}
+}
+
+// ErrCorrupt reports malformed encoded data.
+var ErrCorrupt = errors.New("colenc: corrupt encoded data")
+
+//
+// Plain codecs
+//
+
+// PutInt64s appends the little-endian plain encoding of vals to dst.
+func PutInt64s(dst []byte, vals []int64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// GetInt64s decodes count plain int64 values.
+func GetInt64s(src []byte, count int) ([]int64, error) {
+	if len(src) < 8*count {
+		return nil, ErrCorrupt
+	}
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return out, nil
+}
+
+// PutFloat64s appends the plain encoding of vals to dst.
+func PutFloat64s(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// GetFloat64s decodes count plain float64 values.
+func GetFloat64s(src []byte, count int) ([]float64, error) {
+	if len(src) < 8*count {
+		return nil, ErrCorrupt
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return out, nil
+}
+
+// PutStrings appends the plain encoding of vals (uvarint length + bytes each)
+// to dst.
+func PutStrings(dst []byte, vals []string) []byte {
+	for _, v := range vals {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// GetStrings decodes count plain string values.
+func GetStrings(src []byte, count int) ([]string, error) {
+	out := make([]string, count)
+	for i := 0; i < count; i++ {
+		l, n := binary.Uvarint(src)
+		if n <= 0 || uint64(len(src)-n) < l {
+			return nil, ErrCorrupt
+		}
+		out[i] = string(src[n : n+int(l)])
+		src = src[n+int(l):]
+	}
+	return out, nil
+}
+
+//
+// Bit-packing
+//
+
+// BitWidth returns the number of bits needed to represent max (at least 1,
+// so that zero-width pages never arise).
+func BitWidth(max uint64) int {
+	if max == 0 {
+		return 1
+	}
+	return bits.Len64(max)
+}
+
+// MaxPackWidth is the widest supported bit width. Bit-packing is only used
+// for dictionary codes, whose width never approaches this; the bound keeps
+// the accumulator arithmetic overflow-free.
+const MaxPackWidth = 56
+
+// PackUints appends vals packed at the given bit width (1..MaxPackWidth) to
+// dst. Values must fit in width bits.
+func PackUints(dst []byte, vals []uint64, width int) []byte {
+	if width <= 0 || width > MaxPackWidth {
+		panic(fmt.Sprintf("colenc: invalid bit width %d", width))
+	}
+	var acc uint64
+	var nbits int
+	for _, v := range vals {
+		acc |= v << nbits // nbits ≤ 7 here, so width+nbits ≤ 63: no overflow
+		nbits += width
+		for nbits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+// UnpackUints decodes count values packed at the given bit width
+// (1..MaxPackWidth).
+func UnpackUints(src []byte, count, width int) ([]uint64, error) {
+	if width <= 0 || width > MaxPackWidth {
+		return nil, fmt.Errorf("colenc: invalid bit width %d", width)
+	}
+	need := (count*width + 7) / 8
+	if len(src) < need {
+		return nil, ErrCorrupt
+	}
+	out := make([]uint64, count)
+	var acc uint64
+	var nbits, s int
+	mask := uint64(1)<<width - 1
+	for i := 0; i < count; i++ {
+		for nbits < width {
+			acc |= uint64(src[s]) << nbits // nbits < width ≤ 56: no overflow
+			s++
+			nbits += 8
+		}
+		out[i] = acc & mask
+		acc >>= width
+		nbits -= width
+	}
+	return out, nil
+}
+
+//
+// Run-length encoding
+//
+
+// RLEEncode appends the run-length encoding of vals to dst: a sequence of
+// (uvarint run length, uvarint value) pairs.
+func RLEEncode(dst []byte, vals []uint64) []byte {
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		dst = binary.AppendUvarint(dst, uint64(j-i))
+		dst = binary.AppendUvarint(dst, vals[i])
+		i = j
+	}
+	return dst
+}
+
+// RLEDecode decodes count run-length-encoded values.
+func RLEDecode(src []byte, count int) ([]uint64, error) {
+	out := make([]uint64, 0, count)
+	for len(out) < count {
+		run, n := binary.Uvarint(src)
+		if n <= 0 || run == 0 {
+			return nil, ErrCorrupt
+		}
+		src = src[n:]
+		v, n := binary.Uvarint(src)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		src = src[n:]
+		if uint64(count-len(out)) < run {
+			return nil, ErrCorrupt
+		}
+		for i := uint64(0); i < run; i++ {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// RLESize returns the encoded size of vals under RLEEncode without
+// materializing the encoding.
+func RLESize(vals []uint64) int {
+	size := 0
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		size += uvarintLen(uint64(j-i)) + uvarintLen(vals[i])
+		i = j
+	}
+	return size
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

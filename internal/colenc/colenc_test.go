@@ -1,0 +1,229 @@
+package colenc
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlainInt64RoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		enc := PutInt64s(nil, vals)
+		got, err := GetInt64s(enc, len(vals))
+		return err == nil && (len(vals) == 0 || reflect.DeepEqual(got, vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlainFloat64RoundTrip(t *testing.T) {
+	vals := []float64{0, 1.5, -2.25, math.MaxFloat64, math.SmallestNonzeroFloat64, math.Inf(1)}
+	enc := PutFloat64s(nil, vals)
+	got, err := GetFloat64s(enc, len(vals))
+	if err != nil || !reflect.DeepEqual(got, vals) {
+		t.Fatalf("round trip failed: %v %v", got, err)
+	}
+}
+
+func TestPlainStringRoundTrip(t *testing.T) {
+	f := func(vals []string) bool {
+		enc := PutStrings(nil, vals)
+		got, err := GetStrings(enc, len(vals))
+		return err == nil && (len(vals) == 0 || reflect.DeepEqual(got, vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlainTruncated(t *testing.T) {
+	if _, err := GetInt64s([]byte{1, 2, 3}, 1); err == nil {
+		t.Fatal("GetInt64s must reject short input")
+	}
+	if _, err := GetFloat64s(nil, 1); err == nil {
+		t.Fatal("GetFloat64s must reject short input")
+	}
+	if _, err := GetStrings([]byte{5, 'a'}, 1); err == nil {
+		t.Fatal("GetStrings must reject truncated string")
+	}
+}
+
+func TestBitWidth(t *testing.T) {
+	cases := []struct {
+		max  uint64
+		want int
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9}, {1<<56 - 1, 56}}
+	for _, c := range cases {
+		if got := BitWidth(c.max); got != c.want {
+			t.Errorf("BitWidth(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestPackUnpackAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for width := 1; width <= MaxPackWidth; width++ {
+		n := 100 + rng.Intn(100)
+		vals := make([]uint64, n)
+		mask := uint64(1)<<width - 1
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		enc := PackUints(nil, vals, width)
+		wantLen := (n*width + 7) / 8
+		if len(enc) != wantLen {
+			t.Fatalf("width %d: packed %d bytes, want %d", width, len(enc), wantLen)
+		}
+		got, err := UnpackUints(enc, n, width)
+		if err != nil || !reflect.DeepEqual(got, vals) {
+			t.Fatalf("width %d: round trip failed: %v", width, err)
+		}
+	}
+}
+
+func TestPackInvalidWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PackUints must panic on invalid width")
+		}
+	}()
+	PackUints(nil, []uint64{1}, 0)
+}
+
+func TestUnpackErrors(t *testing.T) {
+	if _, err := UnpackUints([]byte{1}, 10, 8); err == nil {
+		t.Fatal("UnpackUints must reject short input")
+	}
+	if _, err := UnpackUints(nil, 1, 64); err == nil {
+		t.Fatal("UnpackUints must reject width > MaxPackWidth")
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	cases := [][]uint64{
+		{},
+		{5},
+		{1, 1, 1, 1, 1},
+		{1, 2, 3, 4, 5},
+		{0, 0, 7, 7, 7, 0, 1 << 40},
+	}
+	for _, vals := range cases {
+		enc := RLEEncode(nil, vals)
+		if len(enc) != RLESize(vals) {
+			t.Errorf("RLESize mismatch for %v: %d vs %d", vals, RLESize(vals), len(enc))
+		}
+		got, err := RLEDecode(enc, len(vals))
+		if err != nil {
+			t.Fatalf("RLEDecode(%v): %v", vals, err)
+		}
+		if len(vals) > 0 && !reflect.DeepEqual(got, vals) {
+			t.Fatalf("RLE round trip failed for %v: got %v", vals, got)
+		}
+	}
+}
+
+func TestRLEProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		enc := RLEEncode(nil, vals)
+		got, err := RLEDecode(enc, len(vals))
+		if err != nil {
+			return false
+		}
+		return len(vals) == 0 || reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLEDecodeCorrupt(t *testing.T) {
+	// A run that overruns the expected count.
+	enc := RLEEncode(nil, []uint64{9, 9, 9, 9})
+	if _, err := RLEDecode(enc, 2); err == nil {
+		t.Fatal("RLEDecode must reject runs exceeding count")
+	}
+	if _, err := RLEDecode([]byte{3}, 3); err == nil {
+		t.Fatal("RLEDecode must reject truncated pair")
+	}
+}
+
+func TestBuildApplyDict(t *testing.T) {
+	vals := []string{"bob", "alice", "bob", "carol", "alice", "bob"}
+	dict, codes := BuildDict(vals)
+	if !reflect.DeepEqual(dict, []string{"bob", "alice", "carol"}) {
+		t.Fatalf("dictionary must preserve first-occurrence order, got %v", dict)
+	}
+	if !reflect.DeepEqual(codes, []uint64{0, 1, 0, 2, 1, 0}) {
+		t.Fatalf("codes wrong: %v", codes)
+	}
+	back, err := ApplyDict(dict, codes)
+	if err != nil || !reflect.DeepEqual(back, vals) {
+		t.Fatalf("ApplyDict failed: %v %v", back, err)
+	}
+}
+
+func TestApplyDictOutOfRange(t *testing.T) {
+	if _, err := ApplyDict([]int64{1}, []uint64{3}); err == nil {
+		t.Fatal("ApplyDict must reject out-of-range code")
+	}
+}
+
+func TestDictPropertyInt64(t *testing.T) {
+	f := func(vals []int64) bool {
+		dict, codes := BuildDict(vals)
+		back, err := ApplyDict(dict, codes)
+		if err != nil {
+			return false
+		}
+		return len(vals) == 0 || reflect.DeepEqual(back, vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodesEncodingPicksRLEForRuns(t *testing.T) {
+	codes := make([]uint64, 10000) // all zero: a single run
+	enc, data := CodesEncoding(codes, 0)
+	if enc != RLEEnc {
+		t.Fatalf("constant stream must pick RLE, got %v", enc)
+	}
+	got, err := DecodeCodes(enc, data, len(codes), 0)
+	if err != nil || !reflect.DeepEqual(got, codes) {
+		t.Fatalf("decode failed: %v", err)
+	}
+}
+
+func TestCodesEncodingPicksPackForEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	codes := make([]uint64, 5000)
+	for i := range codes {
+		codes[i] = uint64(rng.Intn(1000))
+	}
+	enc, data := CodesEncoding(codes, 999)
+	if enc != Plain {
+		t.Fatalf("high-entropy stream must pick bit-packing, got %v", enc)
+	}
+	got, err := DecodeCodes(enc, data, len(codes), 999)
+	if err != nil || !reflect.DeepEqual(got, codes) {
+		t.Fatalf("decode failed: %v", err)
+	}
+}
+
+func TestDecodeCodesBadEncoding(t *testing.T) {
+	if _, err := DecodeCodes(Dict, nil, 0, 0); err == nil {
+		t.Fatal("DecodeCodes must reject unknown encodings")
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if Plain.String() != "PLAIN" || Dict.String() != "DICT" || RLEEnc.String() != "RLE" {
+		t.Fatal("Encoding.String wrong")
+	}
+	if Encoding(99).String() == "" {
+		t.Fatal("unknown encoding must still stringify")
+	}
+}

@@ -1,0 +1,62 @@
+package colenc
+
+// Dictionary encoding: distinct values are collected into a dictionary page
+// in first-occurrence order, and each value is replaced by its uint64 code.
+// The codes are then bit-packed or run-length encoded by the caller,
+// whichever is smaller — mirroring Parquet's dictionary + RLE/bit-packed
+// hybrid that gives the paper's column chunks their extreme compression
+// ratios (Fig. 6).
+
+// BuildDict maps vals onto dictionary codes. It returns the dictionary in
+// first-occurrence order and the per-value codes.
+func BuildDict[T comparable](vals []T) (dict []T, codes []uint64) {
+	index := make(map[T]uint64, 64)
+	codes = make([]uint64, len(vals))
+	for i, v := range vals {
+		code, ok := index[v]
+		if !ok {
+			code = uint64(len(dict))
+			index[v] = code
+			dict = append(dict, v)
+		}
+		codes[i] = code
+	}
+	return dict, codes
+}
+
+// ApplyDict inverts BuildDict: it maps codes back through the dictionary.
+func ApplyDict[T any](dict []T, codes []uint64) ([]T, error) {
+	out := make([]T, len(codes))
+	for i, c := range codes {
+		if c >= uint64(len(dict)) {
+			return nil, ErrCorrupt
+		}
+		out[i] = dict[c]
+	}
+	return out, nil
+}
+
+// CodesEncoding picks the cheaper physical encoding for a code stream and
+// returns it with the encoded bytes. RLE wins on sorted/repetitive streams,
+// bit-packing on high-entropy streams.
+func CodesEncoding(codes []uint64, maxCode uint64) (Encoding, []byte) {
+	width := BitWidth(maxCode)
+	packedSize := (len(codes)*width + 7) / 8
+	rleSize := RLESize(codes)
+	if rleSize < packedSize {
+		return RLEEnc, RLEEncode(nil, codes)
+	}
+	return Plain, PackUints(nil, codes, width)
+}
+
+// DecodeCodes reverses CodesEncoding.
+func DecodeCodes(enc Encoding, data []byte, count int, maxCode uint64) ([]uint64, error) {
+	switch enc {
+	case RLEEnc:
+		return RLEDecode(data, count)
+	case Plain:
+		return UnpackUints(data, count, BitWidth(maxCode))
+	default:
+		return nil, ErrCorrupt
+	}
+}

@@ -1,0 +1,341 @@
+// Package erasure implements systematic (n, k) Reed–Solomon erasure codes
+// over GF(2^8), the codes used by Fusion and by the baseline object store.
+//
+// A Coder splits data into k data shards and generates n−k parity shards.
+// The code is systematic: the data shards are stored in plaintext, which is
+// what makes in-situ computation pushdown on storage nodes possible (§2 of
+// the paper). Any k of the n shards reconstruct the original stripe.
+//
+// The two configurations the paper discusses, RS(9,6) and RS(14,10), are
+// available as RS96 and RS1410, but any n > k ≥ 1 with n ≤ 256 works.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/fusionstore/fusion/internal/gf256"
+)
+
+// Common configurations from the paper (§2).
+var (
+	// RS96 is the default RS(9,6) code: 6 data + 3 parity shards.
+	RS96 = Params{N: 9, K: 6}
+	// RS1410 is the RS(14,10) code: 10 data + 4 parity shards.
+	RS1410 = Params{N: 14, K: 10}
+)
+
+// Params names an (n, k) systematic code: n total shards, k data shards.
+type Params struct {
+	N int // total shards per stripe
+	K int // data shards per stripe
+}
+
+// Parity returns the number of parity shards, n − k.
+func (p Params) Parity() int { return p.N - p.K }
+
+// Overhead returns the optimal storage overhead of the code, (n−k)/k.
+func (p Params) Overhead() float64 { return float64(p.N-p.K) / float64(p.K) }
+
+// Validate reports whether the parameters describe a usable code.
+func (p Params) Validate() error {
+	switch {
+	case p.K < 1:
+		return fmt.Errorf("erasure: k must be ≥ 1, got %d", p.K)
+	case p.N <= p.K:
+		return fmt.Errorf("erasure: n (%d) must exceed k (%d)", p.N, p.K)
+	case p.N > 256:
+		return fmt.Errorf("erasure: n must be ≤ 256, got %d", p.N)
+	}
+	return nil
+}
+
+func (p Params) String() string { return fmt.Sprintf("RS(%d,%d)", p.N, p.K) }
+
+// Coder encodes and reconstructs stripes for a fixed (n, k).
+type Coder struct {
+	params Params
+	// matrix is the n×k systematic code matrix: the top k rows are the
+	// identity, the bottom n−k rows generate parity.
+	matrix *gf256.Matrix
+}
+
+// NewCoder builds a Coder for the given parameters.
+func NewCoder(p Params) (*Coder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Coder{params: p, matrix: buildMatrix(p.N, p.K)}, nil
+}
+
+// MustCoder is NewCoder for parameters known to be valid; it panics on error.
+func MustCoder(p Params) *Coder {
+	c, err := NewCoder(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Params returns the coder's (n, k).
+func (c *Coder) Params() Params { return c.params }
+
+// buildMatrix constructs the systematic n×k code matrix: a raw Vandermonde
+// matrix normalized so its top k×k block is the identity. Every k-row
+// submatrix of the result is invertible, which is the property reconstruction
+// relies on.
+func buildMatrix(n, k int) *gf256.Matrix {
+	vm := gf256.Vandermonde(n, k)
+	top := vm.SubMatrix(rangeInts(k))
+	topInv, err := top.Invert()
+	if err != nil {
+		// The top k rows of a Vandermonde matrix with distinct points are
+		// always independent; failure here is a programming error.
+		panic("erasure: vandermonde top block singular: " + err.Error())
+	}
+	return vm.Mul(topInv)
+}
+
+func rangeInts(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// Errors returned by Encode, Verify and Reconstruct.
+var (
+	ErrShardCount = errors.New("erasure: wrong number of shards")
+	ErrShardSize  = errors.New("erasure: shards have mismatched or zero sizes")
+	ErrTooFewLeft = errors.New("erasure: too many shards lost to reconstruct")
+)
+
+// checkShards validates shape: exactly n shards; all non-nil shards share one
+// non-zero size. It returns that size.
+func (c *Coder) checkShards(shards [][]byte, allowNil bool) (int, error) {
+	if len(shards) != c.params.N {
+		return 0, fmt.Errorf("%w: have %d, want %d", ErrShardCount, len(shards), c.params.N)
+	}
+	size := -1
+	for _, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return 0, fmt.Errorf("%w: nil shard", ErrShardSize)
+			}
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("%w: %d vs %d", ErrShardSize, len(s), size)
+		}
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("%w: no data present", ErrShardSize)
+	}
+	return size, nil
+}
+
+// Encode fills shards[k:] with parity computed from shards[:k]. All n shards
+// must be allocated with the same length; the first k hold data.
+func (c *Coder) Encode(shards [][]byte) error {
+	if _, err := c.checkShards(shards, false); err != nil {
+		return err
+	}
+	k := c.params.K
+	for p := k; p < c.params.N; p++ {
+		row := c.matrix.Row(p)
+		out := shards[p]
+		clear(out)
+		for d := 0; d < k; d++ {
+			gf256.MulAddSlice(row[d], shards[d], out)
+		}
+	}
+	return nil
+}
+
+// Split partitions data into k equal data shards (zero-padding the tail) and
+// allocates n−k parity shards, ready for Encode. The returned shard size is
+// ceil(len(data)/k); data of length 0 yields shards of size 1.
+func (c *Coder) Split(data []byte) [][]byte {
+	k, n := c.params.K, c.params.N
+	size := (len(data) + k - 1) / k
+	if size == 0 {
+		size = 1
+	}
+	shards := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		shards[i] = make([]byte, size)
+		if i < k {
+			start := i * size
+			if start < len(data) {
+				copy(shards[i], data[start:min(start+size, len(data))])
+			}
+		}
+	}
+	return shards
+}
+
+// Join concatenates the k data shards and trims the result to dataLen.
+func (c *Coder) Join(shards [][]byte, dataLen int) ([]byte, error) {
+	if len(shards) < c.params.K {
+		return nil, ErrShardCount
+	}
+	out := make([]byte, 0, dataLen)
+	for i := 0; i < c.params.K && len(out) < dataLen; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("%w: data shard %d missing", ErrShardSize, i)
+		}
+		need := dataLen - len(out)
+		out = append(out, shards[i][:min(need, len(shards[i]))]...)
+	}
+	if len(out) != dataLen {
+		return nil, fmt.Errorf("erasure: shards hold %d bytes, need %d", len(out), dataLen)
+	}
+	return out, nil
+}
+
+// Verify recomputes parity from the data shards and reports whether it
+// matches the stored parity shards.
+func (c *Coder) Verify(shards [][]byte) (bool, error) {
+	size, err := c.checkShards(shards, false)
+	if err != nil {
+		return false, err
+	}
+	k := c.params.K
+	buf := make([]byte, size)
+	for p := k; p < c.params.N; p++ {
+		row := c.matrix.Row(p)
+		clear(buf)
+		for d := 0; d < k; d++ {
+			gf256.MulAddSlice(row[d], shards[d], buf)
+		}
+		for i := range buf {
+			if buf[i] != shards[p][i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds every nil shard in place. Missing shards are denoted
+// by nil entries; at least k shards must be present. Present shards are never
+// modified. Reconstruct rebuilds both data and parity shards.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	size, err := c.checkShards(shards, true)
+	if err != nil {
+		return err
+	}
+	n, k := c.params.N, c.params.K
+	present := make([]int, 0, n)
+	missing := make([]int, 0, n)
+	for i, s := range shards {
+		if s != nil {
+			present = append(present, i)
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(present) < k {
+		return fmt.Errorf("%w: %d present, need %d", ErrTooFewLeft, len(present), k)
+	}
+	// Decode matrix: pick any k present rows of the code matrix, invert.
+	rows := present[:k]
+	sub := c.matrix.SubMatrix(rows)
+	dec, err := sub.Invert()
+	if err != nil {
+		// Cannot happen for a valid RS matrix: every k-row submatrix is
+		// invertible by construction.
+		return fmt.Errorf("erasure: decode matrix singular: %v", err)
+	}
+	// Rebuild missing data shards first: data[d] = dec.Row(d) · presentShards.
+	needData := false
+	for _, m := range missing {
+		if m < k {
+			needData = true
+			break
+		}
+	}
+	if needData {
+		for d := 0; d < k; d++ {
+			if shards[d] != nil {
+				continue
+			}
+			out := make([]byte, size)
+			row := dec.Row(d)
+			for j, src := range rows {
+				gf256.MulAddSlice(row[j], shards[src], out)
+			}
+			shards[d] = out
+		}
+	}
+	// Rebuild missing parity shards from (now complete) data shards.
+	for _, m := range missing {
+		if m < k {
+			continue
+		}
+		if shards[0] == nil {
+			// Data shards must be complete by now.
+			return errors.New("erasure: internal: data shards incomplete")
+		}
+		out := make([]byte, size)
+		row := c.matrix.Row(m)
+		for d := 0; d < k; d++ {
+			gf256.MulAddSlice(row[d], shards[d], out)
+		}
+		shards[m] = out
+	}
+	return nil
+}
+
+// ReconstructData rebuilds only the missing data shards (indexes < k),
+// leaving missing parity shards nil. It is the cheaper call when the caller
+// only needs the original bytes back.
+func (c *Coder) ReconstructData(shards [][]byte) error {
+	size, err := c.checkShards(shards, true)
+	if err != nil {
+		return err
+	}
+	n, k := c.params.N, c.params.K
+	present := make([]int, 0, n)
+	for i, s := range shards {
+		if s != nil {
+			present = append(present, i)
+		}
+	}
+	if len(present) < k {
+		return fmt.Errorf("%w: %d present, need %d", ErrTooFewLeft, len(present), k)
+	}
+	allData := true
+	for d := 0; d < k; d++ {
+		if shards[d] == nil {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		return nil
+	}
+	rows := present[:k]
+	dec, err := c.matrix.SubMatrix(rows).Invert()
+	if err != nil {
+		return fmt.Errorf("erasure: decode matrix singular: %v", err)
+	}
+	for d := 0; d < k; d++ {
+		if shards[d] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := dec.Row(d)
+		for j, src := range rows {
+			gf256.MulAddSlice(row[j], shards[src], out)
+		}
+		shards[d] = out
+	}
+	return nil
+}

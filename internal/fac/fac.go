@@ -1,0 +1,240 @@
+// Package fac implements Fusion's file-format-aware coding (§4.2 of the
+// paper): the stripe construction algorithm (Algorithm 1) that bin-packs
+// variable-sized column chunks into erasure-code stripes without ever
+// splitting a chunk across data blocks, while keeping the extra storage
+// overhead relative to optimal fixed-block coding small.
+//
+// The package also implements the three layouts the paper compares against:
+//
+//   - FixedBlockLayout: the conventional MinIO/Ceph-style layout that stripes
+//     the object into fixed-sized blocks and may split chunks (§3.1).
+//   - PaddingLayout: the Adams et al. (HotStorage '21) approach that pads the
+//     object so chunks align with fixed blocks (§3.2, Fig. 4d).
+//   - Oracle: an exact branch-and-bound solver for the ILP formulation
+//     (Eq. 1), the Gurobi stand-in (Fig. 10a, Fig. 16b).
+package fac
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Stripe is one erasure-code stripe: k data bins, each holding whole column
+// chunks. Capacity is the size of the largest bin; every parity block of the
+// stripe has exactly this size, and smaller bins are implicitly zero-padded
+// to it during encoding (the padding is never stored).
+type Stripe struct {
+	// Capacity is the largest bin's byte size.
+	Capacity uint64
+	// Bins[j] lists the chunk indexes assigned to bin j, in placement order.
+	Bins [][]int
+	// BinSizes[j] is the total byte size of bin j's chunks.
+	BinSizes []uint64
+}
+
+// Layout is a complete stripe construction for one object.
+type Layout struct {
+	// K is the number of data bins per stripe.
+	K int
+	// Stripes in construction order.
+	Stripes []Stripe
+}
+
+// ConstructStripes runs Algorithm 1 from the paper: it sorts chunks by
+// descending size, opens one bin set at a time, seeds the first bin with the
+// largest unassigned chunk (fixing the stripe's capacity), and fills the
+// remaining k−1 bins by assigning each chunk that fits to the least-occupied
+// bin. Complexity is O(m·N) for m stripes and N chunks.
+//
+// sizes[i] is the on-disk size of chunk i; indexes in the returned layout
+// refer to positions in sizes. Zero-sized chunks are legal and are packed
+// like any other.
+func ConstructStripes(k int, sizes []uint64) Layout {
+	if k < 1 {
+		panic(fmt.Sprintf("fac: k must be ≥ 1, got %d", k))
+	}
+	layout := Layout{K: k}
+	n := len(sizes)
+	if n == 0 {
+		return layout
+	}
+	// Indexes sorted by descending size (stable on index for determinism).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+
+	assigned := make([]bool, n)
+	remaining := n
+	for remaining > 0 {
+		st := Stripe{Bins: make([][]int, k), BinSizes: make([]uint64, k)}
+		// Pop the largest unassigned chunk into the first bin; its size is
+		// the stripe capacity.
+		head := -1
+		for _, idx := range order {
+			if !assigned[idx] {
+				head = idx
+				break
+			}
+		}
+		st.Bins[0] = []int{head}
+		st.BinSizes[0] = sizes[head]
+		st.Capacity = sizes[head]
+		assigned[head] = true
+		remaining--
+		// Fill bins 1..k−1: each remaining chunk goes to the least-occupied
+		// bin with room, if any.
+		if k > 1 {
+			for _, idx := range order {
+				if assigned[idx] {
+					continue
+				}
+				sz := sizes[idx]
+				best := -1
+				var bestLoad uint64
+				for j := 1; j < k; j++ {
+					if st.BinSizes[j]+sz <= st.Capacity {
+						if best == -1 || st.BinSizes[j] < bestLoad {
+							best = j
+							bestLoad = st.BinSizes[j]
+						}
+					}
+				}
+				if best >= 0 {
+					st.Bins[best] = append(st.Bins[best], idx)
+					st.BinSizes[best] += sz
+					assigned[idx] = true
+					remaining--
+				}
+			}
+		}
+		layout.Stripes = append(layout.Stripes, st)
+	}
+	return layout
+}
+
+// DataBytes returns the total chunk bytes covered by the layout.
+func (l Layout) DataBytes() uint64 {
+	var total uint64
+	for _, st := range l.Stripes {
+		for _, sz := range st.BinSizes {
+			total += sz
+		}
+	}
+	return total
+}
+
+// ParityBytes returns the bytes consumed by parity blocks for a code with
+// the given parity count: parity × Σ stripe capacities.
+func (l Layout) ParityBytes(parity int) uint64 {
+	var capSum uint64
+	for _, st := range l.Stripes {
+		capSum += st.Capacity
+	}
+	return uint64(parity) * capSum
+}
+
+// StoredBytes returns the total bytes persisted for an (n, k) code: the
+// chunk data (bin padding is implicit and never stored) plus parity.
+func (l Layout) StoredBytes(n int) uint64 {
+	return l.DataBytes() + l.ParityBytes(n-l.K)
+}
+
+// OverheadVsOptimal returns the layout's additional storage overhead as a
+// fraction of the optimal fixed-block layout's total footprint:
+//
+//	stored/optimal − 1, where optimal = data × n/k.
+//
+// This is the "storage overhead w.r.t. optimal (%)" quantity in Figs. 4d
+// and 16 (as a fraction, not a percentage).
+func (l Layout) OverheadVsOptimal(n int) float64 {
+	data := l.DataBytes()
+	if data == 0 {
+		return 0
+	}
+	optimal := float64(data) * float64(n) / float64(l.K)
+	return float64(l.StoredBytes(n))/optimal - 1
+}
+
+// CapacitySum returns Σ stripe capacities, the ILP objective value (Eq. 1).
+func (l Layout) CapacitySum() uint64 {
+	var s uint64
+	for _, st := range l.Stripes {
+		s += st.Capacity
+	}
+	return s
+}
+
+// NumChunks returns the number of chunks placed in the layout.
+func (l Layout) NumChunks() int {
+	n := 0
+	for _, st := range l.Stripes {
+		for _, bin := range st.Bins {
+			n += len(bin)
+		}
+	}
+	return n
+}
+
+// Validate checks the layout invariants against the chunk sizes it was
+// built from: every chunk placed exactly once, bin sizes consistent,
+// capacity equal to the largest bin, and no bin over capacity.
+func (l Layout) Validate(sizes []uint64) error {
+	seen := make([]bool, len(sizes))
+	for si, st := range l.Stripes {
+		if len(st.Bins) != l.K || len(st.BinSizes) != l.K {
+			return fmt.Errorf("fac: stripe %d has %d bins, want %d", si, len(st.Bins), l.K)
+		}
+		var maxBin uint64
+		for j, bin := range st.Bins {
+			var sum uint64
+			for _, idx := range bin {
+				if idx < 0 || idx >= len(sizes) {
+					return fmt.Errorf("fac: stripe %d bin %d references unknown chunk %d", si, j, idx)
+				}
+				if seen[idx] {
+					return fmt.Errorf("fac: chunk %d placed twice", idx)
+				}
+				seen[idx] = true
+				sum += sizes[idx]
+			}
+			if sum != st.BinSizes[j] {
+				return fmt.Errorf("fac: stripe %d bin %d size %d, recorded %d", si, j, sum, st.BinSizes[j])
+			}
+			if sum > st.Capacity {
+				return fmt.Errorf("fac: stripe %d bin %d exceeds capacity: %d > %d", si, j, sum, st.Capacity)
+			}
+			if sum > maxBin {
+				maxBin = sum
+			}
+		}
+		if maxBin != st.Capacity {
+			return fmt.Errorf("fac: stripe %d capacity %d, largest bin %d", si, st.Capacity, maxBin)
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("fac: chunk %d not placed", i)
+		}
+	}
+	return nil
+}
+
+// ErrBudgetExceeded is returned by ConstructWithBudget when Algorithm 1
+// cannot meet the configured storage budget.
+var ErrBudgetExceeded = errors.New("fac: storage budget exceeded")
+
+// ConstructWithBudget runs Algorithm 1 and enforces Fusion's system-level
+// storage-budget hyperparameter (§4.2): if the resulting overhead relative
+// to optimal exceeds budget (a fraction, e.g. 0.02 for the paper's 2%
+// default), it returns ErrBudgetExceeded and the caller falls back to
+// fixed-block coding.
+func ConstructWithBudget(n, k int, sizes []uint64, budget float64) (Layout, error) {
+	l := ConstructStripes(k, sizes)
+	if l.OverheadVsOptimal(n) > budget {
+		return l, fmt.Errorf("%w: %.4f > %.4f", ErrBudgetExceeded, l.OverheadVsOptimal(n), budget)
+	}
+	return l, nil
+}

@@ -1,0 +1,106 @@
+package fac
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForceObjective enumerates every assignment of items to m bin sets of
+// k bins (capacity = max item) and returns the minimal Σ-of-maxes — a
+// ground-truth check for the branch-and-bound oracle on tiny instances.
+func bruteForceObjective(k int, sizes []uint64) uint64 {
+	n := len(sizes)
+	if n == 0 {
+		return 0
+	}
+	m := (n + k - 1) / k
+	var capLimit uint64
+	for _, s := range sizes {
+		if s > capLimit {
+			capLimit = s
+		}
+	}
+	loads := make([][]uint64, m)
+	for i := range loads {
+		loads[i] = make([]uint64, k)
+	}
+	best := ^uint64(0)
+	var rec func(item int)
+	rec = func(item int) {
+		if item == n {
+			var obj uint64
+			for _, set := range loads {
+				var mx uint64
+				for _, l := range set {
+					if l > mx {
+						mx = l
+					}
+				}
+				obj += mx
+			}
+			if obj < best {
+				best = obj
+			}
+			return
+		}
+		for l := 0; l < m; l++ {
+			for j := 0; j < k; j++ {
+				if loads[l][j]+sizes[item] > capLimit {
+					continue
+				}
+				loads[l][j] += sizes[item]
+				rec(item + 1)
+				loads[l][j] -= sizes[item]
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+// TestOracleMatchesBruteForce cross-checks the branch-and-bound solver
+// against exhaustive enumeration on random tiny instances.
+func TestOracleMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(2) // 2..3
+		n := 3 + rng.Intn(4) // 3..6 items
+		sizes := make([]uint64, n)
+		for i := range sizes {
+			sizes[i] = 1 + uint64(rng.Intn(20))
+		}
+		want := bruteForceObjective(k, sizes)
+		got := Oracle(k, sizes, OracleOptions{})
+		if !got.Optimal {
+			t.Fatalf("trial %d: oracle must complete on %d items", trial, n)
+		}
+		if got.Objective != want {
+			t.Fatalf("trial %d (k=%d sizes=%v): oracle %d, brute force %d",
+				trial, k, sizes, got.Objective, want)
+		}
+	}
+}
+
+// TestOracleDeterministic: same input, same result.
+func TestOracleDeterministic(t *testing.T) {
+	sizes := []uint64{30, 20, 18, 11, 7, 5, 3}
+	a := Oracle(3, sizes, OracleOptions{})
+	b := Oracle(3, sizes, OracleOptions{})
+	if a.Objective != b.Objective || a.Nodes != b.Nodes {
+		t.Fatalf("oracle must be deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestOracleEmptyAndDegenerate(t *testing.T) {
+	res := Oracle(6, nil, OracleOptions{})
+	if !res.Optimal || res.Objective != 0 {
+		t.Fatalf("empty instance: %+v", res)
+	}
+	res = Oracle(1, []uint64{5, 5}, OracleOptions{})
+	if !res.Optimal || res.Objective != 10 {
+		t.Fatalf("k=1 must place one item per bin set: %+v", res)
+	}
+	if err := res.Layout.Validate([]uint64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+}

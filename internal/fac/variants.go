@@ -1,0 +1,125 @@
+package fac
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// BinChoice selects how Algorithm 1 picks among bins with room for a chunk.
+// The paper's algorithm uses LeastLoaded; the others exist for the ablation
+// benchmarks that isolate this design choice.
+type BinChoice int
+
+const (
+	// LeastLoaded picks the least-occupied fitting bin (the paper's choice,
+	// balancing load within the bin set).
+	LeastLoaded BinChoice = iota
+	// FirstFit picks the lowest-indexed fitting bin.
+	FirstFit
+	// RandomFit picks a fitting bin uniformly at random.
+	RandomFit
+)
+
+// ConstructOptions parameterize ConstructStripesVariant.
+type ConstructOptions struct {
+	// SortDescending enables the descending size sort (the paper's
+	// principle 1). Disabled, chunks are scanned in file order.
+	SortDescending bool
+	// BinChoice is the fitting-bin selection rule (principle 2).
+	BinChoice BinChoice
+	// Seed drives RandomFit.
+	Seed int64
+}
+
+// DefaultConstructOptions returns the paper's Algorithm 1 configuration.
+func DefaultConstructOptions() ConstructOptions {
+	return ConstructOptions{SortDescending: true, BinChoice: LeastLoaded}
+}
+
+// ConstructStripesVariant is Algorithm 1 with its two principles made
+// swappable, used by the ablation experiments (abl-sortdesc,
+// abl-leastloaded). With DefaultConstructOptions it produces exactly the
+// same layout as ConstructStripes.
+func ConstructStripesVariant(k int, sizes []uint64, opts ConstructOptions) Layout {
+	if k < 1 {
+		panic("fac: k must be ≥ 1")
+	}
+	layout := Layout{K: k}
+	n := len(sizes)
+	if n == 0 {
+		return layout
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if opts.SortDescending {
+		sort.SliceStable(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+	}
+	var rng *rand.Rand
+	if opts.BinChoice == RandomFit {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	assigned := make([]bool, n)
+	remaining := n
+	for remaining > 0 {
+		st := Stripe{Bins: make([][]int, k), BinSizes: make([]uint64, k)}
+		// Head chunk: largest unassigned under the chosen order. Without
+		// sorting this is the first unassigned chunk, but the stripe
+		// capacity must still be the largest bin, so the head only seeds
+		// bin 0; capacity is fixed to its size per the algorithm.
+		head := -1
+		for _, idx := range order {
+			if !assigned[idx] {
+				head = idx
+				break
+			}
+		}
+		st.Bins[0] = []int{head}
+		st.BinSizes[0] = sizes[head]
+		st.Capacity = sizes[head]
+		assigned[head] = true
+		remaining--
+		if k > 1 {
+			for _, idx := range order {
+				if assigned[idx] {
+					continue
+				}
+				sz := sizes[idx]
+				var fits []int
+				for j := 1; j < k; j++ {
+					if st.BinSizes[j]+sz <= st.Capacity {
+						fits = append(fits, j)
+					}
+				}
+				if len(fits) == 0 {
+					continue
+				}
+				var pick int
+				switch opts.BinChoice {
+				case FirstFit:
+					pick = fits[0]
+				case RandomFit:
+					pick = fits[rng.Intn(len(fits))]
+				default: // LeastLoaded
+					pick = fits[0]
+					for _, j := range fits[1:] {
+						if st.BinSizes[j] < st.BinSizes[pick] {
+							pick = j
+						}
+					}
+				}
+				st.Bins[pick] = append(st.Bins[pick], idx)
+				st.BinSizes[pick] += sz
+				assigned[idx] = true
+				remaining--
+			}
+		}
+		layout.Stripes = append(layout.Stripes, st)
+	}
+	// Without the descending sort, a later chunk can exceed the head's
+	// size; the capacity invariant (capacity = largest bin) is preserved
+	// because such a chunk never fits any bin (BinSizes+sz > Capacity) and
+	// is deferred to a later stripe where it becomes the head.
+	return layout
+}

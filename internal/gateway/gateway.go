@@ -1,0 +1,252 @@
+// Package gateway exposes a Fusion store over HTTP, in the style of the
+// cloud object-store front doors the paper positions Fusion behind (S3 +
+// S3 Select, Azure query acceleration — Fig. 1): object PUT/GET/DELETE
+// plus a query endpoint that runs SQL near the data.
+//
+//	PUT    /objects/{name}            store an lpq object (body = bytes)
+//	GET    /objects/{name}            read it (optional ?offset= & ?length=)
+//	DELETE /objects/{name}            remove it
+//	GET    /objects/{name}/meta      footer summary (JSON)
+//	POST   /query                     body = SELECT statement; JSON reply
+//	POST   /scrub/{name}?repair=1     integrity scrub
+//	GET    /healthz                   liveness
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/sql"
+	"github.com/fusionstore/fusion/internal/store"
+)
+
+// maxObjectBytes bounds a PUT body.
+const maxObjectBytes = 4 << 30
+
+// Handler routes gateway requests to a Store.
+type Handler struct {
+	store *store.Store
+	mux   *http.ServeMux
+}
+
+// New builds the HTTP handler for a store.
+func New(s *store.Store) *Handler {
+	h := &Handler{store: s, mux: http.NewServeMux()}
+	h.mux.HandleFunc("PUT /objects/{name}", h.putObject)
+	h.mux.HandleFunc("GET /objects/{name}", h.getObject)
+	h.mux.HandleFunc("DELETE /objects/{name}", h.deleteObject)
+	h.mux.HandleFunc("GET /objects/{name}/meta", h.getMeta)
+	h.mux.HandleFunc("POST /query", h.query)
+	h.mux.HandleFunc("POST /scrub/{name}", h.scrub)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (h *Handler) putObject(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxObjectBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxObjectBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, errors.New("object too large"))
+		return
+	}
+	stats, err := h.store.Put(name, body)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"name":               name,
+		"bytes":              len(body),
+		"stored_bytes":       stats.StoredBytes,
+		"layout":             stats.Mode.String(),
+		"stripes":            stats.Stripes,
+		"overhead_vs_opt":    stats.OverheadVsOptimal,
+		"fell_back_to_fixed": stats.FellBack,
+	})
+}
+
+func (h *Handler) getObject(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var offset, length uint64
+	var err error
+	if v := r.URL.Query().Get("offset"); v != "" {
+		if offset, err = strconv.ParseUint(v, 10, 64); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad offset: %w", err))
+			return
+		}
+	}
+	if v := r.URL.Query().Get("length"); v != "" {
+		if length, err = strconv.ParseUint(v, 10, 64); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad length: %w", err))
+			return
+		}
+	}
+	data, err := h.store.Get(name, offset, length)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+func (h *Handler) deleteObject(w http.ResponseWriter, r *http.Request) {
+	if err := h.store.Delete(r.PathValue("name")); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *Handler) getMeta(w http.ResponseWriter, r *http.Request) {
+	meta, err := h.store.Meta(r.PathValue("name"))
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	type colInfo struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	}
+	cols := make([]colInfo, len(meta.Footer.Columns))
+	for i, c := range meta.Footer.Columns {
+		cols[i] = colInfo{Name: c.Name, Type: c.Type.String()}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"name":       meta.Name,
+		"size":       meta.Size,
+		"layout":     meta.Mode.String(),
+		"columns":    cols,
+		"row_groups": len(meta.Footer.RowGroups),
+		"rows":       meta.Footer.NumRows(),
+		"chunks":     meta.Footer.NumChunks(),
+		"stripes":    len(meta.Stripes),
+	})
+}
+
+// QueryResponse is the JSON shape of a query reply.
+type QueryResponse struct {
+	Columns    []string       `json:"columns,omitempty"`
+	Rows       [][]any        `json:"rows,omitempty"`
+	Aggregates map[string]any `json:"aggregates,omitempty"`
+	RowCount   int            `json:"row_count"`
+	Stats      map[string]any `json:"stats"`
+}
+
+func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil || len(body) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("request body must be a SELECT statement"))
+		return
+	}
+	res, err := h.store.Query(string(body))
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	resp := QueryResponse{
+		Columns:  res.Columns,
+		RowCount: res.Rows,
+		Stats: map[string]any{
+			"selectivity":       res.Stats.Selectivity,
+			"traffic_bytes":     res.Stats.TrafficBytes,
+			"filter_rpcs":       res.Stats.FilterRPCs,
+			"project_rpcs":      res.Stats.ProjectRPCs,
+			"aggregate_rpcs":    res.Stats.AggregateRPCs,
+			"fetch_rpcs":        res.Stats.FetchRPCs,
+			"pushdown_on":       res.Stats.PushdownOn,
+			"pushdown_off":      res.Stats.PushdownOff,
+			"pruned_row_groups": res.Stats.PrunedRowGroups,
+			"wall_ns":           res.Stats.Wall.Nanoseconds(),
+		},
+	}
+	if n := len(res.Data); n > 0 {
+		rows := 0
+		if res.Data[0].Len() > 0 {
+			rows = res.Data[0].Len()
+		}
+		resp.Rows = make([][]any, rows)
+		for i := 0; i < rows; i++ {
+			row := make([]any, n)
+			for c, col := range res.Data {
+				switch col.Type {
+				case lpq.Int64:
+					row[c] = col.Ints[i]
+				case lpq.Float64:
+					row[c] = col.Floats[i]
+				default:
+					row[c] = col.Strings[i]
+				}
+			}
+			resp.Rows[i] = row
+		}
+	}
+	if len(res.AggValues) > 0 {
+		resp.Aggregates = make(map[string]any, len(res.AggValues))
+		for i, label := range res.AggLabels {
+			v := res.AggValues[i]
+			switch v.Kind {
+			case sql.LitInt:
+				resp.Aggregates[label] = v.I
+			case sql.LitFloat:
+				resp.Aggregates[label] = v.F
+			default:
+				resp.Aggregates[label] = v.S
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (h *Handler) scrub(w http.ResponseWriter, r *http.Request) {
+	repair := r.URL.Query().Get("repair") == "1"
+	rep, err := h.store.Scrub(r.PathValue("name"), store.ScrubOptions{Repair: repair})
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rep)
+}
+
+// statusFor maps store errors onto HTTP codes.
+func statusFor(err error) int {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "not found"):
+		return http.StatusNotFound
+	case strings.Contains(msg, "parse error"),
+		strings.Contains(msg, "unknown column"),
+		strings.Contains(msg, "beyond object"),
+		strings.Contains(msg, "beyond the object"):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

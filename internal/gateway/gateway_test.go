@@ -1,0 +1,203 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/simnet"
+	"github.com/fusionstore/fusion/internal/store"
+)
+
+func testServer(t *testing.T) (*httptest.Server, []byte) {
+	t.Helper()
+	cl := simnet.New(simnet.DefaultConfig())
+	opts := store.FusionOptions()
+	opts.StorageBudget = 1
+	s, err := store.New(cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(s))
+	t.Cleanup(srv.Close)
+
+	w := lpq.NewWriter([]lpq.Column{
+		{Name: "k", Type: lpq.Int64},
+		{Name: "v", Type: lpq.Float64},
+		{Name: "tag", Type: lpq.String},
+	}, lpq.DefaultWriterOptions())
+	var ks []int64
+	var vs []float64
+	var tags []string
+	for i := 0; i < 2000; i++ {
+		ks = append(ks, int64(i))
+		vs = append(vs, float64(i)/4)
+		tags = append(tags, fmt.Sprintf("t%d", i%5))
+	}
+	if err := w.WriteRowGroup([]lpq.ColumnData{lpq.IntColumn(ks), lpq.FloatColumn(vs), lpq.StringColumn(tags)}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, data
+}
+
+func do(t *testing.T, method, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestGatewayLifecycle(t *testing.T) {
+	srv, object := testServer(t)
+
+	// Health.
+	resp, _ := do(t, "GET", srv.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Put.
+	resp, body := do(t, "PUT", srv.URL+"/objects/tbl", object)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put = %d: %s", resp.StatusCode, body)
+	}
+	var putInfo map[string]any
+	if err := json.Unmarshal(body, &putInfo); err != nil {
+		t.Fatal(err)
+	}
+	if putInfo["layout"] != "FAC" {
+		t.Fatalf("layout = %v", putInfo["layout"])
+	}
+
+	// Meta.
+	resp, body = do(t, "GET", srv.URL+"/objects/tbl/meta", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("meta = %d", resp.StatusCode)
+	}
+	var meta map[string]any
+	if err := json.Unmarshal(body, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta["rows"].(float64) != 2000 {
+		t.Fatalf("rows = %v", meta["rows"])
+	}
+
+	// Get (full + range).
+	resp, body = do(t, "GET", srv.URL+"/objects/tbl", nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, object) {
+		t.Fatalf("get = %d, %d bytes", resp.StatusCode, len(body))
+	}
+	resp, body = do(t, "GET", srv.URL+"/objects/tbl?offset=4&length=16", nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, object[4:20]) {
+		t.Fatalf("range get = %d", resp.StatusCode)
+	}
+
+	// Query with rows.
+	resp, body = do(t, "POST", srv.URL+"/query", []byte("SELECT k, tag FROM tbl WHERE k < 3"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query = %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RowCount != 3 || len(qr.Rows) != 3 {
+		t.Fatalf("query rows = %d/%d", qr.RowCount, len(qr.Rows))
+	}
+	if qr.Rows[0][1] != "t0" {
+		t.Fatalf("row content wrong: %v", qr.Rows[0])
+	}
+
+	// Query with aggregates.
+	resp, body = do(t, "POST", srv.URL+"/query", []byte("SELECT COUNT(*), AVG(v) FROM tbl WHERE tag = 't1'"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("agg query = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Aggregates["COUNT(*)"].(float64) != 400 {
+		t.Fatalf("COUNT(*) = %v", qr.Aggregates["COUNT(*)"])
+	}
+
+	// Scrub.
+	resp, body = do(t, "POST", srv.URL+"/scrub/tbl", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrub = %d: %s", resp.StatusCode, body)
+	}
+	var rep store.ScrubReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stripes == 0 || rep.CorruptStripes != 0 {
+		t.Fatalf("scrub report: %+v", rep)
+	}
+
+	// Delete, then 404.
+	resp, _ = do(t, "DELETE", srv.URL+"/objects/tbl", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "GET", srv.URL+"/objects/tbl", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete = %d", resp.StatusCode)
+	}
+}
+
+func TestGatewayErrors(t *testing.T) {
+	srv, object := testServer(t)
+	// Garbage object.
+	resp, _ := do(t, "PUT", srv.URL+"/objects/bad", []byte("not lpq"))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad put = %d", resp.StatusCode)
+	}
+	// Query on missing object.
+	resp, _ = do(t, "POST", srv.URL+"/query", []byte("SELECT a FROM missing"))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing query = %d", resp.StatusCode)
+	}
+	// Bad SQL.
+	do(t, "PUT", srv.URL+"/objects/tbl", object)
+	resp, body := do(t, "POST", srv.URL+"/query", []byte("SELEC nope"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad sql = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "error") {
+		t.Fatal("error body must carry a message")
+	}
+	// Empty query body.
+	resp, _ = do(t, "POST", srv.URL+"/query", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty query = %d", resp.StatusCode)
+	}
+	// Bad range params.
+	resp, _ = do(t, "GET", srv.URL+"/objects/tbl?offset=x", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad offset = %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "GET", srv.URL+"/objects/tbl?offset=999999999", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range offset = %d", resp.StatusCode)
+	}
+}

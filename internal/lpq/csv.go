@@ -1,0 +1,161 @@
+package lpq
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVOptions configure FromCSV.
+type CSVOptions struct {
+	// RowGroupRows is the number of rows per row group (default 100000).
+	RowGroupRows int
+	// Writer configures encoding; zero value = DefaultWriterOptions.
+	Writer WriterOptions
+	// Comma is the field separator (default ',').
+	Comma rune
+}
+
+// FromCSV converts CSV input (first record = header) into an lpq object,
+// inferring each column's type from its values: a column parses as Int64 if
+// every non-empty value is a base-10 integer, as Float64 if every value is
+// numeric, and as String otherwise. Empty cells become 0 / 0.0 / "".
+//
+// This is the "convert them to Parquet format" step of the paper's dataset
+// preparation (§6), available for arbitrary user data via cmd/lpq-tool.
+func FromCSV(r io.Reader, opts CSVOptions) ([]byte, error) {
+	if opts.RowGroupRows <= 0 {
+		opts.RowGroupRows = 100000
+	}
+	zero := WriterOptions{}
+	if opts.Writer == zero {
+		opts.Writer = DefaultWriterOptions()
+	}
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("lpq: reading CSV header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("lpq: empty CSV header")
+	}
+	var records [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lpq: reading CSV: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("lpq: CSV row has %d fields, header has %d", len(rec), len(header))
+		}
+		records = append(records, rec)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("lpq: CSV has no data rows")
+	}
+	types := inferTypes(header, records)
+	schema := make([]Column, len(header))
+	for i, name := range header {
+		schema[i] = Column{Name: name, Type: types[i]}
+	}
+	w := NewWriter(schema, opts.Writer)
+	for start := 0; start < len(records); start += opts.RowGroupRows {
+		end := min(start+opts.RowGroupRows, len(records))
+		cols, err := columnsFor(schema, records[start:end])
+		if err != nil {
+			return nil, err
+		}
+		if err := w.WriteRowGroup(cols); err != nil {
+			return nil, err
+		}
+	}
+	return w.Finish()
+}
+
+// inferTypes picks the narrowest type each column's values all fit.
+func inferTypes(header []string, records [][]string) []Type {
+	types := make([]Type, len(header))
+	for col := range header {
+		isInt, isFloat, any := true, true, false
+		for _, rec := range records {
+			v := rec[col]
+			if v == "" {
+				continue
+			}
+			any = true
+			if isInt {
+				if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+					isInt = false
+				}
+			}
+			if !isInt && isFloat {
+				if _, err := strconv.ParseFloat(v, 64); err != nil {
+					isFloat = false
+				}
+			}
+			if !isInt && !isFloat {
+				break
+			}
+		}
+		switch {
+		case !any:
+			types[col] = String
+		case isInt:
+			types[col] = Int64
+		case isFloat:
+			types[col] = Float64
+		default:
+			types[col] = String
+		}
+	}
+	return types
+}
+
+func columnsFor(schema []Column, records [][]string) ([]ColumnData, error) {
+	cols := make([]ColumnData, len(schema))
+	for ci, sc := range schema {
+		switch sc.Type {
+		case Int64:
+			vals := make([]int64, len(records))
+			for ri, rec := range records {
+				if rec[ci] == "" {
+					continue
+				}
+				v, err := strconv.ParseInt(rec[ci], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("lpq: column %s row %d: %w", sc.Name, ri, err)
+				}
+				vals[ri] = v
+			}
+			cols[ci] = IntColumn(vals)
+		case Float64:
+			vals := make([]float64, len(records))
+			for ri, rec := range records {
+				if rec[ci] == "" {
+					continue
+				}
+				v, err := strconv.ParseFloat(rec[ci], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lpq: column %s row %d: %w", sc.Name, ri, err)
+				}
+				vals[ri] = v
+			}
+			cols[ci] = FloatColumn(vals)
+		default:
+			vals := make([]string, len(records))
+			for ri, rec := range records {
+				vals[ri] = rec[ci]
+			}
+			cols[ci] = StringColumn(vals)
+		}
+	}
+	return cols, nil
+}

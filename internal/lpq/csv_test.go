@@ -1,0 +1,111 @@
+package lpq
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFromCSVBasic(t *testing.T) {
+	csvText := "id,price,name\n1,1.5,alpha\n2,2.25,beta\n3,3,gamma\n"
+	data, err := FromCSV(strings.NewReader(csvText), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	footer := f.Footer()
+	wantTypes := []Type{Int64, Float64, String}
+	for i, c := range footer.Columns {
+		if c.Type != wantTypes[i] {
+			t.Fatalf("column %s inferred as %v, want %v", c.Name, c.Type, wantTypes[i])
+		}
+	}
+	ids, err := f.ReadColumn(0)
+	if err != nil || !reflect.DeepEqual(ids.Ints, []int64{1, 2, 3}) {
+		t.Fatalf("ids = %v, %v", ids.Ints, err)
+	}
+	prices, _ := f.ReadColumn(1)
+	if !reflect.DeepEqual(prices.Floats, []float64{1.5, 2.25, 3}) {
+		t.Fatalf("prices = %v", prices.Floats)
+	}
+	names, _ := f.ReadColumn(2)
+	if !reflect.DeepEqual(names.Strings, []string{"alpha", "beta", "gamma"}) {
+		t.Fatalf("names = %v", names.Strings)
+	}
+}
+
+func TestFromCSVTypeFallback(t *testing.T) {
+	// A numeric-looking column with one text value must fall back to String;
+	// an int column with one decimal must fall back to Float64.
+	csvText := "a,b\n1,1\n2,2.5\nx,3\n"
+	data, err := FromCSV(strings.NewReader(csvText), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := Open(data)
+	if f.Footer().Columns[0].Type != String {
+		t.Fatalf("a = %v, want STRING", f.Footer().Columns[0].Type)
+	}
+	if f.Footer().Columns[1].Type != Float64 {
+		t.Fatalf("b = %v, want FLOAT64", f.Footer().Columns[1].Type)
+	}
+}
+
+func TestFromCSVEmptyCells(t *testing.T) {
+	csvText := "n,s\n1,\n,x\n3,y\n"
+	data, err := FromCSV(strings.NewReader(csvText), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := Open(data)
+	ns, _ := f.ReadColumn(0)
+	if !reflect.DeepEqual(ns.Ints, []int64{1, 0, 3}) {
+		t.Fatalf("empty int cell must be 0: %v", ns.Ints)
+	}
+}
+
+func TestFromCSVRowGroups(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("v\n")
+	for i := 0; i < 250; i++ {
+		sb.WriteString("7\n")
+	}
+	data, err := FromCSV(strings.NewReader(sb.String()), CSVOptions{RowGroupRows: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := Open(data)
+	if got := len(f.Footer().RowGroups); got != 3 {
+		t.Fatalf("row groups = %d, want 3 (100+100+50)", got)
+	}
+	if f.Footer().NumRows() != 250 {
+		t.Fatalf("rows = %d", f.Footer().NumRows())
+	}
+}
+
+func TestFromCSVSeparator(t *testing.T) {
+	data, err := FromCSV(strings.NewReader("a|b\n1|2\n"), CSVOptions{Comma: '|'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := Open(data)
+	if len(f.Footer().Columns) != 2 {
+		t.Fatal("separator not honored")
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	cases := []string{
+		"",         // no header
+		"a,b\n",    // no rows
+		"a,b\n1\n", // ragged row (csv reader catches this)
+	}
+	for _, c := range cases {
+		if _, err := FromCSV(strings.NewReader(c), CSVOptions{}); err == nil {
+			t.Errorf("FromCSV(%q) must fail", c)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package lpq
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"github.com/fusionstore/fusion/internal/colenc"
+	"github.com/fusionstore/fusion/internal/snappy"
+)
+
+// File is a parsed lpq file backed by an in-memory byte slice.
+type File struct {
+	data   []byte
+	footer *Footer
+}
+
+// Open parses the footer of an lpq file.
+func Open(data []byte) (*File, error) {
+	f, err := ParseFooter(data)
+	if err != nil {
+		return nil, err
+	}
+	return &File{data: data, footer: f}, nil
+}
+
+// ParseFooter extracts and decodes the footer of a complete lpq file. The
+// Fusion coordinator calls this during Put to learn chunk boundaries without
+// decoding any data (§5 "Storing Objects").
+func ParseFooter(data []byte) (*Footer, error) {
+	ml := len(Magic)
+	if len(data) < 2*ml+4 {
+		return nil, ErrFormat
+	}
+	if string(data[:ml]) != Magic || string(data[len(data)-ml:]) != Magic {
+		return nil, ErrFormat
+	}
+	d := &decBuf{b: data[len(data)-ml-4 : len(data)-ml]}
+	flen := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	end := len(data) - ml - 4
+	if flen <= 0 || flen > end-ml {
+		return nil, ErrFormat
+	}
+	return decodeFooter(data[end-flen : end])
+}
+
+// FooterSize returns the byte length of the footer region (footer bytes +
+// length word + trailing magic) of a complete file, so callers can treat
+// [data..footer) and footer separately.
+func FooterSize(data []byte) (int, error) {
+	ml := len(Magic)
+	if len(data) < 2*ml+4 {
+		return 0, ErrFormat
+	}
+	d := &decBuf{b: data[len(data)-ml-4 : len(data)-ml]}
+	flen := int(d.u32())
+	if d.err != nil {
+		return 0, d.err
+	}
+	total := flen + 4 + ml
+	if total > len(data) {
+		return 0, ErrFormat
+	}
+	return total, nil
+}
+
+// Footer returns the parsed footer.
+func (f *File) Footer() *Footer { return f.footer }
+
+// Bytes returns the raw file contents.
+func (f *File) Bytes() []byte { return f.data }
+
+// ChunkBytes returns the raw on-disk bytes of chunk (rg, col).
+func (f *File) ChunkBytes(rg, col int) ([]byte, error) {
+	if rg < 0 || rg >= len(f.footer.RowGroups) {
+		return nil, fmt.Errorf("lpq: row group %d out of range", rg)
+	}
+	chunks := f.footer.RowGroups[rg].Chunks
+	if col < 0 || col >= len(chunks) {
+		return nil, fmt.Errorf("lpq: column %d out of range", col)
+	}
+	m := chunks[col]
+	if m.Offset+m.Size > uint64(len(f.data)) {
+		return nil, ErrFormat
+	}
+	return f.data[m.Offset : m.Offset+m.Size], nil
+}
+
+// ReadChunk decodes chunk (rg, col) into column values.
+func (f *File) ReadChunk(rg, col int) (ColumnData, error) {
+	raw, err := f.ChunkBytes(rg, col)
+	if err != nil {
+		return ColumnData{}, err
+	}
+	m := f.footer.RowGroups[rg].Chunks[col]
+	return DecodeChunk(f.footer.Columns[col].Type, m, raw)
+}
+
+// ReadColumn decodes a full column across all row groups.
+func (f *File) ReadColumn(col int) (ColumnData, error) {
+	var out ColumnData
+	if col < 0 || col >= len(f.footer.Columns) {
+		return out, fmt.Errorf("lpq: column %d out of range", col)
+	}
+	out.Type = f.footer.Columns[col].Type
+	for rg := range f.footer.RowGroups {
+		c, err := f.ReadChunk(rg, col)
+		if err != nil {
+			return ColumnData{}, err
+		}
+		out.Ints = append(out.Ints, c.Ints...)
+		out.Floats = append(out.Floats, c.Floats...)
+		out.Strings = append(out.Strings, c.Strings...)
+	}
+	return out, nil
+}
+
+// DecodeChunk decodes a self-contained chunk blob given its metadata. This
+// is the entry point used by storage nodes executing pushed-down operations:
+// they hold only the chunk bytes and the metadata, never the whole file.
+func DecodeChunk(t Type, m ChunkMeta, raw []byte) (ColumnData, error) {
+	if uint64(len(raw)) != m.Size {
+		return ColumnData{}, fmt.Errorf("lpq: chunk is %d bytes, metadata says %d: %w", len(raw), m.Size, ErrFormat)
+	}
+	if crc32.ChecksumIEEE(raw) != m.CRC {
+		return ColumnData{}, fmt.Errorf("lpq: chunk checksum mismatch: %w", ErrFormat)
+	}
+	blob := raw
+	if m.Compressed {
+		var err error
+		blob, err = snappy.Decode(raw)
+		if err != nil {
+			return ColumnData{}, fmt.Errorf("lpq: chunk decompression: %w", err)
+		}
+	}
+	if len(blob) < 1 {
+		return ColumnData{}, ErrFormat
+	}
+	enc := colenc.Encoding(blob[0])
+	body := blob[1:]
+	switch enc {
+	case colenc.Plain:
+		return decodePlain(t, body, m.NumValues)
+	case colenc.Dict:
+		return decodeDict(t, body, m.NumValues)
+	default:
+		return ColumnData{}, fmt.Errorf("lpq: unknown chunk encoding %d: %w", enc, ErrFormat)
+	}
+}
+
+func decodePlain(t Type, body []byte, n int) (ColumnData, error) {
+	d := &decBuf{b: body}
+	numPages := int(d.uvarint())
+	if d.err != nil || numPages < 0 || numPages > n+1 {
+		return ColumnData{}, ErrFormat
+	}
+	out := ColumnData{Type: t}
+	total := 0
+	for p := 0; p < numPages; p++ {
+		rows := int(d.uvarint())
+		byteLen := int(d.uvarint())
+		if d.err != nil || rows <= 0 || byteLen < 0 || byteLen > len(d.b) {
+			return ColumnData{}, ErrFormat
+		}
+		page := d.b[:byteLen]
+		d.b = d.b[byteLen:]
+		switch t {
+		case Int64:
+			vals, err := colenc.GetInt64s(page, rows)
+			if err != nil {
+				return ColumnData{}, err
+			}
+			out.Ints = append(out.Ints, vals...)
+		case Float64:
+			vals, err := colenc.GetFloat64s(page, rows)
+			if err != nil {
+				return ColumnData{}, err
+			}
+			out.Floats = append(out.Floats, vals...)
+		default:
+			vals, err := colenc.GetStrings(page, rows)
+			if err != nil {
+				return ColumnData{}, err
+			}
+			out.Strings = append(out.Strings, vals...)
+		}
+		total += rows
+	}
+	if total != n {
+		return ColumnData{}, fmt.Errorf("lpq: pages hold %d rows, chunk metadata says %d: %w", total, n, ErrFormat)
+	}
+	return out, nil
+}
+
+func decodeDict(t Type, body []byte, n int) (ColumnData, error) {
+	d := &decBuf{b: body}
+	dictLen := int(d.uvarint())
+	if d.err != nil || dictLen < 0 {
+		return ColumnData{}, ErrFormat
+	}
+	out := ColumnData{Type: t}
+	maxCode := uint64(0)
+	if dictLen > 0 {
+		maxCode = uint64(dictLen - 1)
+	}
+	switch t {
+	case Int64:
+		dict, err := colenc.GetInt64s(d.b, dictLen)
+		if err != nil {
+			return ColumnData{}, err
+		}
+		d.b = d.b[8*dictLen:]
+		codes, err := readCodePages(d, n, maxCode)
+		if err != nil {
+			return ColumnData{}, err
+		}
+		out.Ints, err = colenc.ApplyDict(dict, codes)
+		return out, err
+	case Float64:
+		dict, err := colenc.GetFloat64s(d.b, dictLen)
+		if err != nil {
+			return ColumnData{}, err
+		}
+		d.b = d.b[8*dictLen:]
+		codes, err := readCodePages(d, n, maxCode)
+		if err != nil {
+			return ColumnData{}, err
+		}
+		out.Floats, err = colenc.ApplyDict(dict, codes)
+		return out, err
+	default:
+		// Strings are variable-length: the dictionary page is consumed
+		// value by value.
+		dict := make([]string, dictLen)
+		for i := 0; i < dictLen; i++ {
+			s := d.str()
+			if d.err != nil {
+				return ColumnData{}, d.err
+			}
+			dict[i] = s
+		}
+		codes, err := readCodePages(d, n, maxCode)
+		if err != nil {
+			return ColumnData{}, err
+		}
+		out.Strings, err = colenc.ApplyDict(dict, codes)
+		return out, err
+	}
+}
+
+// readCodePages decodes the data pages following a dictionary page.
+func readCodePages(d *decBuf, n int, maxCode uint64) ([]uint64, error) {
+	numPages := int(d.uvarint())
+	if d.err != nil || numPages < 0 || numPages > n+1 {
+		return nil, ErrFormat
+	}
+	out := make([]uint64, 0, n)
+	for p := 0; p < numPages; p++ {
+		rows := int(d.uvarint())
+		enc := colenc.Encoding(d.byteVal())
+		byteLen := int(d.uvarint())
+		if d.err != nil || rows <= 0 || byteLen < 0 || byteLen > len(d.b) {
+			return nil, ErrFormat
+		}
+		page := d.b[:byteLen]
+		d.b = d.b[byteLen:]
+		codes, err := colenc.DecodeCodes(enc, page, rows, maxCode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, codes...)
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("lpq: code pages hold %d rows, chunk metadata says %d: %w", len(out), n, ErrFormat)
+	}
+	return out, nil
+}

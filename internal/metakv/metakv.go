@@ -1,0 +1,209 @@
+// Package metakv is a replicated, linearizable-per-key metadata register
+// over the storage nodes, in the spirit of the ZooKeeper/etcd service the
+// paper plans to move location maps into (§5 "Metadata Management") —
+// implemented as an ABD-style majority-quorum register rather than a
+// consensus log, which is exactly enough for single-writer metadata:
+//
+//   - Put: read the highest version from a majority, write (version+1,
+//     value) to a majority. Overlapping majorities make the new version
+//     visible to every subsequent read even if a minority of replicas
+//     missed the write.
+//   - Get: read from a majority, return the highest-versioned value, and
+//     write it back to stale or empty replicas (read repair).
+//
+// Values are stored as blocks named "kv/<key>" through the ordinary node
+// block interface, so the service needs no new node-side code and inherits
+// each transport's failure semantics.
+package metakv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/rpc"
+)
+
+// ErrNoQuorum reports that fewer than a majority of replicas answered.
+var ErrNoQuorum = errors.New("metakv: no quorum")
+
+// ErrNotFound reports a key with no value at any reachable replica.
+var ErrNotFound = errors.New("metakv: key not found")
+
+// KV is a quorum register over a fixed replica set.
+type KV struct {
+	client   cluster.Client
+	replicas []int
+}
+
+// New builds a KV over the given replica node ids. The set's size fixes the
+// fault tolerance: floor((len-1)/2) replica failures.
+func New(client cluster.Client, replicas []int) (*KV, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("metakv: empty replica set")
+	}
+	seen := map[int]bool{}
+	for _, r := range replicas {
+		if r < 0 || r >= client.NumNodes() {
+			return nil, fmt.Errorf("metakv: replica %d out of range", r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("metakv: duplicate replica %d", r)
+		}
+		seen[r] = true
+	}
+	return &KV{client: client, replicas: append([]int(nil), replicas...)}, nil
+}
+
+// Majority returns the quorum size.
+func (kv *KV) Majority() int { return len(kv.replicas)/2 + 1 }
+
+func keyBlock(key string) string { return BlockID(key) }
+
+// BlockID returns the node-side block name backing a key, for tooling and
+// storage audits.
+func BlockID(key string) string { return "kv/" + key }
+
+// versioned is one replica's stored (version, value) pair. Version 0 with
+// exists=false means the replica has no value.
+type versioned struct {
+	version uint64
+	value   []byte
+	exists  bool
+	node    int
+}
+
+func encodeVersioned(version uint64, value []byte) []byte {
+	out := make([]byte, 8+len(value))
+	binary.LittleEndian.PutUint64(out, version)
+	copy(out[8:], value)
+	return out
+}
+
+func decodeVersioned(data []byte) (uint64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, errors.New("metakv: truncated register value")
+	}
+	return binary.LittleEndian.Uint64(data), data[8:], nil
+}
+
+// readPhase collects each reachable replica's current (version, value).
+func (kv *KV) readPhase(key string) ([]versioned, error) {
+	reqs := make([]*rpc.Request, len(kv.replicas))
+	for i := range kv.replicas {
+		reqs[i] = &rpc.Request{Kind: rpc.KindGetBlock, BlockID: keyBlock(key)}
+	}
+	results := cluster.Parallel(kv.client, kv.replicas, reqs)
+	var out []versioned
+	answered := 0
+	for _, r := range results {
+		if r.Err != nil {
+			continue // unreachable
+		}
+		answered++
+		if r.Resp.Err != "" {
+			// Reachable but no value: counts toward the quorum.
+			out = append(out, versioned{node: r.Node})
+			continue
+		}
+		ver, val, err := decodeVersioned(r.Resp.Data)
+		if err != nil {
+			out = append(out, versioned{node: r.Node})
+			continue
+		}
+		out = append(out, versioned{version: ver, value: val, exists: true, node: r.Node})
+	}
+	if answered < kv.Majority() {
+		return nil, fmt.Errorf("%w: %d of %d replicas answered", ErrNoQuorum, answered, len(kv.replicas))
+	}
+	return out, nil
+}
+
+// writePhase writes (version, value) to the replicas, requiring a majority
+// of acks.
+func (kv *KV) writePhase(key string, version uint64, value []byte) error {
+	payload := encodeVersioned(version, value)
+	reqs := make([]*rpc.Request, len(kv.replicas))
+	for i := range kv.replicas {
+		reqs[i] = &rpc.Request{Kind: rpc.KindPutBlock, BlockID: keyBlock(key), Data: payload}
+	}
+	results := cluster.Parallel(kv.client, kv.replicas, reqs)
+	acks := 0
+	for _, r := range results {
+		if r.Err == nil && r.Resp.Err == "" {
+			acks++
+		}
+	}
+	if acks < kv.Majority() {
+		return fmt.Errorf("%w: %d of %d replicas acked", ErrNoQuorum, acks, len(kv.replicas))
+	}
+	return nil
+}
+
+// Get returns the key's value and version, repairing stale replicas.
+func (kv *KV) Get(key string) ([]byte, uint64, error) {
+	reads, err := kv.readPhase(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	best := versioned{}
+	for _, r := range reads {
+		if r.exists && (!best.exists || r.version > best.version) {
+			best = r
+		}
+	}
+	if !best.exists {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	// Read repair: replicas below the winning version get the value back.
+	payload := encodeVersioned(best.version, best.value)
+	for _, r := range reads {
+		if !r.exists || r.version < best.version {
+			_, _ = kv.client.Call(r.node, &rpc.Request{
+				Kind: rpc.KindPutBlock, BlockID: keyBlock(key), Data: payload,
+			})
+		}
+	}
+	return best.value, best.version, nil
+}
+
+// Put stores value under key with a version above anything a majority has
+// seen, and returns the new version.
+func (kv *KV) Put(key string, value []byte) (uint64, error) {
+	reads, err := kv.readPhase(key)
+	if err != nil {
+		return 0, err
+	}
+	var maxVer uint64
+	for _, r := range reads {
+		if r.exists && r.version > maxVer {
+			maxVer = r.version
+		}
+	}
+	next := maxVer + 1
+	if err := kv.writePhase(key, next, value); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// Delete removes the key from every reachable replica (best effort beyond
+// the required majority).
+func (kv *KV) Delete(key string) error {
+	reqs := make([]*rpc.Request, len(kv.replicas))
+	for i := range kv.replicas {
+		reqs[i] = &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: keyBlock(key)}
+	}
+	results := cluster.Parallel(kv.client, kv.replicas, reqs)
+	acks := 0
+	for _, r := range results {
+		if r.Err == nil && r.Resp.Err == "" {
+			acks++
+		}
+	}
+	if acks < kv.Majority() {
+		return fmt.Errorf("%w: %d of %d replicas acked delete", ErrNoQuorum, acks, len(kv.replicas))
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package metakv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/simnet"
+)
+
+func newKV(t *testing.T, replicas ...int) (*KV, *simnet.Cluster) {
+	t.Helper()
+	cl := simnet.New(simnet.Config{Nodes: 7, ProcessRate: 1e9, NetCPURate: 1e9})
+	kv, err := New(cl, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kv, cl
+}
+
+func TestNewValidation(t *testing.T) {
+	cl := simnet.New(simnet.Config{Nodes: 3, ProcessRate: 1e9, NetCPURate: 1e9})
+	if _, err := New(cl, nil); err == nil {
+		t.Fatal("empty replica set must be rejected")
+	}
+	if _, err := New(cl, []int{0, 5}); err == nil {
+		t.Fatal("out-of-range replica must be rejected")
+	}
+	if _, err := New(cl, []int{1, 1}); err == nil {
+		t.Fatal("duplicate replica must be rejected")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	kv, _ := newKV(t, 0, 1, 2, 3, 4)
+	if kv.Majority() != 3 {
+		t.Fatalf("majority of 5 = %d", kv.Majority())
+	}
+	ver, err := kv.Put("obj", []byte("v1"))
+	if err != nil || ver != 1 {
+		t.Fatalf("Put: %d, %v", ver, err)
+	}
+	val, gotVer, err := kv.Get("obj")
+	if err != nil || !bytes.Equal(val, []byte("v1")) || gotVer != 1 {
+		t.Fatalf("Get: %q v%d, %v", val, gotVer, err)
+	}
+	// Overwrite bumps the version.
+	ver, err = kv.Put("obj", []byte("v2"))
+	if err != nil || ver != 2 {
+		t.Fatalf("second Put: %d, %v", ver, err)
+	}
+	val, _, _ = kv.Get("obj")
+	if !bytes.Equal(val, []byte("v2")) {
+		t.Fatalf("Get after overwrite: %q", val)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	kv, _ := newKV(t, 0, 1, 2)
+	if _, _, err := kv.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestSurvivesMinorityFailure(t *testing.T) {
+	kv, cl := newKV(t, 0, 1, 2, 3, 4)
+	if _, err := kv.Put("obj", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	// Two of five replicas down: still a quorum.
+	cl.SetDown(1, true)
+	cl.SetDown(3, true)
+	if _, err := kv.Put("obj", []byte("after")); err != nil {
+		t.Fatalf("Put with minority down: %v", err)
+	}
+	val, _, err := kv.Get("obj")
+	if err != nil || string(val) != "after" {
+		t.Fatalf("Get with minority down: %q, %v", val, err)
+	}
+	// Three down: no quorum.
+	cl.SetDown(4, true)
+	if _, err := kv.Put("obj", []byte("x")); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("want ErrNoQuorum, got %v", err)
+	}
+	if _, _, err := kv.Get("obj"); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("want ErrNoQuorum on read, got %v", err)
+	}
+}
+
+// TestStaleReplicaNeverWins is the linearizability core: a replica that
+// missed an update must never cause an older value to be returned, because
+// write and read majorities overlap.
+func TestStaleReplicaNeverWins(t *testing.T) {
+	kv, cl := newKV(t, 0, 1, 2, 3, 4)
+	if _, err := kv.Put("obj", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 0 and 1 miss the update.
+	cl.SetDown(0, true)
+	cl.SetDown(1, true)
+	if _, err := kv.Put("obj", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	// They come back; the nodes that took the write go away (still a
+	// majority alive: 0, 1, and one of {2,3,4}).
+	cl.SetDown(0, false)
+	cl.SetDown(1, false)
+	cl.SetDown(3, true)
+	cl.SetDown(4, true)
+	val, ver, err := kv.Get("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(val) != "new" || ver != 2 {
+		t.Fatalf("stale value won: %q v%d", val, ver)
+	}
+}
+
+func TestReadRepair(t *testing.T) {
+	kv, cl := newKV(t, 0, 1, 2)
+	if _, err := kv.Put("obj", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Wipe replica 2's copy; a Get must restore it.
+	if err := cl.Node(2).Blocks.Delete("kv/obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := kv.Get("obj"); err != nil {
+		t.Fatal(err)
+	}
+	resp := cl.Node(2).Handle(&rpc.Request{Kind: rpc.KindGetBlock, BlockID: "kv/obj"})
+	if resp.Err != "" {
+		t.Fatal("read repair must restore the wiped replica")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	kv, _ := newKV(t, 0, 1, 2)
+	if _, err := kv.Put("obj", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Delete("obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := kv.Get("obj"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound after delete, got %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	kv, _ := newKV(t, 0, 1, 2, 3, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%4)
+			for j := 0; j < 10; j++ {
+				if _, err := kv.Put(key, []byte(fmt.Sprintf("%d-%d", i, j))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := kv.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Versions must be monotone and substantial.
+	for i := 0; i < 4; i++ {
+		_, ver, err := kv.Get(fmt.Sprintf("k%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ver < 10 {
+			t.Fatalf("k%d version %d too low for 20 writes", i, ver)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package rpc defines the request/response messages exchanged between a
+// Fusion coordinator and storage nodes, shared by the simulated transport
+// (simnet) and the real TCP transport (tcpnet). Every node exposes the same
+// small service surface (§4.1: nodes are identical; any node coordinates):
+// block storage primitives plus the two pushdown operations, Filter and
+// Project.
+package rpc
+
+import (
+	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/sql"
+)
+
+// Kind identifies the operation a Request carries.
+type Kind uint8
+
+const (
+	// KindPing checks liveness.
+	KindPing Kind = iota
+	// KindPutBlock stores a named block.
+	KindPutBlock
+	// KindGetBlock reads a byte range of a block (Length 0 = whole block).
+	KindGetBlock
+	// KindDeleteBlock removes a block.
+	KindDeleteBlock
+	// KindBlockSize stats a block.
+	KindBlockSize
+	// KindFilter executes a comparison predicate on a column chunk held by
+	// the node and returns a compressed row bitmap (filter-stage pushdown).
+	KindFilter
+	// KindProject returns the chunk's values selected by a bitmap, in plain
+	// encoding (projection-stage pushdown).
+	KindProject
+	// KindAggregate computes a partial aggregate (count/sum/min/max) over
+	// the chunk rows selected by a bitmap, returning only the accumulator —
+	// the aggregate-pushdown extension the paper lists as future work (§5).
+	KindAggregate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPing:
+		return "Ping"
+	case KindPutBlock:
+		return "PutBlock"
+	case KindGetBlock:
+		return "GetBlock"
+	case KindDeleteBlock:
+		return "DeleteBlock"
+	case KindBlockSize:
+		return "BlockSize"
+	case KindFilter:
+		return "Filter"
+	case KindProject:
+		return "Project"
+	case KindAggregate:
+		return "Aggregate"
+	default:
+		return "Unknown"
+	}
+}
+
+// ChunkRef locates a column chunk inside a block on a node and carries the
+// metadata needed to decode it in place.
+type ChunkRef struct {
+	BlockID string
+	// Offset and the metadata's Size give the chunk's range in the block.
+	Offset uint64
+	Type   lpq.Type
+	Meta   lpq.ChunkMeta
+}
+
+// Request is the single message type sent to nodes.
+type Request struct {
+	Kind Kind
+
+	// Block operations.
+	BlockID string
+	Data    []byte // PutBlock payload
+	Offset  uint64 // GetBlock range start
+	Length  uint64 // GetBlock range length (0 = rest of block)
+
+	// Pushdown operations.
+	Chunk  ChunkRef
+	Op     sql.CmpOp   // Filter comparison operator
+	Value  sql.Literal // Filter literal
+	Bitmap []byte      // Project row selection (compressed bitmap)
+}
+
+// Cost reports the node-local work a request incurred, used by the
+// simulated latency model and by the CPU-utilization accounting (Fig. 14d).
+type Cost struct {
+	// DiskBytes is the number of bytes read from the node's block store.
+	DiskBytes uint64
+	// ProcBytes is the number of uncompressed bytes decoded and scanned.
+	ProcBytes uint64
+}
+
+// Add accumulates another cost.
+func (c *Cost) Add(o Cost) {
+	c.DiskBytes += o.DiskBytes
+	c.ProcBytes += o.ProcBytes
+}
+
+// Response is the single message type returned by nodes.
+type Response struct {
+	// Err is a non-empty error description on failure.
+	Err string
+	// Data carries block bytes (GetBlock), plain-encoded projected values
+	// (Project), or a compressed bitmap (Filter).
+	Data []byte
+	// Size is the block size for BlockSize.
+	Size uint64
+	// Matches is the number of selected rows (Filter/Project).
+	Matches int
+	// Agg is the partial aggregate accumulator (Aggregate).
+	Agg *sql.AggState
+	// Cost is the node-local work performed.
+	Cost Cost
+}
+
+// reqFixedOverhead approximates per-message framing/header bytes on the
+// wire, used by the simulated network accounting.
+const fixedOverhead = 64
+
+// WireSize estimates the serialized size of the request.
+func (r *Request) WireSize() uint64 {
+	n := uint64(fixedOverhead + len(r.BlockID) + len(r.Data) + len(r.Bitmap))
+	n += uint64(len(r.Chunk.BlockID) + len(r.Value.S))
+	return n
+}
+
+// WireSize estimates the serialized size of the response.
+func (r *Response) WireSize() uint64 {
+	return uint64(fixedOverhead + len(r.Err) + len(r.Data))
+}

@@ -1,0 +1,58 @@
+package rpc
+
+import (
+	"testing"
+
+	"github.com/fusionstore/fusion/internal/sql"
+)
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindPing:        "Ping",
+		KindPutBlock:    "PutBlock",
+		KindGetBlock:    "GetBlock",
+		KindDeleteBlock: "DeleteBlock",
+		KindBlockSize:   "BlockSize",
+		KindFilter:      "Filter",
+		KindProject:     "Project",
+		KindAggregate:   "Aggregate",
+		Kind(200):       "Unknown",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestWireSizeScalesWithPayload(t *testing.T) {
+	small := &Request{Kind: KindPutBlock, BlockID: "b", Data: make([]byte, 10)}
+	big := &Request{Kind: KindPutBlock, BlockID: "b", Data: make([]byte, 10000)}
+	if big.WireSize() <= small.WireSize() {
+		t.Fatal("request wire size must scale with the payload")
+	}
+	if diff := big.WireSize() - small.WireSize(); diff != 9990 {
+		t.Fatalf("payload delta must be exact, got %d", diff)
+	}
+	r1 := &Response{Data: make([]byte, 5)}
+	r2 := &Response{Data: make([]byte, 500)}
+	if r2.WireSize()-r1.WireSize() != 495 {
+		t.Fatal("response wire size must scale with the payload")
+	}
+}
+
+func TestWireSizeCountsLiteralStrings(t *testing.T) {
+	a := &Request{Kind: KindFilter, Value: sql.StringLit("x")}
+	b := &Request{Kind: KindFilter, Value: sql.StringLit("a much longer literal value")}
+	if b.WireSize() <= a.WireSize() {
+		t.Fatal("string literals must count toward wire size")
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	c := Cost{DiskBytes: 10, ProcBytes: 20}
+	c.Add(Cost{DiskBytes: 5, ProcBytes: 7})
+	if c.DiskBytes != 15 || c.ProcBytes != 27 {
+		t.Fatalf("Cost.Add wrong: %+v", c)
+	}
+}

@@ -1,0 +1,132 @@
+package simnet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/metrics"
+)
+
+// OpCost describes the cost of one operation within a query stage: where it
+// ran, how many bytes crossed the network, how many were read from disk and
+// how many uncompressed bytes were decoded/scanned.
+type OpCost struct {
+	Node      int
+	ReqBytes  uint64
+	RespBytes uint64
+	DiskBytes uint64
+	ProcBytes uint64
+	// Local marks operations executed on the coordinator itself (no
+	// network traversal).
+	Local bool
+}
+
+// LatencyModel converts the measured per-operation byte counts of a query
+// stage into a stage latency, following the structure of a real fan-out:
+// the coordinator serializes its requests out, nodes work in parallel
+// (disk read, decode+scan, reply serialization per node), and the replies
+// serialize back through the coordinator's ingress link.
+type LatencyModel struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewLatencyModel returns a model with the configuration's jitter seed.
+func NewLatencyModel(cfg Config) *LatencyModel {
+	return &LatencyModel{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// ProcessRate returns the model's decode+scan rate in bytes/sec.
+func (m *LatencyModel) ProcessRate() float64 { return m.cfg.ProcessRate }
+
+// jitter returns a multiplicative factor 1±JitterFrac.
+func (m *LatencyModel) jitter() float64 {
+	if m.cfg.JitterFrac == 0 {
+		return 1
+	}
+	m.mu.Lock()
+	u := m.rng.Float64()*2 - 1
+	m.mu.Unlock()
+	return 1 + m.cfg.JitterFrac*u
+}
+
+// StageTime computes a stage's latency and phase breakdown from its
+// operations' costs. Node-local work (disk read, decode+scan) runs in
+// parallel across nodes, so the stage pays the slowest branch; network
+// transfers serialize through the coordinator's shaped link (the fan-in
+// bottleneck, exactly what wondershaper throttles in §6), so the stage pays
+// the sum of request and reply bytes over that link plus one RTT.
+func (m *LatencyModel) StageTime(ops []OpCost) (time.Duration, metrics.Breakdown) {
+	if len(ops) == 0 {
+		return 0, metrics.Breakdown{}
+	}
+	cfg := m.cfg
+	type branch struct{ disk, proc float64 }
+	branches := make(map[int]*branch)
+	var localBranch branch
+	var coordEgress, coordIngress float64
+	remote := false
+	remoteOps := 0
+	for _, op := range ops {
+		disk := float64(op.DiskBytes) / cfg.DiskBandwidth * m.jitter()
+		proc := float64(op.ProcBytes) / cfg.ProcessRate * m.jitter()
+		if op.Local {
+			localBranch.disk += disk
+			localBranch.proc += proc
+			continue
+		}
+		remote = true
+		remoteOps++
+		b := branches[op.Node]
+		if b == nil {
+			b = &branch{}
+			branches[op.Node] = b
+		}
+		b.disk += disk
+		b.proc += proc
+		coordEgress += float64(op.ReqBytes) / cfg.NetBandwidth
+		coordIngress += float64(op.RespBytes) / cfg.NetBandwidth * m.jitter()
+	}
+	// The critical branch bounds the parallel node-local section.
+	crit := localBranch
+	for _, b := range branches {
+		if b.disk+b.proc > crit.disk+crit.proc {
+			crit = *b
+		}
+	}
+	var netTime float64
+	if remote {
+		netTime = cfg.RTT + float64(remoteOps)*cfg.RPCOverhead + coordEgress + coordIngress
+	}
+	total := crit.disk + crit.proc + netTime
+	bd := metrics.Breakdown{
+		DiskRead:   secs(crit.disk),
+		Processing: secs(crit.proc),
+		Network:    secs(netTime),
+	}
+	return secs(total), bd
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// ClientLeg returns the fixed cost of the client round trip: one RTT plus
+// the result bytes over the coordinator's link.
+func (m *LatencyModel) ClientLeg(resultBytes uint64) time.Duration {
+	return secs(m.cfg.RTT + float64(resultBytes)/m.cfg.NetBandwidth*m.jitter())
+}
+
+// LocalWork returns the time for coordinator-local processing of n
+// uncompressed bytes (result assembly, chunk decode at the coordinator).
+func (m *LatencyModel) LocalWork(procBytes uint64) time.Duration {
+	return secs(float64(procBytes) / m.cfg.ProcessRate * m.jitter())
+}
+
+// TransferTime returns the time to move n bytes through one node's link.
+func (m *LatencyModel) TransferTime(bytes uint64) time.Duration {
+	return secs(float64(bytes) / m.cfg.NetBandwidth)
+}

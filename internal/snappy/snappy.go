@@ -1,0 +1,275 @@
+// Package snappy implements the Snappy block compression format from
+// scratch, wire-compatible with the reference implementation. Fusion uses it
+// to compress column-chunk pages when writing PAX files (§2) and to compress
+// filter bitmaps before they cross the network (§5).
+//
+// The format is a little-endian uvarint with the decompressed length,
+// followed by a sequence of literal and copy elements. See
+// https://github.com/google/snappy/blob/main/format_description.txt.
+package snappy
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Element tags (low two bits of the tag byte).
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+)
+
+// Errors returned by Decode.
+var (
+	ErrCorrupt  = errors.New("snappy: corrupt input")
+	ErrTooLarge = errors.New("snappy: decoded block is too large")
+)
+
+// maxBlockSize is the largest decompressed block Decode will allocate.
+const maxBlockSize = 1 << 30
+
+// MaxEncodedLen returns an upper bound on the size of Encode's output for an
+// input of srcLen bytes (the reference implementation's bound).
+func MaxEncodedLen(srcLen int) int {
+	return 32 + srcLen + srcLen/6
+}
+
+// Encode compresses src and returns the compressed block.
+func Encode(src []byte) []byte {
+	dst := make([]byte, 0, MaxEncodedLen(len(src)))
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(src)))
+	dst = append(dst, lenBuf[:n]...)
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < minMatchInput {
+		return emitLiteral(dst, src)
+	}
+	return encodeBlock(dst, src)
+}
+
+// Inputs shorter than this cannot contain a worthwhile match.
+const (
+	minMatchInput = 16
+	minMatchLen   = 4
+	hashTableBits = 14
+	hashTableSize = 1 << hashTableBits
+)
+
+func hash4(u uint32) uint32 {
+	return (u * 0x1e35a7bd) >> (32 - hashTableBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// encodeBlock is a greedy single-pass matcher in the style of the reference
+// implementation: hash 4-byte windows, on a hit emit the pending literal and
+// extend the match as far as it goes.
+func encodeBlock(dst, src []byte) []byte {
+	var table [hashTableSize]int32
+	for i := range table {
+		table[i] = -1
+	}
+	// s is the scan position, lit the start of the pending literal run.
+	s, lit := 0, 0
+	limit := len(src) - minMatchLen
+	for s <= limit {
+		h := hash4(load32(src, s))
+		cand := int(table[h])
+		table[h] = int32(s)
+		if cand >= 0 && s-cand <= 1<<16-1 && load32(src, cand) == load32(src, s) {
+			// Emit pending literal.
+			if lit < s {
+				dst = emitLiteral(dst, src[lit:s])
+			}
+			// Extend the match.
+			matchLen := minMatchLen
+			for s+matchLen < len(src) && src[cand+matchLen] == src[s+matchLen] {
+				matchLen++
+			}
+			dst = emitCopy(dst, s-cand, matchLen)
+			s += matchLen
+			lit = s
+			// Seed the table at the end of the match so back-to-back matches
+			// are found quickly.
+			if s <= limit {
+				table[hash4(load32(src, s-1))] = int32(s - 1)
+			}
+			continue
+		}
+		s++
+	}
+	if lit < len(src) {
+		dst = emitLiteral(dst, src[lit:])
+	}
+	return dst
+}
+
+// emitLiteral appends a literal element for lit to dst.
+func emitLiteral(dst, lit []byte) []byte {
+	n := len(lit) - 1
+	switch {
+	case n < 60:
+		dst = append(dst, byte(n)<<2|tagLiteral)
+	case n < 1<<8:
+		dst = append(dst, 60<<2|tagLiteral, byte(n))
+	case n < 1<<16:
+		dst = append(dst, 61<<2|tagLiteral, byte(n), byte(n>>8))
+	case n < 1<<24:
+		dst = append(dst, 62<<2|tagLiteral, byte(n), byte(n>>8), byte(n>>16))
+	default:
+		dst = append(dst, 63<<2|tagLiteral, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return append(dst, lit...)
+}
+
+// emitCopy appends copy elements covering a match of the given length at the
+// given backwards offset (1 ≤ offset ≤ 65535).
+func emitCopy(dst []byte, offset, length int) []byte {
+	// Long matches are emitted as a run of 64-byte copy-2 elements.
+	for length >= 68 {
+		dst = append(dst, 63<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 64
+	}
+	if length > 64 {
+		// Leave at least 4 for the final element.
+		dst = append(dst, 59<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 60
+	}
+	if 4 <= length && length <= 11 && offset < 1<<11 {
+		dst = append(dst, byte(offset>>8)<<5|byte(length-4)<<2|tagCopy1, byte(offset))
+		return dst
+	}
+	return append(dst, byte(length-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+}
+
+// DecodedLen returns the declared decompressed length of a block.
+func DecodedLen(src []byte) (int, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 || v > maxBlockSize {
+		return 0, ErrCorrupt
+	}
+	return int(v), nil
+}
+
+// Decode decompresses a Snappy block produced by Encode (or any conforming
+// encoder) and returns the original bytes.
+func Decode(src []byte) ([]byte, error) {
+	declared, hdr := binary.Uvarint(src)
+	if hdr <= 0 {
+		return nil, ErrCorrupt
+	}
+	if declared > maxBlockSize {
+		return nil, ErrTooLarge
+	}
+	dst := make([]byte, declared)
+	d, s := 0, hdr
+	for s < len(src) {
+		tag := src[s]
+		switch tag & 0x03 {
+		case tagLiteral:
+			n := int(tag >> 2)
+			s++
+			switch {
+			case n < 60:
+				n++
+			case n == 60:
+				if s >= len(src) {
+					return nil, ErrCorrupt
+				}
+				n = int(src[s]) + 1
+				s++
+			case n == 61:
+				if s+1 >= len(src) {
+					return nil, ErrCorrupt
+				}
+				n = int(src[s]) | int(src[s+1])<<8
+				n++
+				s += 2
+			case n == 62:
+				if s+2 >= len(src) {
+					return nil, ErrCorrupt
+				}
+				n = int(src[s]) | int(src[s+1])<<8 | int(src[s+2])<<16
+				n++
+				s += 3
+			default: // 63
+				if s+3 >= len(src) {
+					return nil, ErrCorrupt
+				}
+				n = int(src[s]) | int(src[s+1])<<8 | int(src[s+2])<<16 | int(src[s+3])<<24
+				n++
+				s += 4
+			}
+			if n <= 0 || s+n > len(src) || d+n > len(dst) {
+				return nil, ErrCorrupt
+			}
+			copy(dst[d:], src[s:s+n])
+			s += n
+			d += n
+		case tagCopy1:
+			if s+1 >= len(src) {
+				return nil, ErrCorrupt
+			}
+			length := 4 + int(tag>>2)&0x07
+			offset := int(tag&0xe0)<<3 | int(src[s+1])
+			s += 2
+			if err := copyWithin(dst, &d, offset, length); err != nil {
+				return nil, err
+			}
+		case tagCopy2:
+			if s+2 >= len(src) {
+				return nil, ErrCorrupt
+			}
+			length := 1 + int(tag>>2)
+			offset := int(src[s+1]) | int(src[s+2])<<8
+			s += 3
+			if err := copyWithin(dst, &d, offset, length); err != nil {
+				return nil, err
+			}
+		default: // tagCopy4
+			if s+4 >= len(src) {
+				return nil, ErrCorrupt
+			}
+			length := 1 + int(tag>>2)
+			offset := int(src[s+1]) | int(src[s+2])<<8 | int(src[s+3])<<16 | int(src[s+4])<<24
+			s += 5
+			if err := copyWithin(dst, &d, offset, length); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if d != len(dst) {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}
+
+// copyWithin executes a back-reference copy, honoring the Snappy rule that
+// the copy may overlap itself (offset < length repeats the pattern).
+func copyWithin(dst []byte, d *int, offset, length int) error {
+	if offset <= 0 || offset > *d || *d+length > len(dst) {
+		return ErrCorrupt
+	}
+	pos := *d
+	src := pos - offset
+	for i := 0; i < length; i++ {
+		dst[pos+i] = dst[src+i]
+	}
+	*d = pos + length
+	return nil
+}
+
+// Ratio returns the compression ratio achieved by Encode on data — the
+// "compressibility" quantity in the paper's pushdown cost model (§4.3).
+func Ratio(data []byte) float64 {
+	if len(data) == 0 {
+		return 1
+	}
+	return float64(len(data)) / float64(len(Encode(data)))
+}

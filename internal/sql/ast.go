@@ -1,0 +1,265 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AggKind enumerates the aggregate functions (aggregate pushdown is the
+// paper's stated future work; Fusion evaluates them at the coordinator).
+type AggKind int
+
+const (
+	// AggNone means a plain column projection.
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return ""
+	}
+}
+
+// Projection is one SELECT-list item: a column, an aggregate over a column,
+// or COUNT(*).
+type Projection struct {
+	Column string // empty for COUNT(*)
+	Agg    AggKind
+	Star   bool // COUNT(*)
+}
+
+func (p Projection) String() string {
+	if p.Agg == AggNone {
+		return p.Column
+	}
+	arg := p.Column
+	if p.Star {
+		arg = "*"
+	}
+	return fmt.Sprintf("%s(%s)", p.Agg, arg)
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// LitKind is the type of a literal.
+type LitKind int
+
+const (
+	LitInt LitKind = iota
+	LitFloat
+	LitString
+)
+
+// Literal is a typed constant in a predicate.
+type Literal struct {
+	Kind LitKind
+	I    int64
+	F    float64
+	S    string
+}
+
+func (l Literal) String() string {
+	switch l.Kind {
+	case LitInt:
+		return strconv.FormatInt(l.I, 10)
+	case LitFloat:
+		return strconv.FormatFloat(l.F, 'g', -1, 64)
+	default:
+		return "'" + strings.ReplaceAll(l.S, "'", "''") + "'"
+	}
+}
+
+// AsFloat returns the numeric value of an int or float literal.
+func (l Literal) AsFloat() float64 {
+	if l.Kind == LitInt {
+		return float64(l.I)
+	}
+	return l.F
+}
+
+// IntLit, FloatLit and StringLit are Literal constructors.
+func IntLit(v int64) Literal     { return Literal{Kind: LitInt, I: v} }
+func FloatLit(v float64) Literal { return Literal{Kind: LitFloat, F: v} }
+func StringLit(s string) Literal { return Literal{Kind: LitString, S: s} }
+
+// Expr is a boolean predicate expression.
+type Expr interface {
+	fmt.Stringer
+	// Columns appends the column names the expression references.
+	Columns(dst []string) []string
+}
+
+// Compare is a column-vs-literal comparison, the predicate leaf.
+type Compare struct {
+	Column string
+	Op     CmpOp
+	Value  Literal
+}
+
+func (c *Compare) String() string {
+	return fmt.Sprintf("%s %s %s", c.Column, c.Op, c.Value)
+}
+
+// Columns implements Expr.
+func (c *Compare) Columns(dst []string) []string { return append(dst, c.Column) }
+
+// LogicalOp combines predicates.
+type LogicalOp int
+
+const (
+	OpAnd LogicalOp = iota
+	OpOr
+)
+
+func (o LogicalOp) String() string {
+	if o == OpAnd {
+		return "AND"
+	}
+	return "OR"
+}
+
+// Binary is an AND/OR of two predicates.
+type Binary struct {
+	Op   LogicalOp
+	L, R Expr
+}
+
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Columns implements Expr.
+func (b *Binary) Columns(dst []string) []string {
+	return b.R.Columns(b.L.Columns(dst))
+}
+
+// Not negates a predicate.
+type Not struct{ E Expr }
+
+func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// Columns implements Expr.
+func (n *Not) Columns(dst []string) []string { return n.E.Columns(dst) }
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	Projections []Projection
+	// Star is SELECT *.
+	Star  bool
+	Table string
+	Where Expr // nil when there is no WHERE clause
+	// Limit caps the number of returned rows; 0 means no limit.
+	Limit int
+}
+
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if q.Star {
+		sb.WriteString("*")
+	} else {
+		for i, p := range q.Projections {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.String())
+		}
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(q.Table)
+	if q.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(q.Where.String())
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String()
+}
+
+// FilterColumns returns the distinct columns referenced by the WHERE clause,
+// in first-reference order.
+func (q *Query) FilterColumns() []string {
+	if q.Where == nil {
+		return nil
+	}
+	return dedup(q.Where.Columns(nil))
+}
+
+// ProjectionColumns returns the distinct columns needed by the SELECT list
+// (excluding COUNT(*)), in first-reference order.
+func (q *Query) ProjectionColumns() []string {
+	var cols []string
+	for _, p := range q.Projections {
+		if !p.Star && p.Column != "" {
+			cols = append(cols, p.Column)
+		}
+	}
+	return dedup(cols)
+}
+
+// HasAggregates reports whether any SELECT item is an aggregate.
+func (q *Query) HasAggregates() bool {
+	for _, p := range q.Projections {
+		if p.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+func dedup(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

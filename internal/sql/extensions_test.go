@@ -1,0 +1,128 @@
+package sql
+
+import (
+	"testing"
+
+	"github.com/fusionstore/fusion/internal/bitmap"
+	"github.com/fusionstore/fusion/internal/lpq"
+)
+
+// bitmapT aliases the bitmap type for leaf signatures in tests.
+type bitmapT = bitmap.Bitmap
+
+func TestParseBetween(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM t WHERE a BETWEEN 5 AND 10")
+	and, ok := q.Where.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("BETWEEN must desugar to AND, got %v", q.Where)
+	}
+	lo := and.L.(*Compare)
+	hi := and.R.(*Compare)
+	if lo.Op != OpGe || lo.Value.I != 5 || hi.Op != OpLe || hi.Value.I != 10 {
+		t.Fatalf("BETWEEN bounds wrong: %v", q.Where)
+	}
+	// The BETWEEN-internal AND must not swallow a following boolean AND.
+	q = mustParse(t, "SELECT a FROM t WHERE a BETWEEN 5 AND 10 AND b = 1")
+	root := q.Where.(*Binary)
+	if root.Op != OpAnd {
+		t.Fatal("outer AND must remain")
+	}
+	if _, ok := root.R.(*Compare); !ok {
+		t.Fatalf("right side must be b = 1, got %v", root.R)
+	}
+}
+
+func TestParseIn(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM t WHERE tag IN ('x', 'y', 'z')")
+	// Desugars to ((tag = x OR tag = y) OR tag = z).
+	cols := q.FilterColumns()
+	if len(cols) != 1 || cols[0] != "tag" {
+		t.Fatalf("FilterColumns = %v", cols)
+	}
+	count := 0
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch node := e.(type) {
+		case *Compare:
+			if node.Op != OpEq {
+				t.Fatalf("IN must desugar to equalities, got %v", node.Op)
+			}
+			count++
+		case *Binary:
+			if node.Op != OpOr {
+				t.Fatalf("IN must desugar to ORs, got %v", node.Op)
+			}
+			walk(node.L)
+			walk(node.R)
+		}
+	}
+	walk(q.Where)
+	if count != 3 {
+		t.Fatalf("IN list must produce 3 equalities, got %d", count)
+	}
+	// Single-element IN.
+	q = mustParse(t, "SELECT a FROM t WHERE n IN (7)")
+	if cmp, ok := q.Where.(*Compare); !ok || cmp.Value.I != 7 {
+		t.Fatalf("single IN must be a bare equality: %v", q.Where)
+	}
+}
+
+func TestParseLimit(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM t WHERE a > 1 LIMIT 25")
+	if q.Limit != 25 {
+		t.Fatalf("Limit = %d", q.Limit)
+	}
+	q = mustParse(t, "SELECT a FROM t LIMIT 3")
+	if q.Limit != 3 || q.Where != nil {
+		t.Fatalf("LIMIT without WHERE: %+v", q)
+	}
+	if q.String() != "SELECT a FROM t LIMIT 3" {
+		t.Fatalf("String() = %q", q.String())
+	}
+	for _, bad := range []string{
+		"SELECT a FROM t LIMIT",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT -1",
+		"SELECT a FROM t LIMIT 1 2",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) must fail", bad)
+		}
+	}
+}
+
+func TestParseBetweenInErrors(t *testing.T) {
+	for _, bad := range []string{
+		"SELECT a FROM t WHERE a BETWEEN 5",
+		"SELECT a FROM t WHERE a BETWEEN 5 OR 10",
+		"SELECT a FROM t WHERE a IN 5",
+		"SELECT a FROM t WHERE a IN ()",
+		"SELECT a FROM t WHERE a IN (1, )",
+		"SELECT a FROM t WHERE a IN (1 2)",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) must fail", bad)
+		}
+	}
+}
+
+func TestBetweenInEvaluate(t *testing.T) {
+	col := lpq.IntColumn([]int64{1, 5, 7, 10, 12})
+	leaf := func(c *Compare) (*bitmapT, error) { return EvalCompare(c, col) }
+	q := mustParse(t, "SELECT x FROM t WHERE x BETWEEN 5 AND 10")
+	bm, err := EvalExpr(q.Where, 5, leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bm.Indexes(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("BETWEEN selected %v, want [1 2 3]", got)
+	}
+	q = mustParse(t, "SELECT x FROM t WHERE x IN (1, 12, 99)")
+	bm, err = EvalExpr(q.Where, 5, leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bm.Indexes(); len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Fatalf("IN selected %v, want [0 4]", got)
+	}
+}

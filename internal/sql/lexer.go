@@ -1,0 +1,167 @@
+// Package sql implements the SQL dialect Fusion supports (§5 "SQL
+// Support"): SELECT with projections and aggregates, FROM a single object,
+// and WHERE with comparison predicates combined by AND/OR/NOT — the same
+// surface as S3 Select. Joins are deliberately excluded, as in the paper.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // = == != <> < <= > >=
+	tokComma // ,
+	tokLParen
+	tokRParen
+	tokStar
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// keywords recognized case-insensitively.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true,
+	"BETWEEN": true, "IN": true, "LIMIT": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// ParseError describes a lexical or syntactic error with its position.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: parse error at position %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "=", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, errAt(i, "unexpected '!'")
+			}
+		case c == '<':
+			switch {
+			case i+1 < len(input) && input[i+1] == '=':
+				toks = append(toks, token{tokOp, "<=", i})
+				i += 2
+			case i+1 < len(input) && input[i+1] == '>':
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			default:
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(input) {
+					return nil, errAt(i, "unterminated string literal")
+				}
+				if input[j] == '\'' {
+					if j+1 < len(input) && input[j+1] == '\'' {
+						sb.WriteByte('\'') // escaped quote
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9':
+			j := i + 1
+			for j < len(input) && (input[j] >= '0' && input[j] <= '9' || input[j] == '.' || input[j] == 'e' || input[j] == 'E' ||
+				(input[j] == '-' || input[j] == '+') && (input[j-1] == 'e' || input[j-1] == 'E')) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			if keywords[strings.ToUpper(word)] {
+				toks = append(toks, token{tokKeyword, strings.ToUpper(word), i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, errAt(i, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

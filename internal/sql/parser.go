@@ -1,0 +1,284 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses a SELECT statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errAt(p.peek().pos, "unexpected trailing input %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return errAt(t.pos, "expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.peek().kind == tokStar {
+		p.next()
+		q.Star = true
+	} else {
+		for {
+			proj, err := p.parseProjection()
+			if err != nil {
+				return nil, err
+			}
+			q.Projections = append(q.Projections, proj)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, errAt(t.pos, "expected table name, got %q", t.text)
+	}
+	q.Table = t.text
+	if p.peek().kind == tokKeyword && p.peek().text == "WHERE" {
+		p.next()
+		where, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = where
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "LIMIT" {
+		p.next()
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, errAt(t.pos, "expected row count after LIMIT, got %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, errAt(t.pos, "bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+var aggKinds = map[string]AggKind{
+	"COUNT": AggCount, "SUM": AggSum, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+}
+
+func (p *parser) parseProjection() (Projection, error) {
+	t := p.next()
+	switch t.kind {
+	case tokKeyword:
+		agg, ok := aggKinds[t.text]
+		if !ok {
+			return Projection{}, errAt(t.pos, "unexpected keyword %q in select list", t.text)
+		}
+		if lp := p.next(); lp.kind != tokLParen {
+			return Projection{}, errAt(lp.pos, "expected ( after %s", t.text)
+		}
+		proj := Projection{Agg: agg}
+		arg := p.next()
+		switch arg.kind {
+		case tokStar:
+			if agg != AggCount {
+				return Projection{}, errAt(arg.pos, "%s(*) is not supported", agg)
+			}
+			proj.Star = true
+		case tokIdent:
+			proj.Column = arg.text
+		default:
+			return Projection{}, errAt(arg.pos, "expected column or * in %s(...)", agg)
+		}
+		if rp := p.next(); rp.kind != tokRParen {
+			return Projection{}, errAt(rp.pos, "expected ) after aggregate argument")
+		}
+		return proj, nil
+	case tokIdent:
+		return Projection{Column: t.text}, nil
+	default:
+		return Projection{}, errAt(t.pos, "expected projection, got %q", t.text)
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().text == "OR" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().text == "AND" {
+		p.next()
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if rp := p.next(); rp.kind != tokRParen {
+			return nil, errAt(rp.pos, "expected )")
+		}
+		return e, nil
+	case t.kind == tokKeyword && t.text == "NOT":
+		p.next()
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: e}, nil
+	default:
+		return p.parseCompare()
+	}
+}
+
+var cmpOps = map[string]CmpOp{
+	"=": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseCompare() (Expr, error) {
+	col := p.next()
+	if col.kind != tokIdent {
+		return nil, errAt(col.pos, "expected column name, got %q", col.text)
+	}
+	opTok := p.next()
+	switch {
+	case opTok.kind == tokKeyword && opTok.text == "BETWEEN":
+		// col BETWEEN lo AND hi desugars to (col >= lo AND col <= hi);
+		// the AND here binds to BETWEEN, not to the boolean grammar.
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{
+			Op: OpAnd,
+			L:  &Compare{Column: col.text, Op: OpGe, Value: lo},
+			R:  &Compare{Column: col.text, Op: OpLe, Value: hi},
+		}, nil
+	case opTok.kind == tokKeyword && opTok.text == "IN":
+		// col IN (a, b, ...) desugars to equality ORs.
+		if lp := p.next(); lp.kind != tokLParen {
+			return nil, errAt(lp.pos, "expected ( after IN")
+		}
+		var expr Expr
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			cmp := &Compare{Column: col.text, Op: OpEq, Value: lit}
+			if expr == nil {
+				expr = cmp
+			} else {
+				expr = &Binary{Op: OpOr, L: expr, R: cmp}
+			}
+			t := p.next()
+			if t.kind == tokRParen {
+				return expr, nil
+			}
+			if t.kind != tokComma {
+				return nil, errAt(t.pos, "expected , or ) in IN list, got %q", t.text)
+			}
+		}
+	case opTok.kind == tokOp:
+		op := cmpOps[opTok.text]
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{Column: col.text, Op: op, Value: lit}, nil
+	default:
+		return nil, errAt(opTok.pos, "expected comparison operator, BETWEEN or IN, got %q", opTok.text)
+	}
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Literal{}, errAt(t.pos, "bad number %q", t.text)
+			}
+			return FloatLit(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Literal{}, errAt(t.pos, "bad integer %q", t.text)
+		}
+		return IntLit(i), nil
+	case tokString:
+		return StringLit(t.text), nil
+	default:
+		return Literal{}, errAt(t.pos, "expected literal, got %q", t.text)
+	}
+}

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAggregatePushdownEquivalence verifies the aggregate-pushdown
+// extension returns exactly the same aggregate values as coordinator-side
+// evaluation, while moving fewer bytes.
+func TestAggregatePushdownEquivalence(t *testing.T) {
+	data, _, _ := makeObject(t, 3, 800, 91)
+	const query = "SELECT COUNT(*), SUM(price), AVG(price), MIN(qty), MAX(qty) FROM obj WHERE flag = 'A'"
+
+	plain, _ := newSimStore(t, fusionTestOptions())
+	if _, err := plain.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.AggregateRPCs != 0 {
+		t.Fatal("aggregate pushdown must be off by default")
+	}
+
+	opts := fusionTestOptions()
+	opts.AggregatePushdown = true
+	pushed, _ := newSimStore(t, opts)
+	if _, err := pushed.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pushed.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.AggregateRPCs == 0 {
+		t.Fatalf("aggregate pushdown must issue Aggregate RPCs: %+v", got.Stats)
+	}
+	if len(got.AggValues) != len(want.AggValues) {
+		t.Fatalf("aggregate count mismatch: %d vs %d", len(got.AggValues), len(want.AggValues))
+	}
+	for i := range want.AggValues {
+		w, g := want.AggValues[i], got.AggValues[i]
+		if w.Kind != g.Kind || w.I != g.I || math.Abs(w.F-g.F) > 1e-9 || w.S != g.S {
+			t.Fatalf("aggregate %s: got %v, want %v", want.AggLabels[i], g, w)
+		}
+	}
+	if got.Stats.TrafficBytes >= want.Stats.TrafficBytes {
+		t.Fatalf("aggregate pushdown must move fewer bytes: %d vs %d",
+			got.Stats.TrafficBytes, want.Stats.TrafficBytes)
+	}
+}
+
+// TestAggregatePushdownMixedProjection: a column that is both projected and
+// aggregated must be materialized once and aggregated from the local copy
+// (no double RPC), and results must match.
+func TestAggregatePushdownMixedProjection(t *testing.T) {
+	data, _, _ := makeObject(t, 2, 500, 92)
+	opts := fusionTestOptions()
+	opts.AggregatePushdown = true
+	s, _ := newSimStore(t, opts)
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query("SELECT qty, SUM(qty), MAX(comment) FROM obj WHERE qty >= 45")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, v := range res.Data[0].Ints {
+		sum += v
+	}
+	if res.AggValues[0].F != float64(sum) {
+		t.Fatalf("SUM(qty) = %v, want %d (from the projected values)", res.AggValues[0], sum)
+	}
+	if res.AggValues[1].S == "" {
+		t.Fatal("MAX(comment) must be computed")
+	}
+}
+
+// TestAggregatePushdownStringColumn covers MIN/MAX over string chunks.
+func TestAggregatePushdownStringColumn(t *testing.T) {
+	data, _, _ := makeObject(t, 2, 400, 93)
+	opts := fusionTestOptions()
+	opts.AggregatePushdown = true
+	s, _ := newSimStore(t, opts)
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Query("SELECT MIN(flag), MAX(flag) FROM obj WHERE qty < 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AggValues[0].S != "A" || got.AggValues[1].S != "R" {
+		t.Fatalf("string MIN/MAX = %v/%v, want A/R", got.AggValues[0], got.AggValues[1])
+	}
+}
+
+// TestAggregatePushdownDegraded: with the hosting node down, aggregation
+// falls back to fetch + local reduction and still succeeds.
+func TestAggregatePushdownDegraded(t *testing.T) {
+	data, _, _ := makeObject(t, 2, 400, 94)
+	opts := fusionTestOptions()
+	opts.AggregatePushdown = true
+	s, cl := newSimStore(t, opts)
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Query("SELECT SUM(price) FROM obj WHERE qty < 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetDown(4, true)
+	defer cl.SetDown(4, false)
+	got, err := s.Query("SELECT SUM(price) FROM obj WHERE qty < 25")
+	if err != nil {
+		t.Fatalf("degraded aggregate: %v", err)
+	}
+	if math.Abs(got.AggValues[0].F-want.AggValues[0].F) > 1e-9 {
+		t.Fatalf("degraded SUM = %v, want %v", got.AggValues[0], want.AggValues[0])
+	}
+}

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueries exercises the coordinator under parallel load: many
+// goroutines issuing queries and reads against the same object must all see
+// consistent results.
+func TestConcurrentQueries(t *testing.T) {
+	data, _, _ := makeObject(t, 3, 500, 77)
+	s, _ := newSimStore(t, fusionTestOptions())
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Query("SELECT id FROM obj WHERE qty < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 48)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				res, err := s.Query("SELECT id FROM obj WHERE qty < 10")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Rows != want.Rows {
+					errs <- fmt.Errorf("goroutine %d: %d rows, want %d", i, res.Rows, want.Rows)
+				}
+			case 1:
+				got, err := s.Get("obj", 100, 5000)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, data[100:5100]) {
+					errs <- fmt.Errorf("goroutine %d: Get mismatch", i)
+				}
+			default:
+				res, err := s.Query("SELECT COUNT(*) FROM obj WHERE flag = 'A'")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.AggValues[0].I == 0 {
+					errs <- fmt.Errorf("goroutine %d: empty count", i)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentPuts stores distinct objects in parallel and verifies each.
+func TestConcurrentPuts(t *testing.T) {
+	s, _ := newSimStore(t, fusionTestOptions())
+	const objects = 8
+	payloads := make([][]byte, objects)
+	var wg sync.WaitGroup
+	errs := make(chan error, objects)
+	for i := 0; i < objects; i++ {
+		data, _, _ := makeObject(t, 2, 150, int64(1000+i))
+		payloads[i] = data
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Put(fmt.Sprintf("obj-%d", i), payloads[i]); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 0; i < objects; i++ {
+		got, err := s.Get(fmt.Sprintf("obj-%d", i), 0, 0)
+		if err != nil || !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("object %d round trip failed: %v", i, err)
+		}
+	}
+}
+
+// TestRepairNodeRestoresMetaReplica verifies node repair also restores
+// metadata replicas hosted on the repaired node.
+func TestRepairNodeRestoresMetaReplica(t *testing.T) {
+	data, _, _ := makeObject(t, 2, 200, 88)
+	s, cl := newSimStore(t, fusionTestOptions())
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	victim := s.metaReplicaNodes("obj")[1]
+	node := cl.Node(victim)
+	for _, id := range node.Blocks.IDs() {
+		if err := node.Blocks.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.RepairNode("obj", victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Blocks.Size(metaBlockID("obj")); err != nil {
+		t.Fatal("meta replica must be restored after repair")
+	}
+}

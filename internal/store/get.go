@@ -1,0 +1,213 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/rpc"
+)
+
+// Get reads length bytes of the object starting at offset (length 0 = to
+// the end). Reads survive up to n−k node failures: a block on a down node
+// is rebuilt from the rest of its stripe via RS reconstruction (a degraded
+// read, §5 "Recovery and Fault Tolerance").
+func (s *Store) Get(name string, offset, length uint64) ([]byte, error) {
+	meta, err := s.Meta(name)
+	if err != nil {
+		return nil, err
+	}
+	if offset > meta.Size {
+		return nil, fmt.Errorf("store: offset %d beyond object of %d bytes", offset, meta.Size)
+	}
+	if length == 0 {
+		length = meta.Size - offset
+	}
+	if offset+length > meta.Size {
+		return nil, fmt.Errorf("store: range [%d,%d) beyond object of %d bytes", offset, offset+length, meta.Size)
+	}
+	if length == 0 {
+		return []byte{}, nil
+	}
+	if meta.Mode == LayoutFAC {
+		return s.getFAC(meta, offset, length)
+	}
+	return s.getFixed(meta, offset, length)
+}
+
+// getFAC gathers the range from the items covering it.
+func (s *Store) getFAC(meta *ObjectMeta, offset, length uint64) ([]byte, error) {
+	out := make([]byte, 0, length)
+	end := offset + length
+	for i, it := range meta.Items {
+		itEnd := it.Offset + it.Size
+		if itEnd <= offset || it.Offset >= end || it.Size == 0 {
+			continue
+		}
+		a := max(offset, it.Offset) - it.Offset // start within item
+		b := min(end, itEnd) - it.Offset        // end within item
+		loc := meta.ItemLocs[i]
+		data, err := s.readStripeRange(meta, loc.Stripe, loc.Bin, loc.BinOffset+a, b-a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	if uint64(len(out)) != length {
+		return nil, fmt.Errorf("store: assembled %d bytes, want %d", len(out), length)
+	}
+	return out, nil
+}
+
+// getFixed gathers the range from fixed blocks.
+func (s *Store) getFixed(meta *ObjectMeta, offset, length uint64) ([]byte, error) {
+	out := make([]byte, 0, length)
+	bs := meta.BlockSize
+	k := uint64(s.opts.Params.K)
+	end := offset + length
+	for pos := offset; pos < end; {
+		blockIdx := pos / bs
+		stripe := int(blockIdx / k)
+		bin := int(blockIdx % k)
+		within := pos - blockIdx*bs
+		n := min(bs-within, end-pos)
+		data, err := s.readStripeRange(meta, stripe, bin, within, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+		pos += n
+	}
+	return out, nil
+}
+
+// readStripeRange reads [off, off+length) of data block bin in a stripe,
+// reconstructing the block from the stripe's survivors when its node is
+// unreachable or its block is missing.
+func (s *Store) readStripeRange(meta *ObjectMeta, stripe, bin int, off, length uint64) ([]byte, error) {
+	st := meta.Stripes[stripe]
+	resp, err := s.client.Call(st.Nodes[bin], &rpc.Request{
+		Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[bin], Offset: off, Length: length,
+	})
+	if err == nil && resp.Err == "" {
+		return resp.Data, nil
+	}
+	// Degraded read: rebuild the whole block, then slice.
+	block, derr := s.reconstructBlock(meta, stripe, bin)
+	if derr != nil {
+		if err == nil {
+			err = errors.New(resp.Err)
+		}
+		return nil, fmt.Errorf("store: degraded read failed (direct: %v): %w", err, derr)
+	}
+	if off+length > uint64(len(block)) {
+		return nil, fmt.Errorf("store: reconstructed block is %d bytes, need [%d,%d)", len(block), off, off+length)
+	}
+	return block[off : off+length : off+length], nil
+}
+
+// reconstructBlock rebuilds one data block of a stripe from any k surviving
+// blocks and returns its unpadded bytes.
+func (s *Store) reconstructBlock(meta *ObjectMeta, stripe, bin int) ([]byte, error) {
+	p := s.opts.Params
+	st := meta.Stripes[stripe]
+	shards := make([][]byte, p.N)
+	available := 0
+	for j := 0; j < p.N && available < p.K; j++ {
+		if j == bin {
+			continue
+		}
+		resp, err := s.client.Call(st.Nodes[j], &rpc.Request{
+			Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
+		})
+		if err != nil || resp.Err != "" {
+			continue
+		}
+		shards[j] = padTo(resp.Data, st.Capacity)
+		available++
+	}
+	if available < p.K {
+		return nil, fmt.Errorf("store: only %d of %d shards available for stripe %d", available, p.K, stripe)
+	}
+	if err := s.coder.ReconstructData(shards); err != nil {
+		return nil, err
+	}
+	return shards[bin][:st.DataLens[bin]], nil
+}
+
+// RepairNode rebuilds every block an object had on the given node and
+// rewrites it there — the conventional recovery procedure run after a node
+// is replaced. Metadata replicas hosted by the node are restored too.
+func (s *Store) RepairNode(name string, node int) (int, error) {
+	meta, err := s.Meta(name)
+	if err != nil {
+		return 0, err
+	}
+	repaired := 0
+	for _, mn := range s.metaReplicaNodes(name) {
+		if mn != node {
+			continue
+		}
+		// A quorum read repairs the replica from the register's majority.
+		kv, err := s.metaKV(name)
+		if err != nil {
+			return 0, err
+		}
+		if _, _, err := kv.Get(metaKey(name)); err != nil {
+			return 0, err
+		}
+		repaired++
+	}
+	p := s.opts.Params
+	for si, st := range meta.Stripes {
+		for j, blkNode := range st.Nodes {
+			if blkNode != node {
+				continue
+			}
+			var block []byte
+			if j < p.K {
+				block, err = s.reconstructBlock(meta, si, j)
+			} else {
+				block, err = s.reconstructParity(meta, si, j)
+			}
+			if err != nil {
+				return repaired, fmt.Errorf("store: repairing stripe %d block %d: %w", si, j, err)
+			}
+			if _, err := cluster.CallChecked(s.client, node, &rpc.Request{
+				Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: block,
+			}); err != nil {
+				return repaired, err
+			}
+			repaired++
+		}
+	}
+	return repaired, nil
+}
+
+// reconstructParity rebuilds a parity block from the stripe's survivors.
+func (s *Store) reconstructParity(meta *ObjectMeta, stripe, idx int) ([]byte, error) {
+	p := s.opts.Params
+	st := meta.Stripes[stripe]
+	shards := make([][]byte, p.N)
+	available := 0
+	for j := 0; j < p.N && available < p.K; j++ {
+		if j == idx {
+			continue
+		}
+		resp, err := s.client.Call(st.Nodes[j], &rpc.Request{
+			Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
+		})
+		if err != nil || resp.Err != "" {
+			continue
+		}
+		shards[j] = padTo(resp.Data, st.Capacity)
+		available++
+	}
+	if available < p.K {
+		return nil, fmt.Errorf("store: only %d of %d shards available", available, p.K)
+	}
+	if err := s.coder.Reconstruct(shards); err != nil {
+		return nil, err
+	}
+	return shards[idx], nil
+}

@@ -1,0 +1,56 @@
+package store
+
+import "testing"
+
+func TestQueryLimit(t *testing.T) {
+	data, _, _ := makeObject(t, 2, 300, 95)
+	s, _ := newSimStore(t, fusionTestOptions())
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.Query("SELECT id FROM obj WHERE qty < 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Rows < 20 {
+		t.Skipf("need ≥20 matching rows, got %d", full.Rows)
+	}
+	limited, err := s.Query("SELECT id FROM obj WHERE qty < 25 LIMIT 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.Rows != 7 || limited.Data[0].Len() != 7 {
+		t.Fatalf("LIMIT 7 returned %d rows / %d values", limited.Rows, limited.Data[0].Len())
+	}
+	// LIMIT must return a prefix of the unlimited result.
+	for i := 0; i < 7; i++ {
+		if limited.Data[0].Ints[i] != full.Data[0].Ints[i] {
+			t.Fatalf("LIMIT result is not a prefix at %d", i)
+		}
+	}
+	// LIMIT larger than the result is a no-op.
+	big, err := s.Query("SELECT id FROM obj WHERE qty < 25 LIMIT 1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Rows != full.Rows {
+		t.Fatalf("huge LIMIT changed rows: %d vs %d", big.Rows, full.Rows)
+	}
+}
+
+func TestQueryBetweenIn(t *testing.T) {
+	data, schema, groups := makeObject(t, 2, 400, 96)
+	s, _ := newSimStore(t, fusionTestOptions())
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query("SELECT id FROM obj WHERE qty BETWEEN 10 AND 20 AND flag IN ('A', 'R')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows, _ := referenceQuery(t, schema, groups,
+		"SELECT id FROM obj WHERE qty >= 10 AND qty <= 20 AND (flag = 'A' OR flag = 'R')")
+	if res.Rows != wantRows {
+		t.Fatalf("BETWEEN/IN rows = %d, want %d", res.Rows, wantRows)
+	}
+}

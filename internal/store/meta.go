@@ -1,0 +1,223 @@
+// Package store implements the Fusion object store core (§4-5 of the
+// paper): Put with file-format-aware coding and placement, Get with
+// degraded reads, and Query with two-stage fine-grained adaptive pushdown.
+// It also implements the paper's baseline — a MinIO/Ceph-representative
+// store that erasure-codes objects into fixed blocks and reassembles column
+// chunks at the coordinator — behind the same API, selected by Options.
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"github.com/fusionstore/fusion/internal/fac"
+	"github.com/fusionstore/fusion/internal/lpq"
+)
+
+// LayoutMode records how an object was coded.
+type LayoutMode uint8
+
+const (
+	// LayoutFAC is Fusion's file-format-aware coding (variable-size bins,
+	// chunks never split).
+	LayoutFAC LayoutMode = iota
+	// LayoutFixed is conventional fixed-block striping (chunks may split).
+	LayoutFixed
+)
+
+func (m LayoutMode) String() string {
+	if m == LayoutFAC {
+		return "FAC"
+	}
+	return "FIXED"
+}
+
+// ItemKind distinguishes real column chunks from the non-computable byte
+// ranges (file header, footer) that must also be stored.
+type ItemKind uint8
+
+const (
+	// ItemChunk is a column chunk (the smallest computable unit).
+	ItemChunk ItemKind = iota
+	// ItemHeader is the file's leading magic bytes.
+	ItemHeader
+	// ItemFooter is the footer region.
+	ItemFooter
+)
+
+// Item is one packing unit of the object: a column chunk or a pseudo-extent
+// covering header/footer bytes. Items tile the object's byte range exactly.
+type Item struct {
+	Kind   ItemKind
+	Offset uint64
+	Size   uint64
+	// RG and Col identify the chunk for ItemChunk.
+	RG, Col int
+}
+
+// ItemLoc locates an item's bytes in the cluster.
+type ItemLoc struct {
+	Stripe int
+	Bin    int
+	// Offset of the item within its bin (FAC mode).
+	BinOffset uint64
+}
+
+// StripeMeta describes one stored stripe: which nodes hold its n blocks.
+type StripeMeta struct {
+	// Capacity is the logical block size (largest bin; parity blocks have
+	// exactly this size).
+	Capacity uint64
+	// Nodes[j] holds block j (0..k-1 data bins, k..n-1 parity).
+	Nodes []int
+	// BlockIDs[j] names block j on its node.
+	BlockIDs []string
+	// DataLens[j] is the stored length of data bin j (j < k); bins are
+	// stored unpadded and zero-extended to Capacity for decoding.
+	DataLens []uint64
+}
+
+// ObjectMeta is the per-object metadata Fusion keeps: the parsed footer,
+// the item layout and the chunk location map. It is replicated to k+1
+// nodes for durability (§5 "Metadata Management").
+type ObjectMeta struct {
+	Name string
+	Size uint64
+	Mode LayoutMode
+	// Version increments on each overwrite; block names embed it so an
+	// overwrite never mutates the previous version's blocks in place
+	// (updates are fresh inserts, §5).
+	Version uint64
+
+	// Footer is the object's parsed lpq footer (schema, chunk metadata).
+	Footer *lpq.Footer
+	// Items tile the object: header, chunks in file order, footer.
+	Items []Item
+	// Stripes is the stored stripe list.
+	Stripes []StripeMeta
+	// ItemLocs[i] locates Items[i] (FAC mode).
+	ItemLocs []ItemLoc
+	// BlockSize is the fixed block size (fixed mode).
+	BlockSize uint64
+}
+
+// NumChunkItems returns the number of real column-chunk items.
+func (m *ObjectMeta) NumChunkItems() int {
+	n := 0
+	for _, it := range m.Items {
+		if it.Kind == ItemChunk {
+			n++
+		}
+	}
+	return n
+}
+
+// ChunkItemIndex returns the index in Items of chunk (rg, col), or -1.
+func (m *ObjectMeta) ChunkItemIndex(rg, col int) int {
+	if m.Footer == nil {
+		return -1
+	}
+	// Items are [header, chunks in rg-major order..., footer].
+	idx := 1 + rg*len(m.Footer.Columns) + col
+	if idx >= len(m.Items) || m.Items[idx].Kind != ItemChunk ||
+		m.Items[idx].RG != rg || m.Items[idx].Col != col {
+		// Fall back to a scan (robust to future layout changes).
+		for i, it := range m.Items {
+			if it.Kind == ItemChunk && it.RG == rg && it.Col == col {
+				return i
+			}
+		}
+		return -1
+	}
+	return idx
+}
+
+// LocMapEntryBytes is the size of one chunk-location-map entry in the
+// paper's accounting: 4 bytes of chunk offset + 4 bytes of node id (§5).
+const LocMapEntryBytes = 8
+
+// LocMapBytes returns the paper-accounted size of the object's chunk
+// location map.
+func (m *ObjectMeta) LocMapBytes() int {
+	return m.NumChunkItems() * LocMapEntryBytes
+}
+
+// buildItems tiles the object into items from its parsed footer: leading
+// magic, every chunk in rg-major order, then the footer region. It verifies
+// the tiling is exact (no gaps, no overlaps).
+func buildItems(data []byte, footer *lpq.Footer) ([]Item, error) {
+	footerSize, err := lpq.FooterSize(data)
+	if err != nil {
+		return nil, err
+	}
+	items := []Item{{Kind: ItemHeader, Offset: 0, Size: uint64(len(lpq.Magic))}}
+	for rg, rgMeta := range footer.RowGroups {
+		for col, ch := range rgMeta.Chunks {
+			items = append(items, Item{Kind: ItemChunk, Offset: ch.Offset, Size: ch.Size, RG: rg, Col: col})
+		}
+	}
+	items = append(items, Item{
+		Kind:   ItemFooter,
+		Offset: uint64(len(data) - footerSize),
+		Size:   uint64(footerSize),
+	})
+	// Verify exact tiling in offset order.
+	sorted := append([]Item(nil), items...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Offset < sorted[b].Offset })
+	var pos uint64
+	for _, it := range sorted {
+		if it.Offset != pos {
+			return nil, fmt.Errorf("store: object bytes [%d,%d) not covered by footer layout", pos, it.Offset)
+		}
+		pos += it.Size
+	}
+	if pos != uint64(len(data)) {
+		return nil, fmt.Errorf("store: layout covers %d of %d object bytes", pos, len(data))
+	}
+	return items, nil
+}
+
+// itemSizes extracts the packing sizes from items.
+func itemSizes(items []Item) []uint64 {
+	sizes := make([]uint64, len(items))
+	for i, it := range items {
+		sizes[i] = it.Size
+	}
+	return sizes
+}
+
+// facLayoutToMeta converts a fac.Layout plus per-stripe node/block choices
+// into item locations.
+func facLayoutToMeta(layout fac.Layout, items []Item) []ItemLoc {
+	locs := make([]ItemLoc, len(items))
+	for si, st := range layout.Stripes {
+		for j, bin := range st.Bins {
+			var off uint64
+			for _, itemIdx := range bin {
+				locs[itemIdx] = ItemLoc{Stripe: si, Bin: j, BinOffset: off}
+				off += items[itemIdx].Size
+			}
+		}
+	}
+	return locs
+}
+
+// EncodeMeta serializes object metadata for replication to storage nodes.
+func EncodeMeta(m *ObjectMeta) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("store: encoding metadata: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMeta parses the output of EncodeMeta.
+func DecodeMeta(data []byte) (*ObjectMeta, error) {
+	var m ObjectMeta
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("store: decoding metadata: %w", err)
+	}
+	return &m, nil
+}

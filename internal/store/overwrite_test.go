@@ -1,0 +1,89 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestOverwriteIsFreshInsert: re-putting an object writes a new version
+// aside, publishes it via the metadata swap, and garbage-collects the old
+// blocks — no in-place mutation (§5: updates are fresh inserts).
+func TestOverwriteIsFreshInsert(t *testing.T) {
+	v1, _, _ := makeObject(t, 2, 200, 101)
+	v2, _, _ := makeObject(t, 3, 250, 102)
+	s, cl := newSimStore(t, fusionTestOptions())
+	if _, err := s.Put("obj", v1); err != nil {
+		t.Fatal(err)
+	}
+	meta1, _ := s.Meta("obj")
+	if meta1.Version != 0 {
+		t.Fatalf("first version = %d", meta1.Version)
+	}
+	storedAfterV1 := cl.TotalStoredBytes()
+
+	if _, err := s.Put("obj", v2); err != nil {
+		t.Fatal(err)
+	}
+	meta2, _ := s.Meta("obj")
+	if meta2.Version != 1 {
+		t.Fatalf("second version = %d", meta2.Version)
+	}
+	got, err := s.Get("obj", 0, 0)
+	if err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("overwritten object must read back as v2: %v", err)
+	}
+	// Old blocks must be gone: total storage should reflect v2 only
+	// (within the metadata replicas' size difference).
+	storedAfterV2 := cl.TotalStoredBytes()
+	if storedAfterV2 > storedAfterV1+uint64(len(v2))*2 {
+		t.Fatalf("old version not collected: %d then %d bytes", storedAfterV1, storedAfterV2)
+	}
+	for i := 0; i < cl.NumNodes(); i++ {
+		for _, id := range cl.Node(i).Blocks.IDs() {
+			if len(id) > 7 && id[:7] == "obj/v0/" {
+				t.Fatalf("stale v0 block %q survives on node %d", id, i)
+			}
+		}
+	}
+	// Queries against the new version work.
+	res, err := s.Query("SELECT id FROM obj WHERE qty < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows == 0 {
+		t.Fatal("query on overwritten object returned nothing")
+	}
+}
+
+// TestOverwriteSurvivesRepeat: many overwrites keep exactly one version.
+func TestOverwriteSurvivesRepeat(t *testing.T) {
+	s, cl := newSimStore(t, fusionTestOptions())
+	var last []byte
+	for i := 0; i < 5; i++ {
+		data, _, _ := makeObject(t, 2, 150, int64(200+i))
+		if _, err := s.Put("obj", data); err != nil {
+			t.Fatal(err)
+		}
+		last = data
+	}
+	got, err := s.Get("obj", 0, 0)
+	if err != nil || !bytes.Equal(got, last) {
+		t.Fatalf("final version wrong: %v", err)
+	}
+	meta, _ := s.Meta("obj")
+	if meta.Version != 4 {
+		t.Fatalf("version = %d, want 4", meta.Version)
+	}
+	// Exactly one version's blocks remain.
+	versions := map[string]bool{}
+	for i := 0; i < cl.NumNodes(); i++ {
+		for _, id := range cl.Node(i).Blocks.IDs() {
+			if len(id) > 4 && id[:4] == "obj/" {
+				versions[id[:7]] = true
+			}
+		}
+	}
+	if len(versions) != 1 || !versions["obj/v4/"] {
+		t.Fatalf("versions on disk: %v", versions)
+	}
+}

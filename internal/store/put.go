@@ -1,0 +1,322 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/fac"
+	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/rpc"
+)
+
+// PutStats reports how an object was stored.
+type PutStats struct {
+	// Mode is the layout actually used (FAC may fall back to fixed).
+	Mode LayoutMode
+	// FellBack reports that the FAC budget was exceeded and fixed-block
+	// coding was used instead.
+	FellBack bool
+	// LayoutTime is the stripe-construction time (the Fig. 16c numerator).
+	LayoutTime time.Duration
+	// TotalTime is the wall-clock Put duration.
+	TotalTime time.Duration
+	// StoredBytes is the total bytes persisted (data + parity).
+	StoredBytes uint64
+	// OverheadVsOptimal is the storage overhead relative to optimal.
+	OverheadVsOptimal float64
+	// Stripes is the stripe count.
+	Stripes int
+}
+
+// Put stores an lpq analytics object. Under LayoutFAC the coordinator
+// parses the object's footer, runs the stripe construction algorithm over
+// the column-chunk sizes (never splitting a chunk), erasure-codes each
+// stripe and scatters its blocks, falling back to fixed-block coding when
+// the storage budget cannot be met (§4.2, §5 "Storing Objects").
+func (s *Store) Put(name string, data []byte) (*PutStats, error) {
+	start := time.Now()
+	footer, err := lpq.ParseFooter(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s is not a valid lpq object: %w", name, err)
+	}
+	items, err := buildItems(data, footer)
+	if err != nil {
+		return nil, err
+	}
+	meta := &ObjectMeta{
+		Name:   name,
+		Size:   uint64(len(data)),
+		Footer: footer,
+		Items:  items,
+	}
+	// Overwrites are fresh inserts (§5): new blocks are written under the
+	// next version, the metadata swap publishes them, and only then is the
+	// previous version garbage-collected.
+	var prev *ObjectMeta
+	if old, err := s.Meta(name); err == nil {
+		prev = old
+		meta.Version = old.Version + 1
+	}
+	stats := &PutStats{}
+
+	mode := s.opts.Layout
+	var layout fac.Layout
+	if mode == LayoutFAC {
+		layoutStart := time.Now()
+		l, err := fac.ConstructWithBudget(s.opts.Params.N, s.opts.Params.K, itemSizes(items), s.opts.StorageBudget)
+		stats.LayoutTime = time.Since(layoutStart)
+		switch {
+		case err == nil:
+			layout = l
+		case errors.Is(err, fac.ErrBudgetExceeded):
+			mode = LayoutFixed
+			stats.FellBack = true
+		default:
+			return nil, err
+		}
+	}
+
+	meta.Mode = mode
+	if mode == LayoutFAC {
+		if err := s.putFAC(meta, data, layout, stats); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := s.putFixed(meta, data, stats); err != nil {
+			return nil, err
+		}
+	}
+	// Overhead relative to the optimal footprint size × n/k, from the bytes
+	// actually persisted (data blocks are stored unpadded in both modes;
+	// parity blocks are full-capacity).
+	optimal := float64(len(data)) * float64(s.opts.Params.N) / float64(s.opts.Params.K)
+	if optimal > 0 {
+		stats.OverheadVsOptimal = float64(stats.StoredBytes)/optimal - 1
+	}
+	stats.Mode = mode
+	stats.Stripes = len(meta.Stripes)
+
+	if err := s.replicateMeta(meta); err != nil {
+		return nil, err
+	}
+	s.cacheMeta(meta)
+	if prev != nil {
+		s.deleteBlocks(prev)
+	}
+	stats.TotalTime = time.Since(start)
+	return stats, nil
+}
+
+// putFAC encodes and stores the object under a FAC layout.
+func (s *Store) putFAC(meta *ObjectMeta, data []byte, layout fac.Layout, stats *PutStats) error {
+	p := s.opts.Params
+	meta.ItemLocs = facLayoutToMeta(layout, meta.Items)
+	for si, st := range layout.Stripes {
+		sm := StripeMeta{
+			Capacity: st.Capacity,
+			Nodes:    make([]int, p.N),
+			BlockIDs: make([]string, p.N),
+			DataLens: make([]uint64, p.K),
+		}
+		// Materialize the k data bins (concatenated chunk bytes, unpadded).
+		bins := make([][]byte, p.N)
+		for j := 0; j < p.K; j++ {
+			bin := make([]byte, 0, st.BinSizes[j])
+			for _, itemIdx := range st.Bins[j] {
+				it := meta.Items[itemIdx]
+				bin = append(bin, data[it.Offset:it.Offset+it.Size]...)
+			}
+			bins[j] = bin
+			sm.DataLens[j] = uint64(len(bin))
+		}
+		// Parity is computed over capacity-padded bins; stored blocks keep
+		// their true length (padding is implicit zeros, §4.2 Fig. 9).
+		if st.Capacity > 0 {
+			padded := make([][]byte, p.N)
+			for j := 0; j < p.K; j++ {
+				padded[j] = padTo(bins[j], st.Capacity)
+			}
+			for j := p.K; j < p.N; j++ {
+				padded[j] = make([]byte, st.Capacity)
+			}
+			if err := s.coder.Encode(padded); err != nil {
+				return fmt.Errorf("store: encoding stripe %d: %w", si, err)
+			}
+			for j := p.K; j < p.N; j++ {
+				bins[j] = padded[j]
+			}
+		} else {
+			for j := p.K; j < p.N; j++ {
+				bins[j] = []byte{}
+			}
+		}
+		if err := s.placeStripe(meta, si, bins, &sm, stats); err != nil {
+			return err
+		}
+		meta.Stripes = append(meta.Stripes, sm)
+	}
+	return nil
+}
+
+// putFixed encodes and stores the object as fixed-size blocks (the
+// conventional layout; also the FAC budget fallback).
+func (s *Store) putFixed(meta *ObjectMeta, data []byte, stats *PutStats) error {
+	p := s.opts.Params
+	bs := s.opts.FixedBlockSize
+	// Objects smaller than one full stripe shrink the block size so the
+	// object still spreads over k shards (MinIO-style), instead of paying
+	// for full-size parity blocks.
+	if perShard := (uint64(len(data)) + uint64(p.K) - 1) / uint64(p.K); perShard < bs {
+		bs = perShard
+		if bs == 0 {
+			bs = 1
+		}
+	}
+	meta.BlockSize = bs
+	fb := fac.NewFixedBlockLayout(uint64(len(data)), bs, p.K)
+	for si := 0; si < fb.NumStripes; si++ {
+		sm := StripeMeta{
+			Capacity: bs,
+			Nodes:    make([]int, p.N),
+			BlockIDs: make([]string, p.N),
+			DataLens: make([]uint64, p.K),
+		}
+		// Data blocks are stored unpadded (the tail block is short); parity
+		// is computed over blocks zero-extended to the fixed size.
+		blocks := make([][]byte, p.N)
+		for j := 0; j < p.K; j++ {
+			start := (uint64(si)*uint64(p.K) + uint64(j)) * bs
+			var blk []byte
+			if start < uint64(len(data)) {
+				end := min(start+bs, uint64(len(data)))
+				blk = data[start:end]
+			}
+			blocks[j] = blk
+			sm.DataLens[j] = uint64(len(blk))
+		}
+		padded := make([][]byte, p.N)
+		for j := 0; j < p.K; j++ {
+			padded[j] = padTo(blocks[j], bs)
+		}
+		for j := p.K; j < p.N; j++ {
+			padded[j] = make([]byte, bs)
+			blocks[j] = padded[j]
+		}
+		if err := s.coder.Encode(padded); err != nil {
+			return fmt.Errorf("store: encoding stripe %d: %w", si, err)
+		}
+		if err := s.placeStripe(meta, si, blocks, &sm, stats); err != nil {
+			return err
+		}
+		meta.Stripes = append(meta.Stripes, sm)
+	}
+	return nil
+}
+
+// placeStripe writes a stripe's n blocks to n distinct nodes, trying
+// candidates in random order and skipping nodes that refuse the write
+// (down or full) — Put succeeds as long as n healthy nodes exist.
+func (s *Store) placeStripe(meta *ObjectMeta, si int, blocks [][]byte, sm *StripeMeta, stats *PutStats) error {
+	p := s.opts.Params
+	candidates := s.nodeOrder()
+	next := 0
+	for j := 0; j < p.N; j++ {
+		id := blockID(meta.Name, meta.Version, si, j)
+		placed := false
+		for ; next < len(candidates); next++ {
+			node := candidates[next]
+			if _, err := cluster.CallChecked(s.client, node, &rpc.Request{
+				Kind: rpc.KindPutBlock, BlockID: id, Data: blocks[j],
+			}); err != nil {
+				continue // unhealthy candidate: try the next
+			}
+			sm.Nodes[j] = node
+			sm.BlockIDs[j] = id
+			stats.StoredBytes += uint64(len(blocks[j]))
+			next++
+			placed = true
+			break
+		}
+		if !placed {
+			return fmt.Errorf("store: stripe %d block %d: no healthy node left (%d candidates)", si, j, len(candidates))
+		}
+	}
+	return nil
+}
+
+func padTo(b []byte, size uint64) []byte {
+	if uint64(len(b)) == size {
+		return b
+	}
+	out := make([]byte, size)
+	copy(out, b)
+	return out
+}
+
+// replicateMeta publishes the object metadata through the k+1-replica
+// quorum register (§5): the write lands on a majority, so every subsequent
+// quorum read observes it even if a minority of replicas missed it.
+func (s *Store) replicateMeta(meta *ObjectMeta) error {
+	enc, err := EncodeMeta(meta)
+	if err != nil {
+		return err
+	}
+	kv, err := s.metaKV(meta.Name)
+	if err != nil {
+		return err
+	}
+	if _, err := kv.Put(metaKey(meta.Name), enc); err != nil {
+		return fmt.Errorf("store: publishing metadata for %q: %w", meta.Name, err)
+	}
+	return nil
+}
+
+// Meta returns the object's metadata, performing a quorum read (with read
+// repair of stale replicas) when it is not cached.
+func (s *Store) Meta(name string) (*ObjectMeta, error) {
+	if m := s.cachedMeta(name); m != nil {
+		return m, nil
+	}
+	kv, err := s.metaKV(name)
+	if err != nil {
+		return nil, err
+	}
+	enc, _, err := kv.Get(metaKey(name))
+	if err != nil {
+		return nil, fmt.Errorf("store: object %q not found: %w", name, err)
+	}
+	m, err := DecodeMeta(enc)
+	if err != nil {
+		return nil, err
+	}
+	s.cacheMeta(m)
+	return m, nil
+}
+
+// deleteBlocks removes an object version's data/parity blocks, best
+// effort: a down node's blocks are simply orphaned.
+func (s *Store) deleteBlocks(meta *ObjectMeta) {
+	for _, st := range meta.Stripes {
+		for j, id := range st.BlockIDs {
+			_, _ = s.client.Call(st.Nodes[j], &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: id})
+		}
+	}
+}
+
+// Delete removes an object's blocks and metadata replicas.
+func (s *Store) Delete(name string) error {
+	meta, err := s.Meta(name)
+	if err != nil {
+		return err
+	}
+	s.deleteBlocks(meta)
+	if kv, kerr := s.metaKV(name); kerr == nil {
+		_ = kv.Delete(metaKey(name)) // best effort; blocks are already gone
+	}
+	s.mu.Lock()
+	delete(s.objects, name)
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,804 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/bitmap"
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/metrics"
+	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/simnet"
+	"github.com/fusionstore/fusion/internal/sql"
+)
+
+// Result is a query's output: filtered column values for plain projections
+// and/or aggregate values, plus execution statistics.
+type Result struct {
+	// Columns and Data are the plain (non-aggregate) projections.
+	Columns []string
+	Data    []lpq.ColumnData
+	// AggLabels and AggValues are the aggregate projections.
+	AggLabels []string
+	AggValues []sql.Literal
+	// Rows is the number of rows selected by the WHERE clause.
+	Rows int
+	// Stats describes how the query executed.
+	Stats QueryStats
+}
+
+// QueryStats reports a query's execution profile.
+type QueryStats struct {
+	// Wall is the measured wall-clock time.
+	Wall time.Duration
+	// Sim is the simulated latency sample (zero when no cost model is
+	// configured).
+	Sim metrics.LatencySample
+	// TrafficBytes is the network traffic this query generated.
+	TrafficBytes uint64
+	// FilterRPCs, ProjectRPCs, AggregateRPCs and FetchRPCs count remote
+	// operations.
+	FilterRPCs, ProjectRPCs, AggregateRPCs, FetchRPCs int
+	// PushdownOn/PushdownOff count the cost model's per-chunk decisions.
+	PushdownOn, PushdownOff int
+	// PrunedRowGroups counts row groups skipped via footer statistics.
+	PrunedRowGroups int
+	// Selectivity is the measured fraction of rows selected.
+	Selectivity float64
+}
+
+// execState accumulates per-stage operation costs during one query.
+type execState struct {
+	store *Store
+	meta  *ObjectMeta
+	stats QueryStats
+	stage [2][]simnet.OpCost
+	coord int
+	nowSt int // current stage index
+}
+
+func (e *execState) addOp(op simnet.OpCost) {
+	e.stage[e.nowSt] = append(e.stage[e.nowSt], op)
+	if !op.Local {
+		e.stats.TrafficBytes += op.ReqBytes + op.RespBytes
+	}
+}
+
+// chargeCoordCPU adds coordinator-side processing to the cluster's CPU
+// accounting when the transport supports it (simnet).
+func (e *execState) chargeCoordCPU(procBytes uint64) {
+	acc, ok := e.store.client.(interface{ AddCPU(int, float64) })
+	if !ok {
+		return
+	}
+	rate := 6.0e9 // matches simnet.DefaultConfig().ProcessRate
+	if m := e.store.opts.Model; m != nil {
+		rate = m.ProcessRate()
+	}
+	acc.AddCPU(e.coord, float64(procBytes)/rate)
+}
+
+// Query parses and executes a SELECT statement; the FROM clause names the
+// object. Execution follows §4.3/§5: a filter stage that pushes comparisons
+// to the nodes hosting the relevant column chunks (after footer-based row
+// group pruning), bitmap consolidation at the coordinator, then a
+// projection stage with per-chunk cost-based pushdown. Under the baseline
+// configuration the needed chunks are instead fetched (and reassembled
+// across nodes when split) and processed at the coordinator.
+func (s *Store) Query(query string) (*Result, error) {
+	start := time.Now()
+	q, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := s.Meta(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	st := &execState{store: s, meta: meta, coord: s.CoordinatorFor(q.Table)}
+
+	// Resolve the SELECT list.
+	if q.Star {
+		for _, c := range meta.Footer.Columns {
+			q.Projections = append(q.Projections, sql.Projection{Column: c.Name})
+		}
+	}
+	colIdx := make(map[string]int, len(meta.Footer.Columns))
+	for i, c := range meta.Footer.Columns {
+		colIdx[c.Name] = i
+	}
+	check := func(names []string) error {
+		for _, n := range names {
+			if _, ok := colIdx[n]; !ok {
+				return fmt.Errorf("store: unknown column %q in object %q", n, q.Table)
+			}
+		}
+		return nil
+	}
+	if err := check(q.FilterColumns()); err != nil {
+		return nil, err
+	}
+	if err := check(q.ProjectionColumns()); err != nil {
+		return nil, err
+	}
+
+	// Stage 1: filter. Produces one bitmap per surviving row group.
+	st.nowSt = 0
+	rgBitmaps, err := s.filterStage(st, q, colIdx)
+	if err != nil {
+		return nil, err
+	}
+	selected := 0
+	for _, bm := range rgBitmaps {
+		if bm != nil {
+			selected += bm.Count()
+		}
+	}
+	// Pruned row groups still count toward total rows.
+	total := meta.Footer.NumRows()
+	if total > 0 {
+		st.stats.Selectivity = float64(selected) / float64(total)
+	}
+
+	// Stage 2: projection.
+	st.nowSt = 1
+	res, err := s.projectionStage(st, q, colIdx, rgBitmaps)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = selected
+	if q.Limit > 0 {
+		truncateResult(res, q.Limit)
+	}
+	st.stats.Wall = time.Since(start)
+	if m := s.opts.Model; m != nil {
+		t1, b1 := m.StageTime(st.stage[0])
+		t2, b2 := m.StageTime(st.stage[1])
+		b1.Add(b2)
+		// Client leg: the query arrives at and its result leaves the
+		// coordinator over the network (the paper's dedicated client node,
+		// §6), so every query pays at least one RTT plus the result
+		// transfer.
+		client := m.ClientLeg(resultWireBytes(res))
+		b1.Network += client
+		st.stats.Sim = metrics.LatencySample{Total: t1 + t2 + client, Phase: b1}
+	}
+	res.Stats = st.stats
+	return res, nil
+}
+
+// rgVerdict folds chunk statistics through the predicate tree, yielding a
+// tri-state verdict for a whole row group.
+func rgVerdict(e sql.Expr, footer *lpq.Footer, colIdx map[string]int, rg int) sql.StatsVerdict {
+	switch node := e.(type) {
+	case *sql.Compare:
+		ci := colIdx[node.Column]
+		ch := footer.RowGroups[rg].Chunks[ci]
+		return sql.CheckStats(node, footer.Columns[ci].Type, ch.Stats)
+	case *sql.Binary:
+		l := rgVerdict(node.L, footer, colIdx, rg)
+		r := rgVerdict(node.R, footer, colIdx, rg)
+		if node.Op == sql.OpAnd {
+			if l == sql.StatsNone || r == sql.StatsNone {
+				return sql.StatsNone
+			}
+			if l == sql.StatsAll && r == sql.StatsAll {
+				return sql.StatsAll
+			}
+			return sql.StatsUnknown
+		}
+		if l == sql.StatsAll || r == sql.StatsAll {
+			return sql.StatsAll
+		}
+		if l == sql.StatsNone && r == sql.StatsNone {
+			return sql.StatsNone
+		}
+		return sql.StatsUnknown
+	case *sql.Not:
+		switch rgVerdict(node.E, footer, colIdx, rg) {
+		case sql.StatsAll:
+			return sql.StatsNone
+		case sql.StatsNone:
+			return sql.StatsAll
+		default:
+			return sql.StatsUnknown
+		}
+	default:
+		return sql.StatsUnknown
+	}
+}
+
+// filterStage computes the selection bitmap of every row group. A nil entry
+// means the row group was pruned (provably empty).
+func (s *Store) filterStage(st *execState, q *sql.Query, colIdx map[string]int) (map[int]*bitmap.Bitmap, error) {
+	meta := st.meta
+	out := make(map[int]*bitmap.Bitmap, len(meta.Footer.RowGroups))
+	for rg, rgMeta := range meta.Footer.RowGroups {
+		if q.Where == nil {
+			out[rg] = bitmap.NewFull(rgMeta.NumRows)
+			continue
+		}
+		switch rgVerdict(q.Where, meta.Footer, colIdx, rg) {
+		case sql.StatsNone:
+			out[rg] = nil
+			st.stats.PrunedRowGroups++
+			continue
+		case sql.StatsAll:
+			out[rg] = bitmap.NewFull(rgMeta.NumRows)
+			continue
+		}
+		bm, err := s.rowGroupFilter(st, q, colIdx, rg)
+		if err != nil {
+			return nil, err
+		}
+		if bm.Count() == 0 {
+			out[rg] = nil // empty after exact filtering: skip projection
+		} else {
+			out[rg] = bm
+		}
+	}
+	return out, nil
+}
+
+// rowGroupFilter evaluates the WHERE tree for one row group, pushing each
+// leaf comparison to the node hosting its column chunk when possible.
+func (s *Store) rowGroupFilter(st *execState, q *sql.Query, colIdx map[string]int, rg int) (*bitmap.Bitmap, error) {
+	meta := st.meta
+	rgMeta := meta.Footer.RowGroups[rg]
+	nRows := rgMeta.NumRows
+	leaf := func(c *sql.Compare) (*bitmap.Bitmap, error) {
+		ci := colIdx[c.Column]
+		ch := rgMeta.Chunks[ci]
+		colType := meta.Footer.Columns[ci].Type
+		// Chunk-level stats shortcut (no I/O at all).
+		switch sql.CheckStats(c, colType, ch.Stats) {
+		case sql.StatsNone:
+			return bitmap.New(nRows), nil
+		case sql.StatsAll:
+			return bitmap.NewFull(nRows), nil
+		}
+		if s.opts.Exec == ExecPushdown && meta.Mode == LayoutFAC {
+			bm, err := s.pushdownFilter(st, c, colType, rg, ci, ch)
+			if err == nil {
+				return bm, nil
+			}
+			// Pushdown failed (e.g. node down): fall through to fetching.
+		}
+		col, err := s.fetchChunkColumn(st, rg, ci)
+		if err != nil {
+			return nil, err
+		}
+		st.chargeCoordCPU(ch.RawSize)
+		return sql.EvalCompare(c, col)
+	}
+	return sql.EvalExpr(q.Where, nRows, leaf)
+}
+
+// pushdownFilter sends one comparison to the node hosting the chunk.
+func (s *Store) pushdownFilter(st *execState, c *sql.Compare, colType lpq.Type, rg, ci int, ch lpq.ChunkMeta) (*bitmap.Bitmap, error) {
+	meta := st.meta
+	itemIdx := meta.ChunkItemIndex(rg, ci)
+	if itemIdx < 0 {
+		return nil, fmt.Errorf("store: chunk (%d,%d) has no item", rg, ci)
+	}
+	loc := meta.ItemLocs[itemIdx]
+	stripe := meta.Stripes[loc.Stripe]
+	node := stripe.Nodes[loc.Bin]
+	req := &rpc.Request{
+		Kind: rpc.KindFilter,
+		Chunk: rpc.ChunkRef{
+			BlockID: stripe.BlockIDs[loc.Bin],
+			Offset:  loc.BinOffset,
+			Type:    colType,
+			Meta:    ch,
+		},
+		Op:    c.Op,
+		Value: c.Value,
+	}
+	resp, err := cluster.CallChecked(s.client, node, req)
+	if err != nil {
+		return nil, err
+	}
+	st.stats.FilterRPCs++
+	st.addOp(simnet.OpCost{
+		Node:      node,
+		ReqBytes:  req.WireSize(),
+		RespBytes: resp.WireSize(),
+		DiskBytes: resp.Cost.DiskBytes,
+		ProcBytes: resp.Cost.ProcBytes,
+	})
+	return bitmap.Unmarshal(resp.Data)
+}
+
+// fetchChunkColumn brings a chunk's bytes to the coordinator (reassembling
+// across blocks/nodes when split) and decodes it locally. This is the
+// baseline's only path and Fusion's fallback when the cost model disables
+// pushdown. A checksum failure (bit rot on the hosting node) triggers a
+// second fetch that reconstructs the chunk's blocks from stripe parity.
+func (s *Store) fetchChunkColumn(st *execState, rg, ci int) (lpq.ColumnData, error) {
+	raw, err := s.fetchChunkBytes(st, rg, ci)
+	if err != nil {
+		return lpq.ColumnData{}, err
+	}
+	meta := st.meta
+	ch := meta.Footer.RowGroups[rg].Chunks[ci]
+	st.addOp(simnet.OpCost{Local: true, ProcBytes: ch.RawSize})
+	col, err := lpq.DecodeChunk(meta.Footer.Columns[ci].Type, ch, raw)
+	if err == nil {
+		return col, nil
+	}
+	// Corrupt on-disk copy: rebuild from the stripe's survivors.
+	raw, rerr := s.reconstructChunkBytes(st, rg, ci)
+	if rerr != nil {
+		return lpq.ColumnData{}, fmt.Errorf("store: chunk (%d,%d) corrupt (%v) and unreconstructable: %w", rg, ci, err, rerr)
+	}
+	st.addOp(simnet.OpCost{Local: true, ProcBytes: ch.RawSize})
+	return lpq.DecodeChunk(meta.Footer.Columns[ci].Type, ch, raw)
+}
+
+// reconstructChunkBytes rebuilds a chunk's bytes via RS reconstruction,
+// bypassing the (possibly corrupt) stored copies of the blocks that hold it.
+func (s *Store) reconstructChunkBytes(st *execState, rg, ci int) ([]byte, error) {
+	meta := st.meta
+	ch := meta.Footer.RowGroups[rg].Chunks[ci]
+	if meta.Mode == LayoutFAC {
+		itemIdx := meta.ChunkItemIndex(rg, ci)
+		loc := meta.ItemLocs[itemIdx]
+		block, err := s.reconstructBlock(meta, loc.Stripe, loc.Bin)
+		if err != nil {
+			return nil, err
+		}
+		if loc.BinOffset+ch.Size > uint64(len(block)) {
+			return nil, fmt.Errorf("store: reconstructed block too short")
+		}
+		s.accountReconstruct(st, meta, loc.Stripe)
+		return block[loc.BinOffset : loc.BinOffset+ch.Size], nil
+	}
+	// Fixed layout: the chunk spans blocks, and the chunk-level CRC cannot
+	// say which stored block carries the corruption. Rebuilding a block via
+	// RS with a silently-corrupt sibling as a source would itself produce
+	// garbage, so each covering block is treated as the suspect in turn:
+	// only it is rebuilt from the stripe's other blocks, the rest are used
+	// as stored, and the first assembly whose chunk CRC verifies wins.
+	bs := meta.BlockSize
+	k := uint64(s.opts.Params.K)
+	type span struct {
+		stripe, bin int
+		within, n   uint64
+	}
+	var spans []span
+	end := ch.Offset + ch.Size
+	for pos := ch.Offset; pos < end; {
+		blockIdx := pos / bs
+		within := pos - blockIdx*bs
+		n := min(bs-within, end-pos)
+		spans = append(spans, span{
+			stripe: int(blockIdx / k),
+			bin:    int(blockIdx % k),
+			within: within,
+			n:      n,
+		})
+		pos += n
+	}
+	stored := make([][]byte, len(spans))
+	for i, sp := range spans {
+		sm := meta.Stripes[sp.stripe]
+		resp, err := s.client.Call(sm.Nodes[sp.bin], &rpc.Request{
+			Kind: rpc.KindGetBlock, BlockID: sm.BlockIDs[sp.bin],
+		})
+		if err == nil && resp.Err == "" {
+			stored[i] = resp.Data
+		}
+	}
+	for suspect := range spans {
+		out := make([]byte, 0, ch.Size)
+		ok := true
+		for i, sp := range spans {
+			var block []byte
+			if i == suspect || stored[i] == nil {
+				rebuilt, err := s.reconstructBlock(meta, sp.stripe, sp.bin)
+				if err != nil {
+					ok = false
+					break
+				}
+				s.accountReconstruct(st, meta, sp.stripe)
+				block = rebuilt
+			} else {
+				block = stored[i]
+			}
+			if sp.within+sp.n > uint64(len(block)) {
+				ok = false
+				break
+			}
+			out = append(out, block[sp.within:sp.within+sp.n]...)
+		}
+		if !ok {
+			continue
+		}
+		if crc32.ChecksumIEEE(out) == ch.CRC {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("store: chunk (%d,%d): no single-block repair restores its checksum", rg, ci)
+}
+
+// accountReconstruct charges the cost of reading a whole stripe for
+// reconstruction (k blocks over the network).
+func (s *Store) accountReconstruct(st *execState, meta *ObjectMeta, stripe int) {
+	sm := meta.Stripes[stripe]
+	for j := 0; j < s.opts.Params.K && j < len(sm.Nodes); j++ {
+		st.addOp(simnet.OpCost{
+			Node:      sm.Nodes[j],
+			ReqBytes:  rpcOverhead,
+			RespBytes: sm.Capacity + rpcOverhead,
+			DiskBytes: sm.Capacity,
+		})
+	}
+}
+
+// fetchChunkBytes reads the chunk's on-disk bytes from wherever they live.
+func (s *Store) fetchChunkBytes(st *execState, rg, ci int) ([]byte, error) {
+	meta := st.meta
+	ch := meta.Footer.RowGroups[rg].Chunks[ci]
+	if meta.Mode == LayoutFAC {
+		itemIdx := meta.ChunkItemIndex(rg, ci)
+		loc := meta.ItemLocs[itemIdx]
+		stripe := meta.Stripes[loc.Stripe]
+		node := stripe.Nodes[loc.Bin]
+		data, err := s.readStripeRange(meta, loc.Stripe, loc.Bin, loc.BinOffset, ch.Size)
+		if err != nil {
+			return nil, err
+		}
+		st.stats.FetchRPCs++
+		st.addOp(simnet.OpCost{
+			Node:      node,
+			ReqBytes:  rpcOverhead,
+			RespBytes: uint64(len(data)) + rpcOverhead,
+			DiskBytes: uint64(len(data)),
+		})
+		return data, nil
+	}
+	// Fixed layout: the chunk may span multiple blocks on multiple nodes
+	// (§3.1) — the reassembly the paper identifies as the bottleneck.
+	bs := meta.BlockSize
+	k := uint64(s.opts.Params.K)
+	out := make([]byte, 0, ch.Size)
+	end := ch.Offset + ch.Size
+	for pos := ch.Offset; pos < end; {
+		blockIdx := pos / bs
+		stripe := int(blockIdx / k)
+		bin := int(blockIdx % k)
+		within := pos - blockIdx*bs
+		n := min(bs-within, end-pos)
+		data, err := s.readStripeRange(meta, stripe, bin, within, n)
+		if err != nil {
+			return nil, err
+		}
+		node := meta.Stripes[stripe].Nodes[bin]
+		st.stats.FetchRPCs++
+		st.addOp(simnet.OpCost{
+			Node:      node,
+			ReqBytes:  rpcOverhead,
+			RespBytes: uint64(len(data)) + rpcOverhead,
+			DiskBytes: uint64(len(data)),
+		})
+		out = append(out, data...)
+		pos += n
+	}
+	return out, nil
+}
+
+const rpcOverhead = 64
+
+// ChunkNodeSpan returns how many distinct nodes hold parts of chunk
+// (rg, ci) — 1 under FAC; possibly several under fixed blocks (Fig. 12).
+func (s *Store) ChunkNodeSpan(name string, rg, ci int) (int, error) {
+	meta, err := s.Meta(name)
+	if err != nil {
+		return 0, err
+	}
+	ch := meta.Footer.RowGroups[rg].Chunks[ci]
+	if meta.Mode == LayoutFAC {
+		return 1, nil
+	}
+	bs := meta.BlockSize
+	k := uint64(s.opts.Params.K)
+	nodes := make(map[int]bool)
+	end := ch.Offset + ch.Size
+	if ch.Size == 0 {
+		return 1, nil
+	}
+	for pos := ch.Offset; pos < end; {
+		blockIdx := pos / bs
+		stripe := int(blockIdx / k)
+		bin := int(blockIdx % k)
+		nodes[meta.Stripes[stripe].Nodes[bin]] = true
+		next := (blockIdx + 1) * bs
+		if next > end {
+			next = end
+		}
+		pos = next
+	}
+	return len(nodes), nil
+}
+
+// projectionStage materializes the SELECT list over the filtered rows.
+func (s *Store) projectionStage(st *execState, q *sql.Query, colIdx map[string]int, rgBitmaps map[int]*bitmap.Bitmap) (*Result, error) {
+	meta := st.meta
+	res := &Result{}
+
+	// Plain projected columns (in SELECT order, deduplicated).
+	plainCols := make([]string, 0, len(q.Projections))
+	seen := map[string]bool{}
+	for _, p := range q.Projections {
+		if p.Agg == sql.AggNone && !seen[p.Column] {
+			seen[p.Column] = true
+			plainCols = append(plainCols, p.Column)
+		}
+	}
+	// Aggregate accumulators.
+	type aggWork struct {
+		proj  sql.Projection
+		state *sql.AggState
+	}
+	var aggs []aggWork
+	for _, p := range q.Projections {
+		if p.Agg != sql.AggNone {
+			aggs = append(aggs, aggWork{proj: p, state: sql.NewAggState(p.Agg)})
+		}
+	}
+	// Columns whose selected values must be materialized per row group.
+	// Aggregate-only columns are excluded when aggregate pushdown applies:
+	// their chunks are reduced in-situ instead.
+	aggPush := s.opts.AggregatePushdown && s.opts.Exec == ExecPushdown && meta.Mode == LayoutFAC
+	aggOnly := map[string]bool{}
+	needCols := append([]string(nil), plainCols...)
+	for _, a := range aggs {
+		if a.proj.Star || seen[a.proj.Column] {
+			continue
+		}
+		if aggPush {
+			aggOnly[a.proj.Column] = true
+		} else {
+			needCols = append(needCols, a.proj.Column)
+		}
+	}
+	needCols = dedupStrings(needCols)
+
+	colData := make(map[string]*lpq.ColumnData, len(needCols))
+	for _, name := range needCols {
+		ci := colIdx[name]
+		colData[name] = &lpq.ColumnData{Type: meta.Footer.Columns[ci].Type}
+	}
+
+	for rg := range meta.Footer.RowGroups {
+		bm := rgBitmaps[rg]
+		if bm == nil || bm.Count() == 0 {
+			continue
+		}
+		sel := bm.Selectivity()
+		for _, name := range needCols {
+			ci := colIdx[name]
+			ch := meta.Footer.RowGroups[rg].Chunks[ci]
+			vals, err := s.projectChunk(st, rg, ci, ch, bm, sel)
+			if err != nil {
+				return nil, err
+			}
+			if err := cluster.AppendColumn(colData[name], vals); err != nil {
+				return nil, err
+			}
+		}
+		for name := range aggOnly {
+			ci := colIdx[name]
+			ch := meta.Footer.RowGroups[rg].Chunks[ci]
+			partial, err := s.aggregateChunk(st, rg, ci, ch, bm)
+			if err != nil {
+				return nil, err
+			}
+			for i := range aggs {
+				if !aggs[i].proj.Star && aggs[i].proj.Column == name {
+					aggs[i].state.Merge(partial)
+				}
+			}
+		}
+		for i := range aggs {
+			if aggs[i].proj.Star {
+				aggs[i].state.AddCount(bm.Count())
+			}
+		}
+	}
+	// Fold the remaining aggregates over the materialized values.
+	for i := range aggs {
+		if aggs[i].proj.Star || aggOnly[aggs[i].proj.Column] {
+			continue
+		}
+		col := colData[aggs[i].proj.Column]
+		full := bitmap.NewFull(col.Len())
+		aggs[i].state.AddColumn(*col, full)
+	}
+
+	for _, name := range plainCols {
+		res.Columns = append(res.Columns, name)
+		res.Data = append(res.Data, *colData[name])
+	}
+	for _, a := range aggs {
+		res.AggLabels = append(res.AggLabels, a.proj.String())
+		res.AggValues = append(res.AggValues, a.state.Result())
+	}
+	return res, nil
+}
+
+// projectChunk returns the selected values of one chunk, deciding per chunk
+// whether to push the projection down or fetch the compressed chunk,
+// according to the Cost Equation (§4.3): push down iff
+// selectivity × compressibility < 1.
+func (s *Store) projectChunk(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *bitmap.Bitmap, sel float64) (lpq.ColumnData, error) {
+	meta := st.meta
+	pushdownPossible := s.opts.Exec == ExecPushdown && meta.Mode == LayoutFAC
+	push := false
+	if pushdownPossible {
+		switch s.opts.Pushdown {
+		case PushdownAlways:
+			push = true
+		case PushdownNever:
+			push = false
+		default:
+			push = sel*ch.Compressibility() < 1
+		}
+	}
+	if push {
+		vals, err := s.pushdownProject(st, rg, ci, ch, bm)
+		if err == nil {
+			st.stats.PushdownOn++
+			return vals, nil
+		}
+		// Node down or similar: fall back to fetching.
+	}
+	if pushdownPossible {
+		st.stats.PushdownOff++
+	}
+	col, err := s.fetchChunkColumn(st, rg, ci)
+	if err != nil {
+		return lpq.ColumnData{}, err
+	}
+	if col.Len() != bm.Len() {
+		return lpq.ColumnData{}, fmt.Errorf("store: chunk (%d,%d) has %d rows, bitmap %d", rg, ci, col.Len(), bm.Len())
+	}
+	return cluster.SelectRows(col, bm), nil
+}
+
+// aggregateChunk reduces one chunk's selected rows to a partial aggregate,
+// in-situ on the hosting node when possible, locally otherwise.
+func (s *Store) aggregateChunk(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *bitmap.Bitmap) (*sql.AggState, error) {
+	meta := st.meta
+	if itemIdx := meta.ChunkItemIndex(rg, ci); itemIdx >= 0 && meta.Mode == LayoutFAC {
+		loc := meta.ItemLocs[itemIdx]
+		stripe := meta.Stripes[loc.Stripe]
+		node := stripe.Nodes[loc.Bin]
+		req := &rpc.Request{
+			Kind: rpc.KindAggregate,
+			Chunk: rpc.ChunkRef{
+				BlockID: stripe.BlockIDs[loc.Bin],
+				Offset:  loc.BinOffset,
+				Type:    meta.Footer.Columns[ci].Type,
+				Meta:    ch,
+			},
+			Bitmap: bm.Marshal(),
+		}
+		resp, err := cluster.CallChecked(s.client, node, req)
+		if err == nil && resp.Agg != nil {
+			st.stats.AggregateRPCs++
+			st.addOp(simnet.OpCost{
+				Node:      node,
+				ReqBytes:  req.WireSize(),
+				RespBytes: resp.WireSize() + 64, // accumulator payload
+				DiskBytes: resp.Cost.DiskBytes,
+				ProcBytes: resp.Cost.ProcBytes,
+			})
+			return resp.Agg, nil
+		}
+		// Node down or decode failure: fall through to local reduction.
+	}
+	col, err := s.fetchChunkColumn(st, rg, ci)
+	if err != nil {
+		return nil, err
+	}
+	if col.Len() != bm.Len() {
+		return nil, fmt.Errorf("store: chunk (%d,%d) has %d rows, bitmap %d", rg, ci, col.Len(), bm.Len())
+	}
+	state := sql.NewAggState(sql.AggCount)
+	state.AddColumn(col, bm)
+	return state, nil
+}
+
+// pushdownProject sends the projection to the chunk's node with the
+// consolidated bitmap; the reply carries the selected values uncompressed.
+func (s *Store) pushdownProject(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *bitmap.Bitmap) (lpq.ColumnData, error) {
+	meta := st.meta
+	itemIdx := meta.ChunkItemIndex(rg, ci)
+	if itemIdx < 0 {
+		return lpq.ColumnData{}, fmt.Errorf("store: chunk (%d,%d) has no item", rg, ci)
+	}
+	loc := meta.ItemLocs[itemIdx]
+	stripe := meta.Stripes[loc.Stripe]
+	node := stripe.Nodes[loc.Bin]
+	req := &rpc.Request{
+		Kind: rpc.KindProject,
+		Chunk: rpc.ChunkRef{
+			BlockID: stripe.BlockIDs[loc.Bin],
+			Offset:  loc.BinOffset,
+			Type:    meta.Footer.Columns[ci].Type,
+			Meta:    ch,
+		},
+		Bitmap: bm.Marshal(),
+	}
+	resp, err := cluster.CallChecked(s.client, node, req)
+	if err != nil {
+		return lpq.ColumnData{}, err
+	}
+	st.stats.ProjectRPCs++
+	st.addOp(simnet.OpCost{
+		Node:      node,
+		ReqBytes:  req.WireSize(),
+		RespBytes: resp.WireSize(),
+		DiskBytes: resp.Cost.DiskBytes,
+		ProcBytes: resp.Cost.ProcBytes,
+	})
+	return cluster.DecodePlain(resp.Data)
+}
+
+// truncateResult applies a LIMIT clause: returned rows are capped after
+// projection (LIMIT does not change which chunks execute, matching S3
+// Select's post-filter semantics).
+func truncateResult(res *Result, limit int) {
+	for i := range res.Data {
+		col := &res.Data[i]
+		if col.Len() <= limit {
+			continue
+		}
+		switch col.Type {
+		case lpq.Int64:
+			col.Ints = col.Ints[:limit]
+		case lpq.Float64:
+			col.Floats = col.Floats[:limit]
+		default:
+			col.Strings = col.Strings[:limit]
+		}
+	}
+	if res.Rows > limit {
+		res.Rows = limit
+	}
+}
+
+// resultWireBytes estimates the result's size on the client connection.
+func resultWireBytes(res *Result) uint64 {
+	n := uint64(rpcOverhead)
+	for _, col := range res.Data {
+		switch col.Type {
+		case lpq.Int64:
+			n += 8 * uint64(len(col.Ints))
+		case lpq.Float64:
+			n += 8 * uint64(len(col.Floats))
+		default:
+			for _, s := range col.Strings {
+				n += uint64(len(s)) + 1
+			}
+		}
+	}
+	n += 16 * uint64(len(res.AggValues))
+	return n
+}
+
+func dedupStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

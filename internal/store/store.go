@@ -1,0 +1,228 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/erasure"
+	"github.com/fusionstore/fusion/internal/metakv"
+	"github.com/fusionstore/fusion/internal/simnet"
+)
+
+// PushdownPolicy selects how the projection stage treats each column chunk.
+type PushdownPolicy uint8
+
+const (
+	// PushdownAdaptive applies the paper's cost equation per chunk:
+	// selectivity × compressibility < 1 (§4.3). Fusion's default.
+	PushdownAdaptive PushdownPolicy = iota
+	// PushdownAlways pushes every projection down (ablation).
+	PushdownAlways
+	// PushdownNever fetches every chunk to the coordinator (ablation).
+	PushdownNever
+)
+
+func (p PushdownPolicy) String() string {
+	switch p {
+	case PushdownAdaptive:
+		return "adaptive"
+	case PushdownAlways:
+		return "always"
+	default:
+		return "never"
+	}
+}
+
+// ExecMode selects the query execution strategy.
+type ExecMode uint8
+
+const (
+	// ExecPushdown is Fusion's two-stage distributed execution.
+	ExecPushdown ExecMode = iota
+	// ExecReassemble is the baseline: fetch the needed chunk bytes to the
+	// coordinator (reassembling splits), then process locally.
+	ExecReassemble
+)
+
+// Options configure a Store.
+type Options struct {
+	// Params is the erasure code; default RS(9,6).
+	Params erasure.Params
+	// Layout selects FAC or fixed-block coding on Put.
+	Layout LayoutMode
+	// Exec selects the query execution strategy.
+	Exec ExecMode
+	// Pushdown is the projection pushdown policy under ExecPushdown.
+	Pushdown PushdownPolicy
+	// StorageBudget is the FAC overhead budget relative to optimal; if
+	// Algorithm 1 exceeds it, Put falls back to fixed blocks (§4.2).
+	// Default 0.02 (the paper's 2%).
+	StorageBudget float64
+	// FixedBlockSize is the block size for fixed-block coding; default
+	// 100MB (§6), scaled down by benchmarks alongside their datasets.
+	FixedBlockSize uint64
+	// AggregatePushdown enables computing aggregates in-situ on storage
+	// nodes (partial accumulators instead of values cross the network).
+	// This is the aggregate-pushdown extension the paper lists as future
+	// work (§5); it applies to aggregate columns that are not also plainly
+	// projected.
+	AggregatePushdown bool
+	// Seed drives stripe placement.
+	Seed int64
+	// Model, when set, computes simulated query latencies from the
+	// operation cost sheets (simnet experiments). Nil for TCP deployments.
+	Model *simnet.LatencyModel
+}
+
+// FusionOptions returns Fusion's configuration: FAC coding, two-stage
+// pushdown execution, adaptive cost model, 2% budget.
+func FusionOptions() Options {
+	return Options{
+		Params:         erasure.RS96,
+		Layout:         LayoutFAC,
+		Exec:           ExecPushdown,
+		Pushdown:       PushdownAdaptive,
+		StorageBudget:  0.02,
+		FixedBlockSize: 100 << 20,
+		Seed:           1,
+	}
+}
+
+// BaselineOptions returns the paper's baseline: fixed-block coding with
+// coordinator-side reassembly (MinIO/Ceph-representative, §6), including
+// the footer-pruning optimization.
+func BaselineOptions() Options {
+	o := FusionOptions()
+	o.Layout = LayoutFixed
+	o.Exec = ExecReassemble
+	o.Pushdown = PushdownNever
+	return o
+}
+
+// Store is an analytics object store client/coordinator bound to a cluster.
+// Every node can act as coordinator; a Store embodies the coordinator role
+// for the requests routed to it (§5: requests route to a node by object-name
+// hash — see CoordinatorFor).
+type Store struct {
+	client cluster.Client
+	opts   Options
+	coder  *erasure.Coder
+
+	mu      sync.RWMutex
+	objects map[string]*ObjectMeta // coordinator-side metadata cache
+	rng     *rand.Rand
+}
+
+// New builds a Store over the given cluster client.
+func New(client cluster.Client, opts Options) (*Store, error) {
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Params.N > client.NumNodes() {
+		return nil, fmt.Errorf("store: %v needs %d nodes, cluster has %d",
+			opts.Params, opts.Params.N, client.NumNodes())
+	}
+	if opts.StorageBudget == 0 {
+		opts.StorageBudget = 0.02
+	}
+	if opts.FixedBlockSize == 0 {
+		opts.FixedBlockSize = 100 << 20
+	}
+	coder, err := erasure.NewCoder(opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		client:  client,
+		opts:    opts,
+		coder:   coder,
+		objects: make(map[string]*ObjectMeta),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}, nil
+}
+
+// Options returns the store's configuration.
+func (s *Store) Options() Options { return s.opts }
+
+// CoordinatorFor returns the node that coordinates requests for an object:
+// hash(name) mod cluster size (§5: no dedicated coordinator).
+func (s *Store) CoordinatorFor(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32()) % s.client.NumNodes()
+}
+
+// nodeOrder returns all node ids in a fresh random order — the candidate
+// list for a stripe's placement (§4.2: blocks go to randomly chosen nodes).
+func (s *Store) nodeOrder() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Perm(s.client.NumNodes())
+}
+
+// blockID names a stored block; the version makes overwrites write-aside
+// rather than in-place.
+func blockID(object string, version uint64, stripe, block int) string {
+	return fmt.Sprintf("%s/v%d/s%d/b%d", object, version, stripe, block)
+}
+
+// metaKey is the quorum-register key holding an object's metadata.
+func metaKey(object string) string { return "meta/" + object }
+
+// metaBlockID names the node-side block backing an object's metadata
+// replica (for storage audits and tests).
+func metaBlockID(object string) string { return metakv.BlockID(metaKey(object)) }
+
+// metaKV returns the quorum register over the object's k+1 metadata
+// replicas (§5; the ZooKeeper/etcd-style service of the paper's future
+// work, here an ABD majority register). It tolerates floor(k/2) metadata
+// replica failures with linearizable reads — in particular, a replica that
+// missed an overwrite can never serve stale metadata pointing at
+// garbage-collected blocks.
+func (s *Store) metaKV(name string) (*metakv.KV, error) {
+	return metakv.New(s.client, s.metaReplicaNodes(name))
+}
+
+// metaReplicaNodes returns the k+1 nodes that hold an object's metadata
+// (§5: the location map is replicated to k+1 nodes).
+func (s *Store) metaReplicaNodes(name string) []int {
+	n := s.client.NumNodes()
+	first := s.CoordinatorFor(name)
+	count := s.opts.Params.K + 1
+	if count > n {
+		count = n
+	}
+	nodes := make([]int, count)
+	for i := range nodes {
+		nodes[i] = (first + i) % n
+	}
+	return nodes
+}
+
+// cacheMeta stores metadata in the coordinator cache.
+func (s *Store) cacheMeta(m *ObjectMeta) {
+	s.mu.Lock()
+	s.objects[m.Name] = m
+	s.mu.Unlock()
+}
+
+// cachedMeta returns cached metadata, if any.
+func (s *Store) cachedMeta(name string) *ObjectMeta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.objects[name]
+}
+
+// Objects lists the names of objects known to this coordinator.
+func (s *Store) Objects() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.objects))
+	for n := range s.objects {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,220 @@
+// Package tcpnet is the real-socket transport: a storage-node server that
+// speaks length-prefixed gob over TCP, and a client implementing
+// cluster.Client against a set of node addresses. The fusion-server and
+// fusion-cli binaries and the integration tests run on this transport; the
+// benchmark harness uses simnet.
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/rpc"
+)
+
+// maxFrame bounds a single message to guard against corrupt peers.
+const maxFrame = 1 << 31
+
+// writeFrame sends one gob-encoded value with a uint32 length prefix.
+func writeFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readFrame receives one length-prefixed gob value into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
+}
+
+// Server wraps a storage node and serves its RPC interface on a listener.
+type Server struct {
+	node *cluster.Node
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving the node on addr (e.g. "127.0.0.1:0") and
+// returns immediately; Serve runs in the background.
+func NewServer(node *cluster.Node, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: %w", err)
+	}
+	s := &Server{node: node, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req rpc.Request
+		if err := readFrame(conn, &req); err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		resp := s.node.Handle(&req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and severs open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client implements cluster.Client over TCP connections to node addresses.
+// Connections are cached per node and re-dialed on failure.
+type Client struct {
+	addrs []string
+
+	mu    sync.Mutex
+	conns []net.Conn
+	locks []sync.Mutex // per-connection, serializes request/response pairs
+}
+
+// NewClient returns a client for the given node addresses (node i is
+// addrs[i]).
+func NewClient(addrs []string) *Client {
+	return &Client{
+		addrs: append([]string(nil), addrs...),
+		conns: make([]net.Conn, len(addrs)),
+		locks: make([]sync.Mutex, len(addrs)),
+	}
+}
+
+// NumNodes implements cluster.Client.
+func (c *Client) NumNodes() int { return len(c.addrs) }
+
+func (c *Client) conn(node int) (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conns[node] != nil {
+		return c.conns[node], nil
+	}
+	conn, err := net.Dial("tcp", c.addrs[node])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %d: %v", cluster.ErrNodeDown, node, err)
+	}
+	c.conns[node] = conn
+	return conn, nil
+}
+
+func (c *Client) dropConn(node int) {
+	c.mu.Lock()
+	if c.conns[node] != nil {
+		c.conns[node].Close()
+		c.conns[node] = nil
+	}
+	c.mu.Unlock()
+}
+
+// Call implements cluster.Client. One in-flight request per node connection;
+// parallelism across nodes is what the query stages need.
+func (c *Client) Call(node int, req *rpc.Request) (*rpc.Response, error) {
+	if node < 0 || node >= len(c.addrs) {
+		return nil, fmt.Errorf("tcpnet: node %d out of range", node)
+	}
+	c.locks[node].Lock()
+	defer c.locks[node].Unlock()
+	conn, err := c.conn(node)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, req); err != nil {
+		c.dropConn(node)
+		return nil, fmt.Errorf("%w: %d: %v", cluster.ErrNodeDown, node, err)
+	}
+	var resp rpc.Response
+	if err := readFrame(conn, &resp); err != nil {
+		c.dropConn(node)
+		return nil, fmt.Errorf("%w: %d: %v", cluster.ErrNodeDown, node, err)
+	}
+	return &resp, nil
+}
+
+// Close severs all cached connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+			c.conns[i] = nil
+		}
+	}
+}

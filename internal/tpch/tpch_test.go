@@ -1,0 +1,217 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/sql"
+)
+
+func smallConfig() Config {
+	return Config{RowGroups: 4, RowsPerGroup: 8000, Seed: 7, Writer: lpq.DefaultWriterOptions()}
+}
+
+func generate(t testing.TB, cfg Config) *lpq.File {
+	t.Helper()
+	data, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := lpq.Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := smallConfig()
+	f := generate(t, cfg)
+	footer := f.Footer()
+	if len(footer.Columns) != 16 {
+		t.Fatalf("lineitem must have 16 columns, got %d", len(footer.Columns))
+	}
+	if len(footer.RowGroups) != cfg.RowGroups {
+		t.Fatalf("row groups = %d", len(footer.RowGroups))
+	}
+	if footer.NumChunks() != 16*cfg.RowGroups {
+		t.Fatalf("chunks = %d", footer.NumChunks())
+	}
+	if footer.NumRows() != cfg.RowGroups*cfg.RowsPerGroup {
+		t.Fatalf("rows = %d", footer.NumRows())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("same seed must produce identical files")
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("zero config must fail")
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	f := generate(t, smallConfig())
+	qty, err := f.ReadColumn(ColQuantity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range qty.Ints {
+		if v < 1 || v > 50 {
+			t.Fatalf("quantity %d out of [1,50]", v)
+		}
+	}
+	rf, err := f.ReadColumn(ColReturnFlag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, v := range rf.Strings {
+		seen[v] = true
+	}
+	if !seen["A"] || !seen["N"] || !seen["R"] {
+		t.Fatalf("returnflag must use A/N/R, saw %v", seen)
+	}
+	sd, err := f.ReadColumn(ColShipDate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sd.Ints {
+		if v < 0 || v >= ShipDateDays {
+			t.Fatalf("shipdate %d out of range", v)
+		}
+	}
+	disc, err := f.ReadColumn(ColDiscount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range disc.Floats {
+		if v < 0 || v > 0.10 {
+			t.Fatalf("discount %v out of range", v)
+		}
+	}
+}
+
+// TestCompressionProfile verifies the Fig. 6 shape: low-cardinality columns
+// compress heavily, the comment/price columns barely.
+func TestCompressionProfile(t *testing.T) {
+	f := generate(t, smallConfig())
+	footer := f.Footer()
+	ratio := func(col int) float64 {
+		sum := 0.0
+		for _, rg := range footer.RowGroups {
+			sum += rg.Chunks[col].Compressibility()
+		}
+		return sum / float64(len(footer.RowGroups))
+	}
+	// lpq's plain string form is uvarint+bytes (2B for 1-char values), so
+	// the attainable ratio ceiling is ≈16 where Parquet (4-byte lengths)
+	// reports ≈63; the ordering of columns by compressibility matches
+	// Fig. 6 either way.
+	if r := ratio(ColLineStatus); r < 12 {
+		t.Fatalf("l_linestatus (2 values) must compress >12x, got %.1f", r)
+	}
+	if r := ratio(ColReturnFlag); r < 7 {
+		t.Fatalf("l_returnflag (3 values) must compress >7x, got %.1f", r)
+	}
+	if r := ratio(ColComment); r > 5 {
+		t.Fatalf("l_comment must be weakly compressible, got %.1f", r)
+	}
+	if r := ratio(ColExtendedPrice); r > 4 {
+		t.Fatalf("l_extendedprice must be weakly compressible, got %.1f", r)
+	}
+	// Bimodal chunk sizes: largest column dwarfs the smallest (Fig. 4c).
+	var minSz, maxSz uint64 = 1 << 62, 0
+	for col := 0; col < 16; col++ {
+		sz := footer.RowGroups[0].Chunks[col].Size
+		if sz < minSz {
+			minSz = sz
+		}
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if maxSz < 50*minSz {
+		t.Fatalf("chunk sizes must be strongly bimodal: min %d max %d", minSz, maxSz)
+	}
+}
+
+func TestMicrobenchQuerySelectivity(t *testing.T) {
+	cfg := smallConfig()
+	f := generate(t, cfg)
+	sd, err := f.ReadColumn(ColShipDate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []float64{0.01, 0.1, 0.5, 1.0} {
+		qs := MicrobenchQuery("l_orderkey", target)
+		q, err := sql.Parse(qs)
+		if err != nil {
+			t.Fatalf("%q: %v", qs, err)
+		}
+		cmp := q.Where.(*sql.Compare)
+		matched := 0
+		for _, v := range sd.Ints {
+			ok := false
+			if cmp.Op == sql.OpLt {
+				ok = v < cmp.Value.I
+			} else {
+				ok = v >= cmp.Value.I
+			}
+			if ok {
+				matched++
+			}
+		}
+		got := float64(matched) / float64(len(sd.Ints))
+		if got < target*0.7-0.005 || got > target*1.3+0.005 {
+			t.Errorf("target %.3f: achieved selectivity %.4f", target, got)
+		}
+	}
+}
+
+func TestQ1Q2ParseAndSelectivity(t *testing.T) {
+	f := generate(t, smallConfig())
+	for _, qs := range []string{Q1(), Q2()} {
+		if _, err := sql.Parse(qs); err != nil {
+			t.Fatalf("%q: %v", qs, err)
+		}
+		if !strings.Contains(qs, "FROM lineitem") {
+			t.Fatalf("query must target lineitem: %q", qs)
+		}
+	}
+	// Verify Q2's combined selectivity lands near the paper's 5.4%.
+	sd, _ := f.ReadColumn(ColShipDate)
+	disc, _ := f.ReadColumn(ColDiscount)
+	qty, _ := f.ReadColumn(ColQuantity)
+	q, err := sql.Parse(Q2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q
+	span := float64(ShipDateDays)
+	lo := int64(0.30 * span)
+	hi := int64(0.586 * span)
+	matched := 0
+	for i := range sd.Ints {
+		if sd.Ints[i] >= lo && sd.Ints[i] < hi && disc.Floats[i] >= 0.06 && qty.Ints[i] < 25 {
+			matched++
+		}
+	}
+	sel := float64(matched) / float64(len(sd.Ints))
+	if sel < 0.03 || sel > 0.09 {
+		t.Fatalf("Q2 selectivity %.4f outside the expected band", sel)
+	}
+}

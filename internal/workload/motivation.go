@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/fusionstore/fusion/internal/erasure"
+	"github.com/fusionstore/fusion/internal/fac"
+	"github.com/fusionstore/fusion/internal/metrics"
+	"github.com/fusionstore/fusion/internal/tpch"
+)
+
+// chunkExtents converts a footer into the chunk byte ranges of the object.
+func (l *Lab) chunkExtents(d DatasetName) []fac.ChunkExtent {
+	footer := l.Footer(d)
+	var out []fac.ChunkExtent
+	for _, rg := range footer.RowGroups {
+		for _, ch := range rg.Chunks {
+			out = append(out, fac.ChunkExtent{Offset: ch.Offset, Size: ch.Size})
+		}
+	}
+	return out
+}
+
+// Tab3 regenerates Table 3: the dataset descriptions.
+func (l *Lab) Tab3() *Report {
+	r := &Report{
+		ID:     "tab3",
+		Title:  "Parquet dataset file description",
+		Header: []string{"dataset", "num columns", "num chunks", "size"},
+		Notes:  []string{fmt.Sprintf("scale %.2gx of the paper's files; structure (columns, chunks) matches Table 3", l.Scale)},
+	}
+	for _, d := range AllDatasets {
+		f := l.Footer(d)
+		r.Rows = append(r.Rows, []string{
+			string(d),
+			fmt.Sprint(len(f.Columns)),
+			fmt.Sprint(f.NumChunks()),
+			mb(uint64(len(l.File(d)))),
+		})
+	}
+	return r
+}
+
+// Fig4a regenerates Fig. 4a: the percentage of column chunks split by
+// fixed-block coding, across erasure-code block sizes, for lineitem and
+// taxi. Block sizes are the paper's 100KB..100MB scaled by the file-size
+// ratio so the blocks-per-object count matches.
+func (l *Lab) Fig4a() *Report {
+	r := &Report{
+		ID:     "fig4a",
+		Title:  "pct of column chunks that get split vs erasure-code block size, RS(9,6)",
+		Header: []string{"block size (paper-scale)", string(Lineitem), string(Taxi)},
+		Notes:  []string{"block sizes scaled by file size so blocks-per-object matches the paper's 10GB/8.4GB files"},
+	}
+	paperSizes := []uint64{100 << 10, 1 << 20, 10 << 20, 100 << 20}
+	const paperLineitem = 10 << 30
+	for _, ps := range paperSizes {
+		row := []string{mb(ps)}
+		for _, d := range []DatasetName{Lineitem, Taxi} {
+			fileSize := uint64(len(l.File(d)))
+			scaled := uint64(float64(ps) * float64(fileSize) / float64(paperLineitem))
+			if scaled < 512 {
+				scaled = 512
+			}
+			layout := fac.NewFixedBlockLayout(fileSize, scaled, 6)
+			row = append(row, pct(layout.SplitFraction(l.chunkExtents(d))))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}
+
+// Fig4b regenerates Fig. 4b: the latency breakdown of the 1%-selectivity
+// microbenchmark on the baseline (chunk-splitting) system.
+func (l *Lab) Fig4b() *Report {
+	base := l.Baseline(Lineitem)
+	var agg metrics.Breakdown
+	count := 0
+	for _, col := range []string{"l_orderkey", "l_partkey", "l_extendedprice", "l_shipdate", "l_comment"} {
+		res, err := RunQueries(base, l.MicroBatch(Lineitem, col, 0.01, 42))
+		if err != nil {
+			panic(err)
+		}
+		agg.Add(res.Latency.MeanBreakdown())
+		count++
+	}
+	d, p, n, o := agg.Fractions()
+	return &Report{
+		ID:     "fig4b",
+		Title:  "latency breakdown of a 1%-selectivity query on the baseline",
+		Header: []string{"phase", "share"},
+		Rows: [][]string{
+			{"disk read", pct(d)},
+			{"data processing", pct(p)},
+			{"network overhead", pct(n)},
+			{"other", pct(o)},
+		},
+		Notes: []string{fmt.Sprintf("averaged over %d columns × %d queries", count, QueriesPerCell)},
+	}
+}
+
+// Fig4c regenerates Fig. 4c: the CDF of normalized column-chunk sizes for
+// the four datasets, reported at decile percentiles.
+func (l *Lab) Fig4c() *Report {
+	r := &Report{
+		ID:     "fig4c",
+		Title:  "CDF of normalized column chunk sizes",
+		Header: []string{"percentile"},
+	}
+	type cdf struct {
+		name DatasetName
+		vals []float64
+	}
+	var cdfs []cdf
+	for _, d := range AllDatasets {
+		r.Header = append(r.Header, string(d))
+		var sizes []float64
+		for _, s := range l.Footer(d).ChunkSizes() {
+			sizes = append(sizes, float64(s))
+		}
+		cdfs = append(cdfs, cdf{d, metrics.Normalize(sizes)})
+	}
+	for _, p := range []float64{10, 25, 50, 75, 90, 99, 100} {
+		row := []string{fmt.Sprintf("p%.0f", p)}
+		for _, c := range cdfs {
+			pts := metrics.CDF(c.vals)
+			// Value at this percentile.
+			v := pts[len(pts)-1].Value
+			for _, pt := range pts {
+				if pt.Percentile >= p {
+					v = pt.Value
+					break
+				}
+			}
+			row = append(row, fmt.Sprintf("%.4f", v))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}
+
+// Fig4d regenerates Fig. 4d: the storage overhead of the padding approach
+// (Adams et al.) on the four datasets, for RS(9,6) and RS(14,10).
+func (l *Lab) Fig4d() *Report {
+	r := &Report{
+		ID:     "fig4d",
+		Title:  "storage overhead of the padding approach w.r.t. optimal",
+		Header: []string{"dataset", "RS(9,6)", "RS(14,10)"},
+		Notes:  []string{"fixed blocks at the paper's 100MB-on-10GB ratio"},
+	}
+	for _, d := range AllDatasets {
+		sizes := l.Footer(d).ChunkSizes()
+		bs := l.ScaledBlockSize(d)
+		p96 := fac.NewPaddingPlacement(sizes, bs, erasure.RS96.K)
+		p1410 := fac.NewPaddingPlacement(sizes, bs, erasure.RS1410.K)
+		r.Rows = append(r.Rows, []string{
+			string(d),
+			pct(p96.OverheadVsOptimal(erasure.RS96.N)),
+			pct(p1410.OverheadVsOptimal(erasure.RS1410.N)),
+		})
+	}
+	return r
+}
+
+// Fig6 regenerates Fig. 6: the average compression ratio of each lineitem
+// column's chunks.
+func (l *Lab) Fig6() *Report {
+	footer := l.Footer(Lineitem)
+	r := &Report{
+		ID:     "fig6",
+		Title:  "average compression ratio per TPC-H lineitem column",
+		Header: []string{"column id", "name", "avg compression ratio"},
+	}
+	schema := tpch.Schema()
+	var ratios []float64
+	for col := range schema {
+		sum := 0.0
+		for _, rg := range footer.RowGroups {
+			sum += rg.Chunks[col].Compressibility()
+		}
+		avg := sum / float64(len(footer.RowGroups))
+		ratios = append(ratios, avg)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(col), schema[col].Name, fmt.Sprintf("%.1f", avg),
+		})
+	}
+	// Median, for comparison with the paper's 9.3.
+	med := median(ratios)
+	r.Notes = append(r.Notes, fmt.Sprintf("median %.1f, max %.1f (paper: 9.3 / 63.5 under Parquet's plain sizes)", med, maxF(ratios)))
+	return r
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func maxF(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
