@@ -117,6 +117,7 @@ func benchStore(b *testing.B, opts store.Options) (*store.Store, []byte) {
 func BenchmarkPutFAC(b *testing.B) {
 	s, data := benchStore(b, store.FusionOptions())
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Put("lineitem", data); err != nil {
@@ -128,6 +129,7 @@ func BenchmarkPutFAC(b *testing.B) {
 func BenchmarkPutFixed(b *testing.B) {
 	s, data := benchStore(b, store.BaselineOptions())
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Put("lineitem", data); err != nil {
@@ -142,6 +144,8 @@ func BenchmarkQueryFusion(b *testing.B) {
 		b.Fatal(err)
 	}
 	q := tpch.MicrobenchQuery("l_extendedprice", 0.01)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Query(q); err != nil {
@@ -156,11 +160,41 @@ func BenchmarkQueryBaseline(b *testing.B) {
 		b.Fatal(err)
 	}
 	q := tpch.MicrobenchQuery("l_extendedprice", 0.01)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Query(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkQueryParallel compares the fan-out query path at worker-pool
+// size 1 (serial) against the default pool (GOMAXPROCS) on a selective
+// scan-heavy query; the two produce identical Results by construction.
+func BenchmarkQueryParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"pooled", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := store.FusionOptions()
+			opts.QueryWorkers = cfg.workers
+			s, data := benchStore(b, opts)
+			if _, err := s.Put("lineitem", data); err != nil {
+				b.Fatal(err)
+			}
+			q := tpch.MicrobenchQuery("l_extendedprice", 0.10)
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -170,6 +204,7 @@ func BenchmarkGetFull(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Get("lineitem", 0, 0); err != nil {

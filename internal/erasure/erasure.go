@@ -11,8 +11,11 @@
 package erasure
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/fusionstore/fusion/internal/gf256"
 )
@@ -58,14 +61,58 @@ type Coder struct {
 	// matrix is the n×k systematic code matrix: the top k rows are the
 	// identity, the bottom n−k rows generate parity.
 	matrix *gf256.Matrix
+	// tables[r][c] is the precomputed multiplication table for matrix
+	// entry (r, c). The matrix is fixed at construction, so the tables are
+	// built once and shared by every Encode/Verify/Reconstruct; distinct
+	// entries with equal coefficients share one table.
+	tables [][]*gf256.MulTable
+
+	// mu guards the coefficient-table dedup map and the decode-plan cache
+	// (decode matrices depend on which shards survive, so they are built
+	// lazily and memoized per erasure pattern).
+	mu       sync.RWMutex
+	byCoeff  map[byte]*gf256.MulTable
+	decCache map[string]*decodePlan
 }
+
+// maxDecodePlans bounds the decode-plan cache; real deployments see a
+// handful of erasure patterns (which nodes are down), so the cap only
+// guards against adversarial churn.
+const maxDecodePlans = 256
 
 // NewCoder builds a Coder for the given parameters.
 func NewCoder(p Params) (*Coder, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Coder{params: p, matrix: buildMatrix(p.N, p.K)}, nil
+	c := &Coder{
+		params:   p,
+		matrix:   buildMatrix(p.N, p.K),
+		byCoeff:  make(map[byte]*gf256.MulTable),
+		decCache: make(map[string]*decodePlan),
+	}
+	c.tables = make([][]*gf256.MulTable, p.N)
+	for r := 0; r < p.N; r++ {
+		c.tables[r] = c.rowTables(c.matrix.Row(r))
+	}
+	return c, nil
+}
+
+// rowTables returns one multiplication table per coefficient of row,
+// deduplicated through the coder's coefficient map.
+func (c *Coder) rowTables(row []byte) []*gf256.MulTable {
+	tabs := make([]*gf256.MulTable, len(row))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, coeff := range row {
+		t := c.byCoeff[coeff]
+		if t == nil {
+			t = gf256.NewMulTable(coeff)
+			c.byCoeff[coeff] = t
+		}
+		tabs[i] = t
+	}
+	return tabs
 }
 
 // MustCoder is NewCoder for parameters known to be valid; it panics on error.
@@ -139,7 +186,39 @@ func (c *Coder) checkShards(shards [][]byte, allowNil bool) (int, error) {
 
 // Encode fills shards[k:] with parity computed from shards[:k]. All n shards
 // must be allocated with the same length; the first k hold data.
+//
+// The hot loop runs the table-driven kernels over cache-sized sub-stripe
+// ranges, fanned out across up to GOMAXPROCS goroutines (forEachRange).
 func (c *Coder) Encode(shards [][]byte) error {
+	size, err := c.checkShards(shards, false)
+	if err != nil {
+		return err
+	}
+	forEachRange(size, func(lo, hi int) { c.encodeRange(shards, lo, hi) })
+	return nil
+}
+
+// encodeRange computes every parity shard over the byte range [lo, hi).
+// The first data shard is multiplied straight into the output (no clear
+// pass or read-back of zeroes); the rest accumulate.
+func (c *Coder) encodeRange(shards [][]byte, lo, hi int) {
+	k, n := c.params.K, c.params.N
+	for p := k; p < n; p++ {
+		out := shards[p][lo:hi]
+		tabs := c.tables[p]
+		tabs[0].Mul(shards[0][lo:hi], out)
+		for d := 1; d < k; d++ {
+			tabs[d].MulAdd(shards[d][lo:hi], out)
+		}
+	}
+}
+
+// encodeNaive is the seed byte-wise encode kernel (log/exp MulAddSlice, one
+// full-stripe pass per matrix coefficient). It is retained as the reference
+// implementation: property tests assert the table-driven parallel kernels
+// are bit-identical to it, and benchmarks report its throughput as the
+// baseline the kernel rewrite is measured against.
+func (c *Coder) encodeNaive(shards [][]byte) error {
 	if _, err := c.checkShards(shards, false); err != nil {
 		return err
 	}
@@ -197,145 +276,166 @@ func (c *Coder) Join(shards [][]byte, dataLen int) ([]byte, error) {
 }
 
 // Verify recomputes parity from the data shards and reports whether it
-// matches the stored parity shards.
+// matches the stored parity shards. Parity is recomputed into pooled
+// scratch buffers (no per-call allocation) over parallel sub-stripe
+// ranges; the first mismatching range short-circuits the rest.
 func (c *Coder) Verify(shards [][]byte) (bool, error) {
 	size, err := c.checkShards(shards, false)
 	if err != nil {
 		return false, err
 	}
-	k := c.params.K
-	buf := make([]byte, size)
-	for p := k; p < c.params.N; p++ {
-		row := c.matrix.Row(p)
-		clear(buf)
-		for d := 0; d < k; d++ {
-			gf256.MulAddSlice(row[d], shards[d], buf)
+	k, n := c.params.K, c.params.N
+	var mismatch atomic.Bool
+	forEachRange(size, func(lo, hi int) {
+		if mismatch.Load() {
+			return
 		}
-		for i := range buf {
-			if buf[i] != shards[p][i] {
-				return false, nil
+		bufp := getScratch(hi - lo)
+		defer putScratch(bufp)
+		buf := *bufp
+		for p := k; p < n; p++ {
+			tabs := c.tables[p]
+			tabs[0].Mul(shards[0][lo:hi], buf)
+			for d := 1; d < k; d++ {
+				tabs[d].MulAdd(shards[d][lo:hi], buf)
+			}
+			if !bytes.Equal(buf, shards[p][lo:hi]) {
+				mismatch.Store(true)
+				return
 			}
 		}
+	})
+	return !mismatch.Load(), nil
+}
+
+// decodePlan is a memoized decode strategy for one erasure pattern: which k
+// present shards to read, which data shards to rebuild, and the
+// multiplication tables of the inverted decode matrix rows that do it.
+// Plans are cached per pattern so repeated reconstructions (scrubs, node
+// repair loops, degraded-read storms) skip the matrix inversion and table
+// builds entirely.
+type decodePlan struct {
+	rows    []int               // the k present shard indices the plan reads
+	missing []int               // data shard indices the plan rebuilds
+	tables  [][]*gf256.MulTable // tables[i][j] multiplies shards[rows[j]] into missing[i]
+}
+
+// decodePlanFor returns the (cached) plan that rebuilds the data shards
+// absent from rows, where rows holds k present shard indices in ascending
+// order.
+func (c *Coder) decodePlanFor(rows []int) (*decodePlan, error) {
+	keyBytes := make([]byte, len(rows))
+	for i, r := range rows {
+		keyBytes[i] = byte(r)
 	}
-	return true, nil
+	key := string(keyBytes)
+	c.mu.RLock()
+	plan := c.decCache[key]
+	c.mu.RUnlock()
+	if plan != nil {
+		return plan, nil
+	}
+	dec, err := c.matrix.SubMatrix(rows).Invert()
+	if err != nil {
+		// Cannot happen for a valid RS matrix: every k-row submatrix is
+		// invertible by construction.
+		return nil, fmt.Errorf("erasure: decode matrix singular: %v", err)
+	}
+	k := c.params.K
+	inRows := make([]bool, k)
+	for _, r := range rows {
+		if r < k {
+			inRows[r] = true
+		}
+	}
+	plan = &decodePlan{rows: append([]int(nil), rows...)}
+	for d := 0; d < k; d++ {
+		if inRows[d] {
+			continue
+		}
+		plan.missing = append(plan.missing, d)
+		plan.tables = append(plan.tables, c.rowTables(dec.Row(d)))
+	}
+	c.mu.Lock()
+	if len(c.decCache) < maxDecodePlans {
+		c.decCache[key] = plan
+	}
+	c.mu.Unlock()
+	return plan, nil
 }
 
 // Reconstruct rebuilds every nil shard in place. Missing shards are denoted
 // by nil entries; at least k shards must be present. Present shards are never
 // modified. Reconstruct rebuilds both data and parity shards.
 func (c *Coder) Reconstruct(shards [][]byte) error {
-	size, err := c.checkShards(shards, true)
-	if err != nil {
-		return err
-	}
-	n, k := c.params.N, c.params.K
-	present := make([]int, 0, n)
-	missing := make([]int, 0, n)
-	for i, s := range shards {
-		if s != nil {
-			present = append(present, i)
-		} else {
-			missing = append(missing, i)
-		}
-	}
-	if len(missing) == 0 {
-		return nil
-	}
-	if len(present) < k {
-		return fmt.Errorf("%w: %d present, need %d", ErrTooFewLeft, len(present), k)
-	}
-	// Decode matrix: pick any k present rows of the code matrix, invert.
-	rows := present[:k]
-	sub := c.matrix.SubMatrix(rows)
-	dec, err := sub.Invert()
-	if err != nil {
-		// Cannot happen for a valid RS matrix: every k-row submatrix is
-		// invertible by construction.
-		return fmt.Errorf("erasure: decode matrix singular: %v", err)
-	}
-	// Rebuild missing data shards first: data[d] = dec.Row(d) · presentShards.
-	needData := false
-	for _, m := range missing {
-		if m < k {
-			needData = true
-			break
-		}
-	}
-	if needData {
-		for d := 0; d < k; d++ {
-			if shards[d] != nil {
-				continue
-			}
-			out := make([]byte, size)
-			row := dec.Row(d)
-			for j, src := range rows {
-				gf256.MulAddSlice(row[j], shards[src], out)
-			}
-			shards[d] = out
-		}
-	}
-	// Rebuild missing parity shards from (now complete) data shards.
-	for _, m := range missing {
-		if m < k {
-			continue
-		}
-		if shards[0] == nil {
-			// Data shards must be complete by now.
-			return errors.New("erasure: internal: data shards incomplete")
-		}
-		out := make([]byte, size)
-		row := c.matrix.Row(m)
-		for d := 0; d < k; d++ {
-			gf256.MulAddSlice(row[d], shards[d], out)
-		}
-		shards[m] = out
-	}
-	return nil
+	return c.reconstruct(shards, true)
 }
 
 // ReconstructData rebuilds only the missing data shards (indexes < k),
 // leaving missing parity shards nil. It is the cheaper call when the caller
 // only needs the original bytes back.
 func (c *Coder) ReconstructData(shards [][]byte) error {
+	return c.reconstruct(shards, false)
+}
+
+func (c *Coder) reconstruct(shards [][]byte, parity bool) error {
 	size, err := c.checkShards(shards, true)
 	if err != nil {
 		return err
 	}
 	n, k := c.params.N, c.params.K
 	present := make([]int, 0, n)
+	var missData, missParity []int
 	for i, s := range shards {
-		if s != nil {
+		switch {
+		case s != nil:
 			present = append(present, i)
+		case i < k:
+			missData = append(missData, i)
+		case parity:
+			missParity = append(missParity, i)
 		}
+	}
+	if len(missData) == 0 && len(missParity) == 0 {
+		return nil
 	}
 	if len(present) < k {
 		return fmt.Errorf("%w: %d present, need %d", ErrTooFewLeft, len(present), k)
 	}
-	allData := true
-	for d := 0; d < k; d++ {
-		if shards[d] == nil {
-			allData = false
-			break
-		}
-	}
-	if allData {
-		return nil
-	}
+	// Any k present shards decode. Every present data index sits within the
+	// first k of the ascending present list, so the plan's missing-data set
+	// matches missData exactly.
 	rows := present[:k]
-	dec, err := c.matrix.SubMatrix(rows).Invert()
+	plan, err := c.decodePlanFor(rows)
 	if err != nil {
-		return fmt.Errorf("erasure: decode matrix singular: %v", err)
+		return err
 	}
-	for d := 0; d < k; d++ {
-		if shards[d] != nil {
-			continue
-		}
-		out := make([]byte, size)
-		row := dec.Row(d)
-		for j, src := range rows {
-			gf256.MulAddSlice(row[j], shards[src], out)
-		}
-		shards[d] = out
+	for _, m := range missData {
+		shards[m] = make([]byte, size)
 	}
+	for _, m := range missParity {
+		shards[m] = make([]byte, size)
+	}
+	// One pass per sub-stripe range: rebuild missing data in [lo, hi), then
+	// missing parity from the (range-complete) data shards. Ranges are
+	// disjoint, so the fan-out needs no further synchronization.
+	forEachRange(size, func(lo, hi int) {
+		for i, d := range plan.missing {
+			out := shards[d][lo:hi]
+			tabs := plan.tables[i]
+			tabs[0].Mul(shards[rows[0]][lo:hi], out)
+			for j := 1; j < k; j++ {
+				tabs[j].MulAdd(shards[rows[j]][lo:hi], out)
+			}
+		}
+		for _, p := range missParity {
+			out := shards[p][lo:hi]
+			tabs := c.tables[p]
+			tabs[0].Mul(shards[0][lo:hi], out)
+			for d := 1; d < k; d++ {
+				tabs[d].MulAdd(shards[d][lo:hi], out)
+			}
+		}
+	})
 	return nil
 }

@@ -1,0 +1,113 @@
+package gf256
+
+import "encoding/binary"
+
+// MulTable is a precomputed multiplication table for one coefficient c:
+// tab[b] = c·b for every byte b. Building a table walks the log/exp tables
+// 255 times; applying it replaces the log/exp arithmetic and the zero test
+// of Mul with a single branch-free load per byte. Callers with a fixed set
+// of coefficients (the erasure coder's code matrix) build the tables once
+// and reuse them on every stripe, which is where the bulk-encode speedup
+// over MulAddSlice comes from.
+type MulTable struct {
+	c   byte
+	tab [256]byte
+}
+
+// NewMulTable returns the multiplication table for coefficient c.
+func NewMulTable(c byte) *MulTable {
+	t := &MulTable{c: c}
+	if c == 0 {
+		return t
+	}
+	logC := int(logTable[c])
+	for b := 1; b < 256; b++ {
+		t.tab[b] = expTable[logC+int(logTable[b])]
+	}
+	return t
+}
+
+// Coefficient returns the coefficient the table was built for.
+func (t *MulTable) Coefficient() byte { return t.c }
+
+// MulAdd sets dst[i] ^= c·src[i] for all i of src; dst must be at least as
+// long. Coefficient 1 degenerates to a word-at-a-time XOR and coefficient 0
+// to a no-op; other coefficients run the 8-way unrolled table kernel.
+func (t *MulTable) MulAdd(src, dst []byte) {
+	switch t.c {
+	case 0:
+		return
+	case 1:
+		XorSlice(src, dst)
+		return
+	}
+	tab := &t.tab
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] ^= tab[s[0]]
+		d[1] ^= tab[s[1]]
+		d[2] ^= tab[s[2]]
+		d[3] ^= tab[s[3]]
+		d[4] ^= tab[s[4]]
+		d[5] ^= tab[s[5]]
+		d[6] ^= tab[s[6]]
+		d[7] ^= tab[s[7]]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= tab[src[i]]
+	}
+}
+
+// Mul sets dst[i] = c·src[i] for all i of src, overwriting dst. Using Mul
+// for the first accumulated row saves the clear pass (and dst read-back)
+// that a MulAdd into a zeroed buffer would pay.
+func (t *MulTable) Mul(src, dst []byte) {
+	switch t.c {
+	case 0:
+		clear(dst[:len(src)])
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	tab := &t.tab
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] = tab[s[0]]
+		d[1] = tab[s[1]]
+		d[2] = tab[s[2]]
+		d[3] = tab[s[3]]
+		d[4] = tab[s[4]]
+		d[5] = tab[s[5]]
+		d[6] = tab[s[6]]
+		d[7] = tab[s[7]]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] = tab[src[i]]
+	}
+}
+
+// XorSlice sets dst[i] ^= src[i] for all i of src, 32 bytes per step via
+// unaligned uint64 loads — the coefficient-1 fast path (GF(2^8) addition).
+func XorSlice(src, dst []byte) {
+	n := len(src)
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		s := src[i : i+32 : i+32]
+		d := dst[i : i+32 : i+32]
+		binary.LittleEndian.PutUint64(d[0:], binary.LittleEndian.Uint64(s[0:])^binary.LittleEndian.Uint64(d[0:]))
+		binary.LittleEndian.PutUint64(d[8:], binary.LittleEndian.Uint64(s[8:])^binary.LittleEndian.Uint64(d[8:]))
+		binary.LittleEndian.PutUint64(d[16:], binary.LittleEndian.Uint64(s[16:])^binary.LittleEndian.Uint64(d[16:]))
+		binary.LittleEndian.PutUint64(d[24:], binary.LittleEndian.Uint64(s[24:])^binary.LittleEndian.Uint64(d[24:]))
+	}
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(src[i:])^binary.LittleEndian.Uint64(dst[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -92,6 +93,81 @@ func TestConcurrentPuts(t *testing.T) {
 		if err != nil || !bytes.Equal(got, payloads[i]) {
 			t.Fatalf("object %d round trip failed: %v", i, err)
 		}
+	}
+}
+
+// TestParallelQueryUnderConcurrentLoad drives the fan-out query path (stage
+// worker pools forced wide) while other goroutines Put fresh objects and
+// Scrub the queried one, so `go test -race` exercises the execState locking
+// and the fork/join merging together with the erasure coder's parallel
+// Verify/Reconstruct ranges.
+func TestParallelQueryUnderConcurrentLoad(t *testing.T) {
+	data, _, _ := makeObject(t, 3, 400, 55)
+	opts := fusionTestOptions()
+	opts.QueryWorkers = 8
+	s, _ := newSimStore(t, opts)
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Query("SELECT id, price FROM obj WHERE qty < 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, err := s.Query("SELECT COUNT(*), SUM(qty) FROM obj WHERE flag = 'A'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 4 {
+			case 0:
+				res, err := s.Query("SELECT id, price FROM obj WHERE qty < 20")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Rows != want.Rows || !reflect.DeepEqual(res.Data, want.Data) {
+					errs <- fmt.Errorf("goroutine %d: parallel query diverged", i)
+				}
+			case 1:
+				res, err := s.Query("SELECT COUNT(*), SUM(qty) FROM obj WHERE flag = 'A'")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res.AggValues, wantCount.AggValues) {
+					errs <- fmt.Errorf("goroutine %d: aggregate diverged", i)
+				}
+			case 2:
+				other, _, _ := makeObject(t, 2, 120, int64(500+i))
+				name := fmt.Sprintf("side-%d", i)
+				if _, err := s.Put(name, other); err != nil {
+					errs <- err
+					return
+				}
+				if got, err := s.Get(name, 0, 0); err != nil || !bytes.Equal(got, other) {
+					errs <- fmt.Errorf("goroutine %d: side object round trip: %v", i, err)
+				}
+			default:
+				rep, err := s.Scrub("obj", ScrubOptions{Repair: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rep.CorruptStripes != 0 || rep.MissingBlocks != 0 {
+					errs <- fmt.Errorf("goroutine %d: scrub found damage on healthy object: %+v", i, rep)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

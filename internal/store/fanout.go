@@ -1,0 +1,39 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runTasks executes fn(0) … fn(n-1) on at most workers goroutines, pulling
+// task indices from a shared counter. With one worker (or one task) it runs
+// inline on the caller. fn must be safe to call concurrently for distinct
+// indices; callers make results deterministic by writing each task's output
+// into its own slot and merging in index order afterwards.
+func runTasks(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"hash/crc32"
+	"sync"
 	"time"
 
 	"github.com/fusionstore/fusion/internal/bitmap"
@@ -49,21 +50,56 @@ type QueryStats struct {
 	Selectivity float64
 }
 
-// execState accumulates per-stage operation costs during one query.
+// execState accumulates per-stage operation costs during one query. The
+// stage fan-out gives every concurrent task a forked child state and joins
+// the children back in deterministic row-group/chunk order, so the merged
+// stats and cost sheets — and therefore the simulated latency sample — are
+// byte-identical to a serial run. The mutex additionally makes direct
+// concurrent accounting on a shared state safe.
 type execState struct {
 	store *Store
 	meta  *ObjectMeta
-	stats QueryStats
-	stage [2][]simnet.OpCost
 	coord int
 	nowSt int // current stage index
+
+	mu    sync.Mutex
+	stats QueryStats
+	stage [2][]simnet.OpCost
 }
 
 func (e *execState) addOp(op simnet.OpCost) {
+	e.mu.Lock()
 	e.stage[e.nowSt] = append(e.stage[e.nowSt], op)
 	if !op.Local {
 		e.stats.TrafficBytes += op.ReqBytes + op.RespBytes
 	}
+	e.mu.Unlock()
+}
+
+// fork returns a child state for one fan-out task. Children are owned by a
+// single worker goroutine and carry the parent's stage index.
+func (e *execState) fork() *execState {
+	return &execState{store: e.store, meta: e.meta, coord: e.coord, nowSt: e.nowSt}
+}
+
+// join folds a child's accounting back into e. Callers join children in
+// task order, which keeps the cost-sheet op order — and with it the jitter
+// draws of the latency model — independent of worker scheduling.
+func (e *execState) join(c *execState) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.stage {
+		e.stage[i] = append(e.stage[i], c.stage[i]...)
+	}
+	s, cs := &e.stats, &c.stats
+	s.TrafficBytes += cs.TrafficBytes
+	s.FilterRPCs += cs.FilterRPCs
+	s.ProjectRPCs += cs.ProjectRPCs
+	s.AggregateRPCs += cs.AggregateRPCs
+	s.FetchRPCs += cs.FetchRPCs
+	s.PushdownOn += cs.PushdownOn
+	s.PushdownOff += cs.PushdownOff
+	s.PrunedRowGroups += cs.PrunedRowGroups
 }
 
 // chargeCoordCPU adds coordinator-side processing to the cluster's CPU
@@ -211,33 +247,57 @@ func rgVerdict(e sql.Expr, footer *lpq.Footer, colIdx map[string]int, rg int) sq
 }
 
 // filterStage computes the selection bitmap of every row group. A nil entry
-// means the row group was pruned (provably empty).
+// means the row group was pruned (provably empty). Row groups are filtered
+// concurrently on a bounded worker pool; each task accounts into a forked
+// execState and the children are joined in row-group order, so the stage's
+// output and cost sheet match a serial run exactly.
 func (s *Store) filterStage(st *execState, q *sql.Query, colIdx map[string]int) (map[int]*bitmap.Bitmap, error) {
 	meta := st.meta
-	out := make(map[int]*bitmap.Bitmap, len(meta.Footer.RowGroups))
-	for rg, rgMeta := range meta.Footer.RowGroups {
+	rgs := meta.Footer.RowGroups
+	type rgResult struct {
+		bm     *bitmap.Bitmap
+		pruned bool
+		sub    *execState
+		err    error
+	}
+	results := make([]rgResult, len(rgs))
+	runTasks(s.queryWorkers(), len(rgs), func(rg int) {
+		r := &results[rg]
 		if q.Where == nil {
-			out[rg] = bitmap.NewFull(rgMeta.NumRows)
-			continue
+			r.bm = bitmap.NewFull(rgs[rg].NumRows)
+			return
 		}
 		switch rgVerdict(q.Where, meta.Footer, colIdx, rg) {
 		case sql.StatsNone:
-			out[rg] = nil
-			st.stats.PrunedRowGroups++
-			continue
+			r.pruned = true
+			return
 		case sql.StatsAll:
-			out[rg] = bitmap.NewFull(rgMeta.NumRows)
-			continue
+			r.bm = bitmap.NewFull(rgs[rg].NumRows)
+			return
 		}
-		bm, err := s.rowGroupFilter(st, q, colIdx, rg)
+		r.sub = st.fork()
+		bm, err := s.rowGroupFilter(r.sub, q, colIdx, rg)
 		if err != nil {
-			return nil, err
+			r.err = err
+			return
 		}
-		if bm.Count() == 0 {
-			out[rg] = nil // empty after exact filtering: skip projection
-		} else {
-			out[rg] = bm
+		if bm.Count() > 0 {
+			r.bm = bm // else leave nil: empty after exact filtering
 		}
+	})
+	out := make(map[int]*bitmap.Bitmap, len(rgs))
+	for rg := range results {
+		r := &results[rg]
+		if r.sub != nil {
+			st.join(r.sub)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.pruned {
+			st.stats.PrunedRowGroups++
+		}
+		out[rg] = r.bm
 	}
 	return out, nil
 }
@@ -554,13 +614,17 @@ func (s *Store) projectionStage(st *execState, q *sql.Query, colIdx map[string]i
 	// their chunks are reduced in-situ instead.
 	aggPush := s.opts.AggregatePushdown && s.opts.Exec == ExecPushdown && meta.Mode == LayoutFAC
 	aggOnly := map[string]bool{}
+	var aggOnlyCols []string // SELECT-list order, for deterministic execution
 	needCols := append([]string(nil), plainCols...)
 	for _, a := range aggs {
 		if a.proj.Star || seen[a.proj.Column] {
 			continue
 		}
 		if aggPush {
-			aggOnly[a.proj.Column] = true
+			if !aggOnly[a.proj.Column] {
+				aggOnly[a.proj.Column] = true
+				aggOnlyCols = append(aggOnlyCols, a.proj.Column)
+			}
 		} else {
 			needCols = append(needCols, a.proj.Column)
 		}
@@ -573,35 +637,66 @@ func (s *Store) projectionStage(st *execState, q *sql.Query, colIdx map[string]i
 		colData[name] = &lpq.ColumnData{Type: meta.Footer.Columns[ci].Type}
 	}
 
+	// Fan the per-chunk work (projections and in-situ aggregations) out
+	// across a bounded worker pool. Tasks are generated in row-group-major,
+	// SELECT-list-minor order and merged back in exactly that order, so the
+	// result — including float aggregate accumulation order and the cost
+	// sheets feeding the latency model — is identical to a serial run.
+	type chunkTask struct {
+		rg      int
+		name    string
+		agg     bool
+		sub     *execState
+		vals    lpq.ColumnData
+		partial *sql.AggState
+		err     error
+	}
+	var tasks []*chunkTask
 	for rg := range meta.Footer.RowGroups {
 		bm := rgBitmaps[rg]
 		if bm == nil || bm.Count() == 0 {
 			continue
 		}
-		sel := bm.Selectivity()
 		for _, name := range needCols {
-			ci := colIdx[name]
-			ch := meta.Footer.RowGroups[rg].Chunks[ci]
-			vals, err := s.projectChunk(st, rg, ci, ch, bm, sel)
-			if err != nil {
-				return nil, err
-			}
-			if err := cluster.AppendColumn(colData[name], vals); err != nil {
-				return nil, err
-			}
+			tasks = append(tasks, &chunkTask{rg: rg, name: name})
 		}
-		for name := range aggOnly {
-			ci := colIdx[name]
-			ch := meta.Footer.RowGroups[rg].Chunks[ci]
-			partial, err := s.aggregateChunk(st, rg, ci, ch, bm)
-			if err != nil {
-				return nil, err
-			}
+		for _, name := range aggOnlyCols {
+			tasks = append(tasks, &chunkTask{rg: rg, name: name, agg: true})
+		}
+	}
+	runTasks(s.queryWorkers(), len(tasks), func(i int) {
+		t := tasks[i]
+		bm := rgBitmaps[t.rg]
+		ci := colIdx[t.name]
+		ch := meta.Footer.RowGroups[t.rg].Chunks[ci]
+		t.sub = st.fork()
+		if t.agg {
+			t.partial, t.err = s.aggregateChunk(t.sub, t.rg, ci, ch, bm)
+		} else {
+			t.vals, t.err = s.projectChunk(t.sub, t.rg, ci, ch, bm, bm.Selectivity())
+		}
+	})
+	for _, t := range tasks {
+		st.join(t.sub)
+		if t.err != nil {
+			return nil, t.err
+		}
+		if t.agg {
 			for i := range aggs {
-				if !aggs[i].proj.Star && aggs[i].proj.Column == name {
-					aggs[i].state.Merge(partial)
+				if !aggs[i].proj.Star && aggs[i].proj.Column == t.name {
+					aggs[i].state.Merge(t.partial)
 				}
 			}
+			continue
+		}
+		if err := cluster.AppendColumn(colData[t.name], t.vals); err != nil {
+			return nil, err
+		}
+	}
+	for rg := range meta.Footer.RowGroups {
+		bm := rgBitmaps[rg]
+		if bm == nil || bm.Count() == 0 {
+			continue
 		}
 		for i := range aggs {
 			if aggs[i].proj.Star {

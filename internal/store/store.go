@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"github.com/fusionstore/fusion/internal/cluster"
@@ -70,6 +71,12 @@ type Options struct {
 	// work (§5); it applies to aggregate columns that are not also plainly
 	// projected.
 	AggregatePushdown bool
+	// QueryWorkers bounds the worker pool that fans the filter stage out
+	// across row groups and the projection/aggregation stage out across
+	// chunks. 0 means runtime.GOMAXPROCS; 1 runs queries serially. Results
+	// are merged in row-group/chunk order, so query output is identical at
+	// every pool size.
+	QueryWorkers int
 	// Seed drives stripe placement.
 	Seed int64
 	// Model, when set, computes simulated query latencies from the
@@ -146,6 +153,14 @@ func New(client cluster.Client, opts Options) (*Store, error) {
 
 // Options returns the store's configuration.
 func (s *Store) Options() Options { return s.opts }
+
+// queryWorkers resolves the query-stage worker pool size.
+func (s *Store) queryWorkers() int {
+	if w := s.opts.QueryWorkers; w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // CoordinatorFor returns the node that coordinates requests for an object:
 // hash(name) mod cluster size (§5: no dedicated coordinator).
