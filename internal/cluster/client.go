@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"errors"
-	"fmt"
 
 	"github.com/fusionstore/fusion/internal/rpc"
 )
@@ -22,16 +21,11 @@ type Client interface {
 // ErrNodeDown reports a call to an unreachable node.
 var ErrNodeDown = errors.New("cluster: node down")
 
-// CallChecked performs a Call and converts application errors to Go errors.
+// CallChecked performs a Call under DefaultPolicy (bounded retries with
+// backoff for transient transport errors; ErrNodeDown fails fast) and
+// converts application errors to Go errors.
 func CallChecked(c Client, node int, req *rpc.Request) (*rpc.Response, error) {
-	resp, err := c.Call(node, req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return resp, fmt.Errorf("cluster: node %d: %s", node, resp.Err)
-	}
-	return resp, nil
+	return CallCheckedPolicy(c, node, req, DefaultPolicy())
 }
 
 // ParallelResult is one completed call from Parallel.
@@ -43,24 +37,9 @@ type ParallelResult struct {
 	Err   error
 }
 
-// Parallel issues all calls concurrently and returns results indexed like
-// the input. The coordinator fans its filter and projection stages out this
-// way (§4.3).
+// Parallel issues all calls concurrently under DefaultPolicy and returns
+// results indexed like the input. The coordinator fans its filter and
+// projection stages out this way (§4.3).
 func Parallel(c Client, nodes []int, reqs []*rpc.Request) []ParallelResult {
-	if len(nodes) != len(reqs) {
-		panic("cluster: nodes and reqs length mismatch")
-	}
-	results := make([]ParallelResult, len(reqs))
-	done := make(chan int, len(reqs))
-	for i := range reqs {
-		go func(i int) {
-			resp, err := c.Call(nodes[i], reqs[i])
-			results[i] = ParallelResult{Index: i, Node: nodes[i], Req: reqs[i], Resp: resp, Err: err}
-			done <- i
-		}(i)
-	}
-	for range reqs {
-		<-done
-	}
-	return results
+	return ParallelPolicy(c, nodes, reqs, DefaultPolicy())
 }

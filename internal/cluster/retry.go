@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/metrics"
+	"github.com/fusionstore/fusion/internal/rpc"
+)
+
+// ErrCallTimeout reports an attempt abandoned at its per-call deadline. The
+// underlying transport call keeps running in the background; every node RPC
+// is idempotent, so a retried attempt racing a late response is harmless.
+var ErrCallTimeout = errors.New("cluster: call timed out")
+
+// Policy bounds the retry/backoff/deadline behavior of the hardened call
+// path. The zero value means "defaults": 3 attempts, 1ms base backoff
+// doubling to 100ms, 50% jitter, no per-attempt deadline.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further retry
+	// doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff.
+	MaxBackoff time.Duration
+	// JitterFrac scales each backoff by a uniform factor in
+	// [1, 1+JitterFrac], decorrelating retry storms across callers.
+	JitterFrac float64
+	// Timeout, when positive, bounds each attempt; an attempt that exceeds
+	// it fails with ErrCallTimeout and is retried like any transport error.
+	Timeout time.Duration
+	// RetryNodeDown also retries ErrNodeDown. Off by default: a refused
+	// connection is a definitive answer, and for reads the caller's better
+	// retry is the reconstruction fan-out over other nodes.
+	RetryNodeDown bool
+	// Health, when set, receives per-node call/failure/retry/timeout counts.
+	Health *metrics.Health
+}
+
+// DefaultPolicy returns the policy CallChecked and Parallel apply.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+		JitterFrac:  0.5,
+	}
+}
+
+// withDefaults fills unset bounds.
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number retry (1-based).
+func (p Policy) backoff(retry int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < retry && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.JitterFrac > 0 {
+		d = time.Duration(float64(d) * (1 + p.JitterFrac*rand.Float64()))
+	}
+	return d
+}
+
+// retryable reports whether a transport error is worth another attempt.
+func (p Policy) retryable(err error) bool {
+	if errors.Is(err, ErrNodeDown) {
+		return p.RetryNodeDown
+	}
+	return true
+}
+
+// CallTimeout performs one Call bounded by d (d <= 0 means unbounded). On
+// timeout the in-flight call is abandoned to a buffered channel, so the
+// transport goroutine never blocks.
+func CallTimeout(c Client, node int, req *rpc.Request, d time.Duration) (*rpc.Response, error) {
+	if d <= 0 {
+		return c.Call(node, req)
+	}
+	type result struct {
+		resp *rpc.Response
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := c.Call(node, req)
+		ch <- result{resp, err}
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: node %d after %v", ErrCallTimeout, node, d)
+	}
+}
+
+// CallRetry is the hardened transport call: per-attempt deadline, bounded
+// retries with exponential backoff + jitter, and per-node health accounting.
+// Only transport-level failures are retried; an rpc.Response carrying an
+// application error is returned as a success at this layer. All node RPCs
+// are idempotent (Put rewrites the same bytes, reads have no side effects),
+// so re-sending a request whose response was lost is safe.
+func CallRetry(c Client, node int, req *rpc.Request, p Policy) (*rpc.Response, error) {
+	p = p.withDefaults()
+	var lastErr error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			p.Health.Retry(node)
+			time.Sleep(p.backoff(attempt - 1))
+		}
+		p.Health.Call(node)
+		resp, err := CallTimeout(c, node, req, p.Timeout)
+		if err == nil {
+			return resp, nil
+		}
+		p.Health.Failure(node)
+		if errors.Is(err, ErrCallTimeout) {
+			p.Health.Timeout(node)
+		}
+		lastErr = err
+		if !p.retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("cluster: %d attempts to node %d failed: %w", p.MaxAttempts, node, lastErr)
+}
+
+// CallCheckedPolicy is CallChecked under an explicit policy.
+func CallCheckedPolicy(c Client, node int, req *rpc.Request, p Policy) (*rpc.Response, error) {
+	resp, err := CallRetry(c, node, req, p)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("cluster: node %d: %s", node, resp.Err)
+	}
+	return resp, nil
+}
+
+// ParallelPolicy issues all calls concurrently under the given retry policy,
+// returning results indexed like the input.
+func ParallelPolicy(c Client, nodes []int, reqs []*rpc.Request, p Policy) []ParallelResult {
+	if len(nodes) != len(reqs) {
+		panic("cluster: nodes and reqs length mismatch")
+	}
+	results := make([]ParallelResult, len(reqs))
+	done := make(chan int, len(reqs))
+	for i := range reqs {
+		go func(i int) {
+			resp, err := CallRetry(c, nodes[i], reqs[i], p)
+			results[i] = ParallelResult{Index: i, Node: nodes[i], Req: reqs[i], Resp: resp, Err: err}
+			done <- i
+		}(i)
+	}
+	for range reqs {
+		<-done
+	}
+	return results
+}

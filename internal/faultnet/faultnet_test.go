@@ -1,0 +1,241 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/simnet"
+)
+
+func newInjector(t testing.TB, nodes int, seed int64) (*Injector, *simnet.Cluster) {
+	t.Helper()
+	cfg := simnet.DefaultConfig()
+	cfg.Nodes = nodes
+	cl := simnet.New(cfg)
+	return New(cl, seed), cl
+}
+
+func put(t testing.TB, c cluster.Client, node int, id string, data []byte) {
+	t.Helper()
+	resp, err := c.Call(node, &rpc.Request{Kind: rpc.KindPutBlock, BlockID: id, Data: data})
+	if err != nil || resp.Err != "" {
+		t.Fatalf("put %s on %d: %v %s", id, node, err, resp.Err)
+	}
+}
+
+func TestFaultErrorIsRetryableNotNodeDown(t *testing.T) {
+	inj, _ := newInjector(t, 3, 1)
+	inj.Add(Rule{Node: 0, Kind: rpc.KindPing, Fault: FaultError, Count: 1})
+	_, err := inj.Call(0, &rpc.Request{Kind: rpc.KindPing})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if errors.Is(err, cluster.ErrNodeDown) {
+		t.Fatal("injected transient error must not read as node-down")
+	}
+	// Count exhausted: next call passes through.
+	if _, err := inj.Call(0, &rpc.Request{Kind: rpc.KindPing}); err != nil {
+		t.Fatalf("rule should be exhausted: %v", err)
+	}
+	if inj.Injected(0) != 1 {
+		t.Fatalf("injected count = %d, want 1", inj.Injected(0))
+	}
+}
+
+func TestFaultDownCrashUntilRevived(t *testing.T) {
+	inj, _ := newInjector(t, 3, 1)
+	inj.Add(Rule{Node: 1, Kind: KindAny, Fault: FaultDown, Count: 1})
+	if _, err := inj.Call(1, &rpc.Request{Kind: rpc.KindPing}); !errors.Is(err, cluster.ErrNodeDown) {
+		t.Fatalf("crash call: want ErrNodeDown, got %v", err)
+	}
+	// Stays down across later calls even though the rule is exhausted.
+	if _, err := inj.Call(1, &rpc.Request{Kind: rpc.KindPing}); !errors.Is(err, cluster.ErrNodeDown) {
+		t.Fatalf("crashed node must stay down, got %v", err)
+	}
+	if got := inj.DownNodes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("DownNodes = %v", got)
+	}
+	inj.SetDown(1, false)
+	if _, err := inj.Call(1, &rpc.Request{Kind: rpc.KindPing}); err != nil {
+		t.Fatalf("revived node: %v", err)
+	}
+}
+
+func TestFaultSlowDelays(t *testing.T) {
+	inj, _ := newInjector(t, 2, 1)
+	inj.Add(Rule{Node: 0, Kind: rpc.KindPing, Fault: FaultSlow, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := inj.Call(0, &rpc.Request{Kind: rpc.KindPing}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("slow call returned in %v, want ≥ 30ms", d)
+	}
+}
+
+func TestFaultCorruptFlipsResponseNotStorage(t *testing.T) {
+	inj, _ := newInjector(t, 2, 7)
+	payload := bytes.Repeat([]byte{0xAB}, 128)
+	put(t, inj, 0, "blk", payload)
+	inj.Add(Rule{Node: 0, Kind: rpc.KindGetBlock, Fault: FaultCorrupt, Count: 1})
+	resp, err := inj.Call(0, &rpc.Request{Kind: rpc.KindGetBlock, BlockID: "blk"})
+	if err != nil || resp.Err != "" {
+		t.Fatalf("corrupt get: %v %s", err, resp.Err)
+	}
+	if bytes.Equal(resp.Data, payload) {
+		t.Fatal("response should be corrupted")
+	}
+	diff := 0
+	for i := range payload {
+		if resp.Data[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1", diff)
+	}
+	// The at-rest copy is untouched: the next read is clean.
+	resp, err = inj.Call(0, &rpc.Request{Kind: rpc.KindGetBlock, BlockID: "blk"})
+	if err != nil || !bytes.Equal(resp.Data, payload) {
+		t.Fatalf("stored block corrupted: %v", err)
+	}
+}
+
+func TestFaultHangObeysCallTimeout(t *testing.T) {
+	inj, _ := newInjector(t, 2, 1)
+	inj.Add(Rule{Node: 0, Kind: rpc.KindPing, Fault: FaultHang, Count: 1, Delay: 500 * time.Millisecond})
+	pol := cluster.Policy{MaxAttempts: 2, BaseBackoff: 100 * time.Microsecond, Timeout: 20 * time.Millisecond}
+	start := time.Now()
+	// First attempt hangs past the deadline, the retry passes through.
+	resp, err := cluster.CallRetry(inj, 0, &rpc.Request{Kind: rpc.KindPing}, pol)
+	if err != nil || resp.Err != "" {
+		t.Fatalf("retry after hang: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond || d > 400*time.Millisecond {
+		t.Fatalf("call took %v, want ~one 20ms deadline + retry", d)
+	}
+}
+
+func TestCallTimeoutSentinel(t *testing.T) {
+	inj, _ := newInjector(t, 2, 1)
+	inj.Add(Rule{Node: 0, Kind: rpc.KindPing, Fault: FaultHang, Delay: 500 * time.Millisecond})
+	pol := cluster.Policy{MaxAttempts: 2, BaseBackoff: 100 * time.Microsecond, Timeout: 15 * time.Millisecond}
+	_, err := cluster.CallRetry(inj, 0, &rpc.Request{Kind: rpc.KindPing}, pol)
+	if !errors.Is(err, cluster.ErrCallTimeout) {
+		t.Fatalf("want ErrCallTimeout, got %v", err)
+	}
+}
+
+// TestSeededDeterminism replays the same seeded schedule twice: probabilistic
+// rule decisions must be identical call for call.
+func TestSeededDeterminism(t *testing.T) {
+	const seed = 42
+	trace := func() []bool {
+		inj, _ := newInjector(t, 3, seed)
+		inj.Add(Rule{Node: NodeAny, Kind: KindAny, Fault: FaultError, Prob: 0.4})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			_, err := inj.Call(i%3, &rpc.Request{Kind: rpc.KindPing})
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := trace(), trace()
+	injectedSomething := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at call %d (seed %d)", i, seed)
+		}
+		injectedSomething = injectedSomething || a[i]
+	}
+	if !injectedSomething {
+		t.Fatal("probabilistic rule never fired")
+	}
+}
+
+func TestRetryExhaustionReportsLastError(t *testing.T) {
+	inj, _ := newInjector(t, 2, 1)
+	inj.Add(Rule{Node: 0, Kind: rpc.KindPing, Fault: FaultError})
+	pol := cluster.Policy{MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond}
+	_, err := cluster.CallRetry(inj, 0, &rpc.Request{Kind: rpc.KindPing}, pol)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("exhausted retries should wrap the last error, got %v", err)
+	}
+	if inj.Injected(0) != 3 {
+		t.Fatalf("3 attempts expected, injected %d faults", inj.Injected(0))
+	}
+}
+
+func TestNodeDownFailsFastByDefault(t *testing.T) {
+	inj, _ := newInjector(t, 2, 1)
+	inj.SetDown(0, true)
+	pol := cluster.Policy{MaxAttempts: 5, BaseBackoff: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := cluster.CallRetry(inj, 0, &rpc.Request{Kind: rpc.KindPing}, pol)
+	if !errors.Is(err, cluster.ErrNodeDown) {
+		t.Fatalf("want ErrNodeDown, got %v", err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("node-down call took %v: must fail fast, not back off", d)
+	}
+	if inj.Injected(0) != 0 {
+		t.Fatal("down set is not a rule; injected counter should be 0")
+	}
+}
+
+// TestRetryIdempotentSafe is the testing/quick property behind the retry
+// layer: a request that fails i < MaxAttempts times yields the same
+// response and leaves the same store state as one that succeeds immediately.
+func TestRetryIdempotentSafe(t *testing.T) {
+	const maxAttempts = 4
+	check := func(seed int64, failRaw uint8, payload []byte) bool {
+		fails := int(failRaw) % maxAttempts
+		if len(payload) == 0 {
+			payload = []byte{0x5A}
+		}
+		pol := cluster.Policy{MaxAttempts: maxAttempts, BaseBackoff: 50 * time.Microsecond, MaxBackoff: 200 * time.Microsecond}
+
+		cfg := simnet.DefaultConfig()
+		cfg.Nodes = 2
+		control := simnet.New(cfg)
+		faulty := simnet.New(cfg)
+		inj := New(faulty, seed)
+		if fails > 0 { // Count <= 0 means unlimited, not "never"
+			inj.Add(Rule{Node: 0, Kind: rpc.KindPutBlock, Fault: FaultError, Count: fails})
+			inj.Add(Rule{Node: 0, Kind: rpc.KindGetBlock, Fault: FaultError, Count: fails})
+		}
+
+		putReq := func() *rpc.Request {
+			return &rpc.Request{Kind: rpc.KindPutBlock, BlockID: "obj", Data: payload}
+		}
+		respC, errC := cluster.CallRetry(control, 0, putReq(), pol)
+		respF, errF := cluster.CallRetry(inj, 0, putReq(), pol)
+		if errC != nil || errF != nil || respC.Err != "" || respF.Err != "" {
+			return false
+		}
+		// Same response for a read that also failed i times first.
+		getReq := func() *rpc.Request {
+			return &rpc.Request{Kind: rpc.KindGetBlock, BlockID: "obj"}
+		}
+		gotC, errC := cluster.CallRetry(control, 0, getReq(), pol)
+		gotF, errF := cluster.CallRetry(inj, 0, getReq(), pol)
+		if errC != nil || errF != nil {
+			return false
+		}
+		if !bytes.Equal(gotC.Data, gotF.Data) || !bytes.Equal(gotF.Data, payload) {
+			return false
+		}
+		// Identical node-side store state.
+		sC, errC := control.Node(0).Blocks.Get("obj", 0, 0)
+		sF, errF := faulty.Node(0).Blocks.Get("obj", 0, 0)
+		return errC == nil && errF == nil && bytes.Equal(sC, sF)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/faultnet"
+	"github.com/fusionstore/fusion/internal/rpc"
+)
+
+// TestChaosSoak runs concurrent Put/Get/Query/Scrub for a short, seeded
+// window under a random fault schedule: up to 2 crashed nodes (revived and
+// re-crashed by the chaos controller), one flaky node injecting transient
+// errors, and one slow node that trips read hedging. With at most
+// 2 (down) + 1 (flaky) = n−k unreliable nodes, every read and query must
+// succeed bit-identically; the only permitted failure anywhere is the
+// ErrTooManyFailures sentinel (a Put can hit it: a stripe needs n healthy
+// target nodes and the schedule may leave fewer).
+func TestChaosSoak(t *testing.T) {
+	seed := faultSeed(t)
+	const (
+		flakyNode = 0
+		slowNode  = 1
+		maxDown   = 2 // + 1 flaky = n−k for RS(9,6)
+	)
+	opts := fusionTestOptions()
+	opts.HedgeAfter = 2 * time.Millisecond
+	s, inj := newFaultStore(t, 9, seed, opts)
+
+	// Stable objects are written healthy and never overwritten: their
+	// contents and query results are the ground truth the workers check.
+	const query = "SELECT qty, price FROM %s WHERE flag = 'A' AND qty > 10"
+	type stable struct {
+		name string
+		data []byte
+		rows int
+	}
+	var stables []stable
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("stable-%d", i)
+		data, _, _ := makeObject(t, 2, 150, seed+int64(i))
+		if _, err := s.Put(name, data); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Query(fmt.Sprintf(query, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stables = append(stables, stable{name: name, data: data, rows: res.Rows})
+	}
+
+	// Fault schedule: transient errors on one node, slow reads on another,
+	// and a seeded random walk crashing/reviving up to maxDown nodes.
+	inj.Add(faultnet.Rule{Node: flakyNode, Kind: faultnet.KindAny, Fault: faultnet.FaultError, Prob: 0.2})
+	inj.Add(faultnet.Rule{Node: slowNode, Kind: rpc.KindGetBlock, Fault: faultnet.FaultSlow, Prob: 0.1, Delay: 5 * time.Millisecond})
+	chaos := faultnet.StartChaos(inj, seed, faultnet.ChaosConfig{
+		MaxDown:    maxDown,
+		ToggleProb: 0.7,
+		Step:       5 * time.Millisecond,
+	})
+
+	soak := 2 * time.Second
+	if testing.Short() {
+		soak = 500 * time.Millisecond
+	}
+	deadline := time.Now().Add(soak)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+
+	// Readers: random ranges of stable objects, bytes must match exactly.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(100+w)))
+			for time.Now().Before(deadline) {
+				st := stables[rng.Intn(len(stables))]
+				off := uint64(rng.Intn(len(st.data)))
+				length := uint64(rng.Intn(len(st.data)-int(off))) + 1
+				got, err := s.Get(st.name, off, length)
+				if err != nil {
+					report(fmt.Errorf("get %s [%d,%d): %w", st.name, off, off+length, err))
+					return
+				}
+				if !bytes.Equal(got, st.data[off:off+length]) {
+					report(fmt.Errorf("get %s [%d,%d): bytes differ", st.name, off, off+length))
+					return
+				}
+			}
+		}(w)
+	}
+	// Queries: row counts must match the healthy result.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed + 200))
+		for time.Now().Before(deadline) {
+			st := stables[rng.Intn(len(stables))]
+			res, err := s.Query(fmt.Sprintf(query, st.name))
+			if err != nil {
+				report(fmt.Errorf("query %s: %w", st.name, err))
+				return
+			}
+			if res.Rows != st.rows {
+				report(fmt.Errorf("query %s: %d rows, want %d", st.name, res.Rows, st.rows))
+				return
+			}
+		}
+	}()
+	// Writer: fresh names; a Put may fail with the sentinel (stripes need n
+	// healthy nodes), but a successful Put must be durably readable.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			name := fmt.Sprintf("chaos-%d", i)
+			data, _, _ := makeObject(t, 1, 60, seed+int64(1000+i))
+			if _, err := s.Put(name, data); err != nil {
+				if !errors.Is(err, ErrTooManyFailures) {
+					report(fmt.Errorf("put %s: %w", name, err))
+					return
+				}
+				continue
+			}
+			got, err := s.Get(name, 0, 0)
+			if err != nil {
+				report(fmt.Errorf("get-after-put %s: %w", name, err))
+				return
+			}
+			if !bytes.Equal(got, data) {
+				report(fmt.Errorf("get-after-put %s: bytes differ", name))
+				return
+			}
+		}
+	}()
+	// Scrubber: report-only scrubs must never error below the tolerance.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed + 300))
+		for time.Now().Before(deadline) {
+			st := stables[rng.Intn(len(stables))]
+			if _, err := s.Scrub(st.name, ScrubOptions{}); err != nil {
+				report(fmt.Errorf("scrub %s: %w", st.name, err))
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	chaos.Stop()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("seed %d (%s): %v\nhealth:\n%s", seed, chaos, err, s.Health())
+	}
+	total := s.Health().Total()
+	t.Logf("soak done: %d injected faults; calls %d fail %d retry %d hedge %d hedgewin %d",
+		inj.InjectedTotal(), total.Calls, total.Failures, total.Retries, total.Hedges, total.HedgeWins)
+	if total.Retries == 0 {
+		t.Error("soak never exercised the retry path")
+	}
+
+	// Over-tolerance phase: crash n−k+1 nodes and the sentinel must surface.
+	inj.ClearRules()
+	inj.ReviveAll()
+	for node := 0; node < 4; node++ {
+		inj.SetDown(node, true)
+	}
+	if _, err := s.Get(stables[0].name, 0, 0); !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("seed %d: want ErrTooManyFailures with 4 nodes down, got %v", seed, err)
+	}
+	inj.ReviveAll()
+	if got, err := s.Get(stables[0].name, 0, 0); err != nil || !bytes.Equal(got, stables[0].data) {
+		t.Fatalf("seed %d: recovery after revival failed: %v", seed, err)
+	}
+}
+
+// TestHedgedReadBeatsSlowNode pins hedging behavior: with the node holding
+// stripe 0's first data bin serving block reads 50ms slow and a 1ms hedging
+// threshold, Get must return the correct bytes via the reconstruction
+// fan-out instead of waiting out the direct read, and the health counters
+// must record the hedge and its win.
+func TestHedgedReadBeatsSlowNode(t *testing.T) {
+	seed := faultSeed(t)
+	opts := fusionTestOptions()
+	opts.HedgeAfter = time.Millisecond
+	s, inj := newFaultStore(t, 9, seed, opts)
+	data, _, _ := makeObject(t, 2, 200, seed)
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Meta("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow down a node that definitely serves a direct data-bin read; its
+	// reconstruction fan-out touches only the other 8 (fast) nodes.
+	slowNode := meta.Stripes[0].Nodes[0]
+	inj.Add(faultnet.Rule{Node: slowNode, Kind: rpc.KindGetBlock, Fault: faultnet.FaultSlow, Delay: 50 * time.Millisecond})
+	start := time.Now()
+	got, err := s.Get("obj", 0, 0)
+	if err != nil {
+		t.Fatalf("seed %d: hedged Get: %v", seed, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("seed %d: hedged Get bytes differ", seed)
+	}
+	elapsed := time.Since(start)
+	h := s.Health().Node(slowNode)
+	if h.Hedges == 0 {
+		t.Fatalf("seed %d: no hedge fired against slow node %d (health:\n%s)", seed, slowNode, s.Health())
+	}
+	if h.HedgeWins == 0 {
+		t.Fatalf("seed %d: hedge never won against a 50ms-slow direct read (took %v)", seed, elapsed)
+	}
+}
+
+// TestScrubDetectsInFlightCorruption drives faultnet's corruption fault
+// through Scrub: a flipped byte in one shard's response must show up as a
+// parity-inconsistent stripe, and a clean pass must follow once the fault
+// schedule is exhausted.
+func TestScrubDetectsInFlightCorruption(t *testing.T) {
+	seed := faultSeed(t)
+	s, inj := newFaultStore(t, 9, seed, fusionTestOptions())
+	data, _, _ := makeObject(t, 1, 150, seed)
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	inj.Add(faultnet.Rule{Node: faultnet.NodeAny, Kind: rpc.KindGetBlock, Fault: faultnet.FaultCorrupt, Count: 1})
+	rep, err := s.Scrub("obj", ScrubOptions{})
+	if err != nil {
+		t.Fatalf("seed %d: scrub: %v", seed, err)
+	}
+	if rep.CorruptStripes == 0 {
+		t.Fatalf("seed %d: scrub missed the corrupted shard: %+v", seed, rep)
+	}
+	rep, err = s.Scrub("obj", ScrubOptions{})
+	if err != nil || rep.CorruptStripes != 0 || rep.MissingBlocks != 0 {
+		t.Fatalf("seed %d: clean scrub after fault exhausted: %+v %v", seed, rep, err)
+	}
+}

@@ -3,10 +3,17 @@ package store
 import (
 	"errors"
 	"fmt"
+	"time"
 
-	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/rpc"
 )
+
+// ErrTooManyFailures is the sentinel for a degraded operation that ran out
+// of redundancy: fewer than k of a stripe's n blocks were readable, so the
+// RS code cannot reconstruct. Every unrecoverable degraded-path error wraps
+// it (errors.Is), which is what the chaos tests assert once failures exceed
+// the code's n−k tolerance.
+var ErrTooManyFailures = errors.New("store: too many failures")
 
 // Get reads length bytes of the object starting at offset (length 0 = to
 // the end). Reads survive up to n−k node failures: a block on a down node
@@ -83,23 +90,106 @@ func (s *Store) getFixed(meta *ObjectMeta, offset, length uint64) ([]byte, error
 
 // readStripeRange reads [off, off+length) of data block bin in a stripe,
 // reconstructing the block from the stripe's survivors when its node is
-// unreachable or its block is missing.
+// unreachable or its block is missing. With Options.HedgeAfter set, a
+// direct read that is merely slow also races a reconstruction fan-out and
+// the first result wins.
 func (s *Store) readStripeRange(meta *ObjectMeta, stripe, bin int, off, length uint64) ([]byte, error) {
 	st := meta.Stripes[stripe]
-	resp, err := s.client.Call(st.Nodes[bin], &rpc.Request{
+	req := &rpc.Request{
 		Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[bin], Offset: off, Length: length,
-	})
+	}
+	if s.opts.HedgeAfter > 0 {
+		return s.readStripeRangeHedged(meta, stripe, bin, off, length, req)
+	}
+	resp, err := s.call(st.Nodes[bin], req)
 	if err == nil && resp.Err == "" {
 		return resp.Data, nil
+	}
+	if err == nil {
+		err = errors.New(resp.Err)
 	}
 	// Degraded read: rebuild the whole block, then slice.
 	block, derr := s.reconstructBlock(meta, stripe, bin)
 	if derr != nil {
-		if err == nil {
-			err = errors.New(resp.Err)
-		}
 		return nil, fmt.Errorf("store: degraded read failed (direct: %v): %w", err, derr)
 	}
+	return sliceBlock(block, off, length)
+}
+
+// readStripeRangeHedged races the direct read against a reconstruction
+// fan-out fired once the direct read exceeds the hedging threshold.
+func (s *Store) readStripeRangeHedged(meta *ObjectMeta, stripe, bin int, off, length uint64, req *rpc.Request) ([]byte, error) {
+	node := meta.Stripes[stripe].Nodes[bin]
+	type result struct {
+		data   []byte
+		err    error
+		hedged bool
+	}
+	results := make(chan result, 2) // buffered: late finishers never block
+	go func() {
+		resp, err := s.call(node, req)
+		if err == nil && resp.Err != "" {
+			err = errors.New(resp.Err)
+		}
+		if err != nil {
+			results <- result{err: err}
+			return
+		}
+		results <- result{data: resp.Data}
+	}()
+	launchHedge := func() {
+		go func() {
+			block, err := s.reconstructBlock(meta, stripe, bin)
+			if err != nil {
+				results <- result{err: err, hedged: true}
+				return
+			}
+			data, err := sliceBlock(block, off, length)
+			results <- result{data: data, err: err, hedged: true}
+		}()
+	}
+	timer := time.NewTimer(s.opts.HedgeAfter)
+	defer timer.Stop()
+	pending := 1
+	hedgeLaunched := false
+	var firstErr error
+	for {
+		select {
+		case r := <-results:
+			pending--
+			if r.err == nil {
+				if r.hedged {
+					s.health.HedgeWin(node)
+				}
+				return r.data, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !hedgeLaunched {
+				// Direct read failed before the threshold: reconstruct now.
+				hedgeLaunched = true
+				pending++
+				launchHedge()
+			} else if pending == 0 {
+				// Both %w so the ErrTooManyFailures sentinel survives
+				// whichever order the two failures arrived in.
+				return nil, fmt.Errorf("store: degraded read failed: %w; %w", firstErr, r.err)
+			}
+		case <-timer.C:
+			if !hedgeLaunched {
+				hedgeLaunched = true
+				pending++
+				s.health.Hedge(node)
+				launchHedge()
+			}
+		}
+	}
+}
+
+// sliceBlock bounds-checks and slices [off, off+length) of a reconstructed
+// block.
+func sliceBlock(block []byte, off, length uint64) ([]byte, error) {
 	if off+length > uint64(len(block)) {
 		return nil, fmt.Errorf("store: reconstructed block is %d bytes, need [%d,%d)", len(block), off, off+length)
 	}
@@ -117,7 +207,7 @@ func (s *Store) reconstructBlock(meta *ObjectMeta, stripe, bin int) ([]byte, err
 		if j == bin {
 			continue
 		}
-		resp, err := s.client.Call(st.Nodes[j], &rpc.Request{
+		resp, err := s.call(st.Nodes[j], &rpc.Request{
 			Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
 		})
 		if err != nil || resp.Err != "" {
@@ -127,7 +217,7 @@ func (s *Store) reconstructBlock(meta *ObjectMeta, stripe, bin int) ([]byte, err
 		available++
 	}
 	if available < p.K {
-		return nil, fmt.Errorf("store: only %d of %d shards available for stripe %d", available, p.K, stripe)
+		return nil, fmt.Errorf("%w: only %d of %d shards available for stripe %d", ErrTooManyFailures, available, p.K, stripe)
 	}
 	if err := s.coder.ReconstructData(shards); err != nil {
 		return nil, err
@@ -173,7 +263,7 @@ func (s *Store) RepairNode(name string, node int) (int, error) {
 			if err != nil {
 				return repaired, fmt.Errorf("store: repairing stripe %d block %d: %w", si, j, err)
 			}
-			if _, err := cluster.CallChecked(s.client, node, &rpc.Request{
+			if _, err := s.callChecked(node, &rpc.Request{
 				Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: block,
 			}); err != nil {
 				return repaired, err
@@ -194,7 +284,7 @@ func (s *Store) reconstructParity(meta *ObjectMeta, stripe, idx int) ([]byte, er
 		if j == idx {
 			continue
 		}
-		resp, err := s.client.Call(st.Nodes[j], &rpc.Request{
+		resp, err := s.call(st.Nodes[j], &rpc.Request{
 			Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
 		})
 		if err != nil || resp.Err != "" {
@@ -204,7 +294,7 @@ func (s *Store) reconstructParity(meta *ObjectMeta, stripe, idx int) ([]byte, er
 		available++
 	}
 	if available < p.K {
-		return nil, fmt.Errorf("store: only %d of %d shards available", available, p.K)
+		return nil, fmt.Errorf("%w: only %d of %d shards available", ErrTooManyFailures, available, p.K)
 	}
 	if err := s.coder.Reconstruct(shards); err != nil {
 		return nil, err

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/fac"
 	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/rpc"
@@ -227,7 +226,7 @@ func (s *Store) placeStripe(meta *ObjectMeta, si int, blocks [][]byte, sm *Strip
 		placed := false
 		for ; next < len(candidates); next++ {
 			node := candidates[next]
-			if _, err := cluster.CallChecked(s.client, node, &rpc.Request{
+			if _, err := s.callChecked(node, &rpc.Request{
 				Kind: rpc.KindPutBlock, BlockID: id, Data: blocks[j],
 			}); err != nil {
 				continue // unhealthy candidate: try the next
@@ -240,7 +239,10 @@ func (s *Store) placeStripe(meta *ObjectMeta, si int, blocks [][]byte, sm *Strip
 			break
 		}
 		if !placed {
-			return fmt.Errorf("store: stripe %d block %d: no healthy node left (%d candidates)", si, j, len(candidates))
+			// A stripe needs n distinct healthy nodes (no degraded writes):
+			// running out of candidates is the write-side "too many
+			// failures", the same sentinel degraded reads exhaust into.
+			return fmt.Errorf("%w: stripe %d block %d: no healthy node left (%d candidates)", ErrTooManyFailures, si, j, len(candidates))
 		}
 	}
 	return nil
@@ -300,7 +302,7 @@ func (s *Store) Meta(name string) (*ObjectMeta, error) {
 func (s *Store) deleteBlocks(meta *ObjectMeta) {
 	for _, st := range meta.Stripes {
 		for j, id := range st.BlockIDs {
-			_, _ = s.client.Call(st.Nodes[j], &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: id})
+			_, _ = s.call(st.Nodes[j], &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: id})
 		}
 	}
 }

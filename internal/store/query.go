@@ -357,7 +357,7 @@ func (s *Store) pushdownFilter(st *execState, c *sql.Compare, colType lpq.Type, 
 		Op:    c.Op,
 		Value: c.Value,
 	}
-	resp, err := cluster.CallChecked(s.client, node, req)
+	resp, err := s.callChecked(node, req)
 	if err != nil {
 		return nil, err
 	}
@@ -445,7 +445,7 @@ func (s *Store) reconstructChunkBytes(st *execState, rg, ci int) ([]byte, error)
 	stored := make([][]byte, len(spans))
 	for i, sp := range spans {
 		sm := meta.Stripes[sp.stripe]
-		resp, err := s.client.Call(sm.Nodes[sp.bin], &rpc.Request{
+		resp, err := s.call(sm.Nodes[sp.bin], &rpc.Request{
 			Kind: rpc.KindGetBlock, BlockID: sm.BlockIDs[sp.bin],
 		})
 		if err == nil && resp.Err == "" {
@@ -782,7 +782,7 @@ func (s *Store) aggregateChunk(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *
 			},
 			Bitmap: bm.Marshal(),
 		}
-		resp, err := cluster.CallChecked(s.client, node, req)
+		resp, err := s.callChecked(node, req)
 		if err == nil && resp.Agg != nil {
 			st.stats.AggregateRPCs++
 			st.addOp(simnet.OpCost{
@@ -829,7 +829,7 @@ func (s *Store) pushdownProject(st *execState, rg, ci int, ch lpq.ChunkMeta, bm 
 		},
 		Bitmap: bm.Marshal(),
 	}
-	resp, err := cluster.CallChecked(s.client, node, req)
+	resp, err := s.callChecked(node, req)
 	if err != nil {
 		return lpq.ColumnData{}, err
 	}

@@ -3,7 +3,6 @@ package store
 import (
 	"fmt"
 
-	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/rpc"
 )
@@ -49,7 +48,7 @@ func (s *Store) Scrub(name string, opts ScrubOptions) (*ScrubReport, error) {
 		shards := make([][]byte, p.N)
 		var missing []int
 		for j := 0; j < p.N; j++ {
-			resp, err := s.client.Call(st.Nodes[j], &rpc.Request{
+			resp, err := s.call(st.Nodes[j], &rpc.Request{
 				Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
 			})
 			if err != nil || resp.Err != "" {
@@ -80,7 +79,7 @@ func (s *Store) Scrub(name string, opts ScrubOptions) (*ScrubReport, error) {
 				if j < p.K {
 					data = data[:st.DataLens[j]]
 				}
-				if _, err := cluster.CallChecked(s.client, st.Nodes[j], &rpc.Request{
+				if _, err := s.callChecked(st.Nodes[j], &rpc.Request{
 					Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: data,
 				}); err != nil {
 					return report, err
@@ -146,7 +145,7 @@ func (s *Store) repairCorruptStripe(meta *ObjectMeta, si int, shards [][]byte) (
 		}
 		n := 0
 		for j := p.K; j < p.N; j++ {
-			if _, err := cluster.CallChecked(s.client, st.Nodes[j], &rpc.Request{
+			if _, err := s.callChecked(st.Nodes[j], &rpc.Request{
 				Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: work[j],
 			}); err != nil {
 				return n, err
@@ -156,7 +155,7 @@ func (s *Store) repairCorruptStripe(meta *ObjectMeta, si int, shards [][]byte) (
 		return n, nil
 	}
 	if len(bad) > p.N-p.K {
-		return 0, fmt.Errorf("store: stripe %d has %d corrupt blocks, unrecoverable", si, len(bad))
+		return 0, fmt.Errorf("%w: stripe %d has %d corrupt blocks, unrecoverable", ErrTooManyFailures, si, len(bad))
 	}
 	work := make([][]byte, p.N)
 	for j := range shards {
@@ -173,7 +172,7 @@ func (s *Store) repairCorruptStripe(meta *ObjectMeta, si int, shards [][]byte) (
 		if j < p.K {
 			data = data[:st.DataLens[j]]
 		}
-		if _, err := cluster.CallChecked(s.client, st.Nodes[j], &rpc.Request{
+		if _, err := s.callChecked(st.Nodes[j], &rpc.Request{
 			Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: data,
 		}); err != nil {
 			return n, err

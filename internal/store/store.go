@@ -6,10 +6,13 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/erasure"
 	"github.com/fusionstore/fusion/internal/metakv"
+	"github.com/fusionstore/fusion/internal/metrics"
+	"github.com/fusionstore/fusion/internal/rpc"
 	"github.com/fusionstore/fusion/internal/simnet"
 )
 
@@ -77,6 +80,20 @@ type Options struct {
 	// are merged in row-group/chunk order, so query output is identical at
 	// every pool size.
 	QueryWorkers int
+	// Retry bounds the transport retry/backoff/deadline behavior of every
+	// coordinator→node call. The zero value applies cluster.DefaultPolicy
+	// semantics: 3 attempts, exponential backoff with jitter, ErrNodeDown
+	// fails fast (the reconstruction fan-out is the better retry).
+	Retry cluster.Policy
+	// HedgeAfter, when positive, hedges block reads: if a direct read has
+	// not completed within this threshold, Get fires the RS reconstruction
+	// fan-out concurrently and takes whichever finishes first. 0 disables
+	// hedging (the reconstruction still runs, but only after the direct
+	// read has failed outright).
+	HedgeAfter time.Duration
+	// Health, when set, receives per-node failure/retry/hedge counters. New
+	// installs a fresh recorder when nil, exposed via Store.Health.
+	Health *metrics.Health
 	// Seed drives stripe placement.
 	Seed int64
 	// Model, when set, computes simulated query latencies from the
@@ -117,6 +134,8 @@ type Store struct {
 	client cluster.Client
 	opts   Options
 	coder  *erasure.Coder
+	retry  cluster.Policy
+	health *metrics.Health
 
 	mu      sync.RWMutex
 	objects map[string]*ObjectMeta // coordinator-side metadata cache
@@ -142,13 +161,36 @@ func New(client cluster.Client, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	health := opts.Health
+	if health == nil {
+		health = metrics.NewHealth()
+	}
+	retry := opts.Retry
+	retry.Health = health
 	return &Store{
 		client:  client,
 		opts:    opts,
 		coder:   coder,
+		retry:   retry,
+		health:  health,
 		objects: make(map[string]*ObjectMeta),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 	}, nil
+}
+
+// Health returns the store's per-node failure/retry/hedge counters.
+func (s *Store) Health() *metrics.Health { return s.health }
+
+// call is the hardened transport entry for coordinator→node RPCs: bounded
+// retries with backoff and per-attempt deadlines per Options.Retry, with
+// per-node health accounting.
+func (s *Store) call(node int, req *rpc.Request) (*rpc.Response, error) {
+	return cluster.CallRetry(s.client, node, req, s.retry)
+}
+
+// callChecked is call with application errors converted to Go errors.
+func (s *Store) callChecked(node int, req *rpc.Request) (*rpc.Response, error) {
+	return cluster.CallCheckedPolicy(s.client, node, req, s.retry)
 }
 
 // Options returns the store's configuration.

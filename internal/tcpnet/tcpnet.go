@@ -13,6 +13,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/rpc"
@@ -138,9 +139,12 @@ func (s *Server) Close() error {
 }
 
 // Client implements cluster.Client over TCP connections to node addresses.
-// Connections are cached per node and re-dialed on failure.
+// Connections are cached per node; a failed exchange on a pooled connection
+// (e.g. the server restarted since the last call) re-dials once and retries
+// transparently — safe because every node RPC is idempotent.
 type Client struct {
-	addrs []string
+	addrs     []string
+	ioTimeout time.Duration
 
 	mu    sync.Mutex
 	conns []net.Conn
@@ -157,21 +161,33 @@ func NewClient(addrs []string) *Client {
 	}
 }
 
+// SetIOTimeout installs a per-frame read/write deadline on every connection
+// (0 disables, the default). It bounds how long a Call can block on a hung
+// or partitioned peer; the deadline error surfaces as cluster.ErrNodeDown.
+func (c *Client) SetIOTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.ioTimeout = d
+	c.mu.Unlock()
+}
+
 // NumNodes implements cluster.Client.
 func (c *Client) NumNodes() int { return len(c.addrs) }
 
-func (c *Client) conn(node int) (net.Conn, error) {
+// conn returns the pooled connection for node, dialing if absent. The
+// second result reports whether the connection was freshly dialed (and so
+// has never carried a request).
+func (c *Client) conn(node int) (net.Conn, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conns[node] != nil {
-		return c.conns[node], nil
+		return c.conns[node], false, nil
 	}
 	conn, err := net.Dial("tcp", c.addrs[node])
 	if err != nil {
-		return nil, fmt.Errorf("%w: %d: %v", cluster.ErrNodeDown, node, err)
+		return nil, false, fmt.Errorf("%w: %d: %v", cluster.ErrNodeDown, node, err)
 	}
 	c.conns[node] = conn
-	return conn, nil
+	return conn, true, nil
 }
 
 func (c *Client) dropConn(node int) {
@@ -183,28 +199,59 @@ func (c *Client) dropConn(node int) {
 	c.mu.Unlock()
 }
 
+// exchange performs one request/response pair on conn, applying the
+// per-frame IO deadline when configured.
+func (c *Client) exchange(conn net.Conn, req *rpc.Request) (*rpc.Response, error) {
+	c.mu.Lock()
+	timeout := c.ioTimeout
+	c.mu.Unlock()
+	if timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeFrame(conn, req); err != nil {
+		return nil, err
+	}
+	if timeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
+	var resp rpc.Response
+	if err := readFrame(conn, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Call implements cluster.Client. One in-flight request per node connection;
-// parallelism across nodes is what the query stages need.
+// parallelism across nodes is what the query stages need. A pooled
+// connection that fails mid-exchange is closed and the call retried once on
+// a fresh dial, so a server restart between calls is invisible to callers;
+// a failure on a freshly-dialed connection is returned as ErrNodeDown.
 func (c *Client) Call(node int, req *rpc.Request) (*rpc.Response, error) {
 	if node < 0 || node >= len(c.addrs) {
 		return nil, fmt.Errorf("tcpnet: node %d out of range", node)
 	}
 	c.locks[node].Lock()
 	defer c.locks[node].Unlock()
-	conn, err := c.conn(node)
-	if err != nil {
-		return nil, err
-	}
-	if err := writeFrame(conn, req); err != nil {
+	for {
+		conn, fresh, err := c.conn(node)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.exchange(conn, req)
+		if err == nil {
+			return resp, nil
+		}
 		c.dropConn(node)
-		return nil, fmt.Errorf("%w: %d: %v", cluster.ErrNodeDown, node, err)
+		if fresh {
+			return nil, fmt.Errorf("%w: %d: %v", cluster.ErrNodeDown, node, err)
+		}
+		// Stale pooled connection: loop re-dials exactly once (the retry's
+		// connection is fresh, so a second failure returns above).
 	}
-	var resp rpc.Response
-	if err := readFrame(conn, &resp); err != nil {
-		c.dropConn(node)
-		return nil, fmt.Errorf("%w: %d: %v", cluster.ErrNodeDown, node, err)
-	}
-	return &resp, nil
 }
 
 // Close severs all cached connections.

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/lpq"
@@ -166,5 +168,89 @@ func TestEndToEndStoreOverTCP(t *testing.T) {
 	got, err = s.Get("users", 100, 5000)
 	if err != nil || !bytes.Equal(got, data[100:5100]) {
 		t.Fatalf("degraded Get: %v", err)
+	}
+}
+
+// TestStaleConnReDial is the regression test for re-dialing a stale pooled
+// connection: the server is killed and restarted on the same address between
+// two calls, so the pooled connection is dead at the second call, which must
+// succeed transparently on a single re-dial.
+func TestStaleConnReDial(t *testing.T) {
+	node := cluster.NewNode(0, cluster.NewMemStore())
+	srv, err := NewServer(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	client := NewClient([]string{addr})
+	defer client.Close()
+	if resp, err := client.Call(0, &rpc.Request{Kind: rpc.KindPutBlock, BlockID: "b", Data: []byte("stays")}); err != nil || resp.Err != "" {
+		t.Fatalf("put: %v", err)
+	}
+	// Restart on the same port; the client's pooled connection is now stale.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(node, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	resp, err := client.Call(0, &rpc.Request{Kind: rpc.KindGetBlock, BlockID: "b"})
+	if err != nil {
+		t.Fatalf("call after restart must re-dial transparently: %v", err)
+	}
+	if string(resp.Data) != "stays" {
+		t.Fatalf("got %q after restart", resp.Data)
+	}
+}
+
+// TestStaleConnServerStaysDown is the companion: if the re-dial also fails
+// (the server never came back), the call must surface ErrNodeDown rather
+// than loop.
+func TestStaleConnServerStaysDown(t *testing.T) {
+	srv, err := NewServer(cluster.NewNode(0, cluster.NewMemStore()), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient([]string{srv.Addr()})
+	defer client.Close()
+	if _, err := client.Call(0, &rpc.Request{Kind: rpc.KindPing}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := client.Call(0, &rpc.Request{Kind: rpc.KindPing}); !errors.Is(err, cluster.ErrNodeDown) {
+		t.Fatalf("want ErrNodeDown after failed re-dial, got %v", err)
+	}
+}
+
+// TestIOTimeoutSurfacesNodeDown verifies the per-frame deadline: a peer that
+// accepts connections but never answers must fail the call within the IO
+// timeout instead of blocking forever.
+func TestIOTimeoutSurfacesNodeDown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { // accept and hold connections without ever responding
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	client := NewClient([]string{ln.Addr().String()})
+	defer client.Close()
+	client.SetIOTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, err = client.Call(0, &rpc.Request{Kind: rpc.KindPing})
+	if !errors.Is(err, cluster.ErrNodeDown) {
+		t.Fatalf("want ErrNodeDown on deadline, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("deadline call took %v, want ~50ms", d)
 	}
 }
