@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/workload"
 )
 
@@ -24,6 +25,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "dataset scale relative to the laptop-scale defaults")
 		queries    = flag.Int("queries", workload.QueriesPerCell, "queries per measured cell")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		hist       = flag.Bool("hist", true, "print per-phase latency histograms after each experiment")
 	)
 	flag.Parse()
 
@@ -34,12 +36,22 @@ func main() {
 		return
 	}
 	workload.QueriesPerCell = *queries
+	if *hist {
+		workload.Hist = metrics.NewHistogramSet()
+	}
 	lab := workload.NewLab(*scale)
 
 	run := func(e workload.Experiment) {
 		start := time.Now()
 		report := e.Run(lab)
 		report.Print(os.Stdout)
+		if *hist {
+			if snaps := workload.Hist.Snapshot(); len(snaps) > 0 {
+				fmt.Printf("  -- %s latency phases (all measured queries) --\n", e.ID)
+				workload.Hist.WriteText(os.Stdout)
+				workload.Hist.Reset()
+			}
+		}
 		fmt.Printf("  [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 

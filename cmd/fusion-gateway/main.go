@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"github.com/fusionstore/fusion/internal/gateway"
+	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/store"
 	"github.com/fusionstore/fusion/internal/tcpnet"
 )
@@ -35,6 +36,11 @@ func main() {
 	}
 	opts.StorageBudget = *budget
 	opts.AggregatePushdown = *aggPush
+	// One histogram set feeds both layers: op/rpc timings from the store and
+	// per-frame net.write/net.read timings from the transport, all served by
+	// GET /debug/fusionz.
+	opts.Metrics = metrics.NewHistogramSet()
+	client.SetMetrics(opts.Metrics)
 	s, err := store.New(client, opts)
 	if err != nil {
 		log.Fatal(err)

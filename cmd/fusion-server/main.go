@@ -7,25 +7,57 @@
 // Usage:
 //
 //	fusion-server -id 0 -listen 127.0.0.1:7070 -data /var/lib/fusion/node0
+//	fusion-server -id 0 -debug 127.0.0.1:9090   # adds GET /debug/fusionz
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/tcpnet"
 )
+
+// serveDebug exposes the node's RPC-service-time histograms on a side HTTP
+// listener: GET /debug/fusionz returns JSON summaries (p50/p95/p99 per RPC
+// kind), ?format=text the aligned table.
+func serveDebug(addr string, id int, hist *metrics.HistogramSet) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/fusionz", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "== node %d histograms ==\n", id)
+			hist.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"node":       id,
+			"histograms": hist.Snapshot(),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	log.Printf("node %d: debug endpoint on http://%s/debug/fusionz", id, addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("node %d: debug listener: %v", id, err)
+	}
+}
 
 func main() {
 	var (
 		id     = flag.Int("id", 0, "node id")
 		listen = flag.String("listen", "127.0.0.1:7070", "listen address")
 		data   = flag.String("data", "", "block storage directory (default: in-memory)")
+		debug  = flag.String("debug", "", "HTTP debug listen address serving /debug/fusionz (default: off)")
 	)
 	flag.Parse()
 
@@ -41,6 +73,11 @@ func main() {
 		bs = ds
 	}
 	node := cluster.NewNode(*id, bs)
+	if *debug != "" {
+		hist := metrics.NewHistogramSet()
+		node.SetMetrics(hist)
+		go serveDebug(*debug, *id, hist)
+	}
 	srv, err := tcpnet.NewServer(node, *listen)
 	if err != nil {
 		log.Fatalf("starting server: %v", err)

@@ -28,15 +28,18 @@
 package fusion
 
 import (
+	"context"
 	"io"
 
 	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/erasure"
 	"github.com/fusionstore/fusion/internal/gateway"
 	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/simnet"
 	"github.com/fusionstore/fusion/internal/store"
 	"github.com/fusionstore/fusion/internal/tcpnet"
+	"github.com/fusionstore/fusion/internal/trace"
 )
 
 // Store is the analytics object store client/coordinator: Put, Get, Query,
@@ -115,6 +118,33 @@ func NewDiskBlockStore(dir string) (cluster.BlockStore, error) { return cluster.
 
 // NewGatewayHandler returns the HTTP front door (see cmd/fusion-gateway).
 func NewGatewayHandler(s *Store) *gateway.Handler { return gateway.New(s) }
+
+//
+// Observability (DESIGN.md §8).
+//
+
+// Span is one timed stage of a request-scoped trace. Spans form a tree,
+// carry per-stage wall times plus byte/event counters (read amplification,
+// retries, hedges, degraded reads), and every method is safe on a nil
+// receiver — untraced requests pay <5 ns per instrumentation site.
+type Span = trace.Span
+
+// StartTrace begins a request-scoped trace and installs it in the context;
+// pass the context to the store's *Context methods (GetContext,
+// QueryContext, ...), then End the span and inspect Tree(),
+// ReadAmplification() or Snapshot().
+func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	return trace.Start(ctx, name)
+}
+
+// HistogramSet is a concurrency-safe set of latency histograms keyed by
+// (operation, node); install one on Options.Metrics (and, for per-frame
+// wire timings, tcpnet's Client.SetMetrics) and read p50/p95/p99 summaries
+// with Snapshot or WriteText.
+type HistogramSet = metrics.HistogramSet
+
+// NewHistogramSet returns an empty histogram set.
+func NewHistogramSet() *HistogramSet { return metrics.NewHistogramSet() }
 
 //
 // Columnar object building (the lpq format).

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/fusionstore/fusion/internal/bitmap"
 	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/rpc"
 	"github.com/fusionstore/fusion/internal/sql"
 )
@@ -15,6 +17,8 @@ import (
 type Node struct {
 	ID     int
 	Blocks BlockStore
+
+	hist *metrics.HistogramSet
 }
 
 // NewNode returns a node backed by the given store.
@@ -22,9 +26,24 @@ func NewNode(id int, bs BlockStore) *Node {
 	return &Node{ID: id, Blocks: bs}
 }
 
+// SetMetrics installs a node-side latency histogram set: every handled RPC
+// is timed under Key{Op: "node.<kind>", Node: ID}. A nil set (the default)
+// disables timing entirely.
+func (n *Node) SetMetrics(h *metrics.HistogramSet) { n.hist = h }
+
 // Handle executes one request against this node. It never panics on
 // malformed input; errors are reported in Response.Err.
 func (n *Node) Handle(req *rpc.Request) *rpc.Response {
+	if n.hist == nil {
+		return n.handle(req)
+	}
+	start := time.Now()
+	resp := n.handle(req)
+	n.hist.Observe(metrics.Key{Op: "node." + req.Kind.String(), Node: n.ID}, time.Since(start))
+	return resp
+}
+
+func (n *Node) handle(req *rpc.Request) *rpc.Response {
 	switch req.Kind {
 	case rpc.KindPing:
 		return &rpc.Response{}

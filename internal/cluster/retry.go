@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"github.com/fusionstore/fusion/internal/metrics"
@@ -36,9 +37,48 @@ type Policy struct {
 	// connection is a definitive answer, and for reads the caller's better
 	// retry is the reconstruction fan-out over other nodes.
 	RetryNodeDown bool
+	// Jitter is the randomness source for backoff jitter. Nil means the
+	// package's locked, fixed-seed default — NOT the global math/rand
+	// source, so fault-injection runs under a fixed FUSION_FAULT_SEED
+	// replay byte-identical backoff schedules. Tests and chaos harnesses
+	// inject NewJitterSource(seed) to tie the jitter to their seed.
+	Jitter JitterSource
+	// OnBackoff, when set, observes every retry sleep before it happens:
+	// the node, the retry number (1-based), and the jittered duration. The
+	// determinism tests record these into a backoff trace.
+	OnBackoff func(node, retry int, d time.Duration)
 	// Health, when set, receives per-node call/failure/retry/timeout counts.
 	Health *metrics.Health
 }
+
+// JitterSource yields uniform draws in [0,1) for backoff jitter. It must be
+// safe for concurrent use.
+type JitterSource interface {
+	Float64() float64
+}
+
+// lockedSource is a mutex-guarded seeded *rand.Rand: deterministic given
+// its seed, safe across the goroutines of a parallel fan-out.
+type lockedSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitterSource returns a concurrency-safe jitter source with its own
+// seeded generator.
+func NewJitterSource(seed int64) JitterSource {
+	return &lockedSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *lockedSource) Float64() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64()
+}
+
+// defaultJitter decorrelates retry storms without depending on the global
+// math/rand state, keeping default-policy runs reproducible.
+var defaultJitter = NewJitterSource(1)
 
 // DefaultPolicy returns the policy CallChecked and Parallel apply.
 func DefaultPolicy() Policy {
@@ -74,7 +114,11 @@ func (p Policy) backoff(retry int) time.Duration {
 		d = p.MaxBackoff
 	}
 	if p.JitterFrac > 0 {
-		d = time.Duration(float64(d) * (1 + p.JitterFrac*rand.Float64()))
+		src := p.Jitter
+		if src == nil {
+			src = defaultJitter
+		}
+		d = time.Duration(float64(d) * (1 + p.JitterFrac*src.Float64()))
 	}
 	return d
 }
@@ -120,17 +164,31 @@ func CallTimeout(c Client, node int, req *rpc.Request, d time.Duration) (*rpc.Re
 // are idempotent (Put rewrites the same bytes, reads have no side effects),
 // so re-sending a request whose response was lost is safe.
 func CallRetry(c Client, node int, req *rpc.Request, p Policy) (*rpc.Response, error) {
+	resp, _, err := CallRetryN(c, node, req, p)
+	return resp, err
+}
+
+// CallRetryN is CallRetry reporting how many attempts ran (>= 1), so
+// request-scoped tracing can attribute retries to the request that paid for
+// them.
+func CallRetryN(c Client, node int, req *rpc.Request, p Policy) (*rpc.Response, int, error) {
 	p = p.withDefaults()
 	var lastErr error
+	attempts := 0
 	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			p.Health.Retry(node)
-			time.Sleep(p.backoff(attempt - 1))
+			d := p.backoff(attempt - 1)
+			if p.OnBackoff != nil {
+				p.OnBackoff(node, attempt-1, d)
+			}
+			time.Sleep(d)
 		}
+		attempts = attempt
 		p.Health.Call(node)
 		resp, err := CallTimeout(c, node, req, p.Timeout)
 		if err == nil {
-			return resp, nil
+			return resp, attempts, nil
 		}
 		p.Health.Failure(node)
 		if errors.Is(err, ErrCallTimeout) {
@@ -138,10 +196,10 @@ func CallRetry(c Client, node int, req *rpc.Request, p Policy) (*rpc.Response, e
 		}
 		lastErr = err
 		if !p.retryable(err) {
-			return nil, err
+			return nil, attempts, err
 		}
 	}
-	return nil, fmt.Errorf("cluster: %d attempts to node %d failed: %w", p.MaxAttempts, node, lastErr)
+	return nil, attempts, fmt.Errorf("cluster: %d attempts to node %d failed: %w", p.MaxAttempts, node, lastErr)
 }
 
 // CallCheckedPolicy is CallChecked under an explicit policy.

@@ -10,9 +10,14 @@
 //	POST   /query                     body = SELECT statement; JSON reply
 //	POST   /scrub/{name}?repair=1     integrity scrub
 //	GET    /healthz                   liveness
+//	GET    /debug/fusionz             observability: latency histograms,
+//	                                  per-node health, recent request traces
+//	                                  with read amplification (?format=text
+//	                                  for the human-readable rendering)
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,31 +29,47 @@ import (
 	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/sql"
 	"github.com/fusionstore/fusion/internal/store"
+	"github.com/fusionstore/fusion/internal/trace"
 )
 
 // maxObjectBytes bounds a PUT body.
 const maxObjectBytes = 4 << 30
 
+// ringSize is how many finished request traces /debug/fusionz retains.
+const ringSize = 64
+
 // Handler routes gateway requests to a Store.
 type Handler struct {
 	store *store.Store
 	mux   *http.ServeMux
+	ring  *trace.Ring
 }
 
 // New builds the HTTP handler for a store.
 func New(s *store.Store) *Handler {
-	h := &Handler{store: s, mux: http.NewServeMux()}
+	h := &Handler{store: s, mux: http.NewServeMux(), ring: trace.NewRing(ringSize)}
 	h.mux.HandleFunc("PUT /objects/{name}", h.putObject)
 	h.mux.HandleFunc("GET /objects/{name}", h.getObject)
 	h.mux.HandleFunc("DELETE /objects/{name}", h.deleteObject)
 	h.mux.HandleFunc("GET /objects/{name}/meta", h.getMeta)
 	h.mux.HandleFunc("POST /query", h.query)
 	h.mux.HandleFunc("POST /scrub/{name}", h.scrub)
+	h.mux.HandleFunc("GET /debug/fusionz", h.debugFusionz)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	return h
+}
+
+// traced begins a request-scoped trace; the returned finish captures the
+// completed span tree into the debug ring.
+func (h *Handler) traced(r *http.Request, name string) (context.Context, func()) {
+	ctx, sp := trace.Start(r.Context(), name)
+	return ctx, func() {
+		sp.End()
+		h.ring.Add(sp)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -71,7 +92,9 @@ func (h *Handler) putObject(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, errors.New("object too large"))
 		return
 	}
-	stats, err := h.store.Put(name, body)
+	ctx, finish := h.traced(r, "http.put "+name)
+	defer finish()
+	stats, err := h.store.PutContext(ctx, name, body)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -105,7 +128,9 @@ func (h *Handler) getObject(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	data, err := h.store.Get(name, offset, length)
+	ctx, finish := h.traced(r, "http.get "+name)
+	defer finish()
+	data, err := h.store.GetContext(ctx, name, offset, length)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -164,7 +189,9 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("request body must be a SELECT statement"))
 		return
 	}
-	res, err := h.store.Query(string(body))
+	ctx, finish := h.traced(r, "http.query")
+	defer finish()
+	res, err := h.store.QueryContext(ctx, string(body))
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -226,13 +253,41 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) scrub(w http.ResponseWriter, r *http.Request) {
 	repair := r.URL.Query().Get("repair") == "1"
-	rep, err := h.store.Scrub(r.PathValue("name"), store.ScrubOptions{Repair: repair})
+	ctx, finish := h.traced(r, "http.scrub "+r.PathValue("name"))
+	defer finish()
+	rep, err := h.store.ScrubContext(ctx, r.PathValue("name"), store.ScrubOptions{Repair: repair})
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(rep)
+}
+
+// debugFusionz serves the observability snapshot: latency histograms by
+// (op, node), per-node health counters, and the most recent request traces
+// (span trees with read-amplification ratios). JSON by default;
+// ?format=text renders the aligned tables and indented trees.
+func (h *Handler) debugFusionz(w http.ResponseWriter, r *http.Request) {
+	hist := h.store.Metrics()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "== histograms ==\n")
+		hist.WriteText(w)
+		fmt.Fprintf(w, "\n== node health ==\n%s", h.store.Health())
+		fmt.Fprintf(w, "\n== recent traces (%d seen) ==\n", h.ring.Seen())
+		for _, tree := range h.ring.Trees() {
+			fmt.Fprintf(w, "%s\n", tree)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"histograms":  hist.Snapshot(),
+		"health":      h.store.Health().Snapshot(),
+		"traces":      h.ring.Snapshot(),
+		"traces_seen": h.ring.Seen(),
+	})
 }
 
 // statusFor maps store errors onto HTTP codes.

@@ -11,8 +11,10 @@ import (
 	"testing"
 
 	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/simnet"
 	"github.com/fusionstore/fusion/internal/store"
+	"github.com/fusionstore/fusion/internal/trace"
 )
 
 func testServer(t *testing.T) (*httptest.Server, []byte) {
@@ -20,6 +22,7 @@ func testServer(t *testing.T) (*httptest.Server, []byte) {
 	cl := simnet.New(simnet.DefaultConfig())
 	opts := store.FusionOptions()
 	opts.StorageBudget = 1
+	opts.Metrics = metrics.NewHistogramSet()
 	s, err := store.New(cl, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +165,101 @@ func TestGatewayLifecycle(t *testing.T) {
 	resp, _ = do(t, "GET", srv.URL+"/objects/tbl", nil)
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("get after delete = %d", resp.StatusCode)
+	}
+}
+
+// findSpan walks a span-tree snapshot for a span whose name starts with
+// prefix, depth first.
+func findSpan(spans []trace.SpanJSON, prefix string) *trace.SpanJSON {
+	for i := range spans {
+		if strings.HasPrefix(spans[i].Name, prefix) {
+			return &spans[i]
+		}
+		if s := findSpan(spans[i].Children, prefix); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// TestDebugFusionz drives a traced PUT/GET/query workload and asserts the
+// observability endpoint reports per-stage spans, latency histograms, and a
+// read-amplification ratio — the ISSUE's acceptance check for the tracing
+// layer.
+func TestDebugFusionz(t *testing.T) {
+	srv, object := testServer(t)
+	if resp, body := do(t, "PUT", srv.URL+"/objects/tbl", object); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put = %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := do(t, "GET", srv.URL+"/objects/tbl", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("get = %d", resp.StatusCode)
+	}
+	if resp, body := do(t, "POST", srv.URL+"/query", []byte("SELECT k FROM tbl WHERE k < 100")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query = %d: %s", resp.StatusCode, body)
+	}
+
+	// JSON form: histograms + span trees.
+	resp, body := do(t, "GET", srv.URL+"/debug/fusionz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fusionz = %d", resp.StatusCode)
+	}
+	var dump struct {
+		Histograms []metrics.HistogramSnapshot `json:"histograms"`
+		Traces     []trace.SpanJSON            `json:"traces"`
+		TracesSeen uint64                      `json:"traces_seen"`
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("fusionz json: %v\n%s", err, body)
+	}
+	if dump.TracesSeen < 3 {
+		t.Fatalf("traces_seen = %d, want >= 3 (put, get, query)", dump.TracesSeen)
+	}
+	ops := make(map[string]bool)
+	for _, h := range dump.Histograms {
+		if h.Count == 0 {
+			t.Fatalf("histogram %s[%d] has zero count", h.Op, h.Node)
+		}
+		ops[h.Op] = true
+	}
+	for _, want := range []string{"op.Put", "op.Get", "op.Query", "rpc.GetBlock"} {
+		if !ops[want] {
+			t.Fatalf("histograms missing op %q (have %v)", want, ops)
+		}
+	}
+
+	// The traced query must carry its per-stage children and a
+	// read-amplification ratio on the root.
+	q := findSpan(dump.Traces, "http.query")
+	if q == nil {
+		t.Fatalf("no http.query trace in %d retained traces", len(dump.Traces))
+	}
+	if q.ReadAmp <= 0 {
+		t.Fatalf("query trace read amplification = %v, want > 0", q.ReadAmp)
+	}
+	for _, stage := range []string{"store.Query", "meta", "filter", "project"} {
+		if findSpan([]trace.SpanJSON{*q}, stage) == nil {
+			t.Fatalf("query trace missing %q stage:\n%s", stage, body)
+		}
+	}
+	if g := findSpan(dump.Traces, "http.get"); g == nil {
+		t.Fatal("no http.get trace retained")
+	} else if findSpan([]trace.SpanJSON{*g}, "store.Get") == nil {
+		t.Fatal("get trace missing store.Get child")
+	}
+
+	// Text form: histogram table, health section, rendered trees.
+	resp, body = do(t, "GET", srv.URL+"/debug/fusionz?format=text", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fusionz text = %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"== histograms ==", "== node health ==", "== recent traces",
+		"http.query", "read amplification:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, text)
+		}
 	}
 }
 

@@ -1,0 +1,332 @@
+package metrics
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram is a fixed-footprint latency histogram with power-of-two
+// exponential buckets: bucket i counts durations whose nanosecond value has
+// bit length i, i.e. [2^(i-1), 2^i). 64 buckets span sub-nanosecond to
+// centuries, so there is no configuration and no clipping. Quantiles are
+// resolved to a bucket and interpolated geometrically within it, which is
+// exact to within a factor of 2 — plenty for the p50/p95/p99 summaries the
+// evaluation tables report. Histogram itself is not synchronized; use
+// HistogramSet for concurrent recording.
+type Histogram struct {
+	count   uint64
+	sum     uint64 // nanoseconds
+	min     uint64
+	max     uint64
+	buckets [65]uint64
+}
+
+// Observe records one duration (negative durations count as zero).
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[bits.Len64(ns)]++
+	h.count++
+	h.sum += ns
+	if h.count == 1 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// merge folds another histogram into h.
+func (h *Histogram) merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) by bucket walk with
+// geometric interpolation, clamped to the observed min/max.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(h.min)
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if seen+c > rank {
+			// Bucket i spans [2^(i-1), 2^i); interpolate linearly inside.
+			lo, hi := uint64(0), uint64(1)<<i
+			if i > 0 {
+				lo = uint64(1) << (i - 1)
+			}
+			if i >= 63 {
+				hi = h.max
+			}
+			frac := float64(rank-seen) / float64(c)
+			v := lo + uint64(frac*float64(hi-lo))
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+		seen += c
+	}
+	return time.Duration(h.max)
+}
+
+// Key identifies one histogram in a HistogramSet: an operation label and a
+// node id (NodeNone for coordinator-level operations).
+type Key struct {
+	Op   string
+	Node int
+}
+
+// NodeNone marks a histogram not tied to a storage node.
+const NodeNone = -1
+
+func (k Key) String() string {
+	if k.Node == NodeNone {
+		return k.Op
+	}
+	return fmt.Sprintf("%s[node %d]", k.Op, k.Node)
+}
+
+// histStripes is the lock-stripe count; a small power of two keeps the
+// modulo cheap while spreading per-node keys across locks.
+const histStripes = 16
+
+type histShard struct {
+	mu sync.Mutex
+	m  map[Key]*Histogram
+}
+
+// HistogramSet is a lock-striped collection of latency histograms keyed by
+// (op, node). Observe is safe for concurrent use from every hot path;
+// stripes keep unrelated (op, node) pairs from contending on one lock. All
+// methods are nil-safe, so an optional recorder threads through without
+// checks.
+type HistogramSet struct {
+	shards [histStripes]histShard
+}
+
+// NewHistogramSet returns an empty set.
+func NewHistogramSet() *HistogramSet {
+	s := &HistogramSet{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[Key]*Histogram)
+	}
+	return s
+}
+
+func (s *HistogramSet) shard(k Key) *histShard {
+	h := fnv.New32a()
+	io.WriteString(h, k.Op)
+	var nb [4]byte
+	n := uint32(k.Node)
+	nb[0], nb[1], nb[2], nb[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	h.Write(nb[:])
+	return &s.shards[h.Sum32()%histStripes]
+}
+
+// Observe records one duration under a key.
+func (s *HistogramSet) Observe(k Key, d time.Duration) {
+	if s == nil {
+		return
+	}
+	sh := s.shard(k)
+	sh.mu.Lock()
+	h := sh.m[k]
+	if h == nil {
+		h = &Histogram{}
+		sh.m[k] = h
+	}
+	h.Observe(d)
+	sh.mu.Unlock()
+}
+
+// HistogramSnapshot is one histogram's summary at snapshot time.
+type HistogramSnapshot struct {
+	Op    string        `json:"op"`
+	Node  int           `json:"node"`
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+func summarize(k Key, h *Histogram) HistogramSnapshot {
+	return HistogramSnapshot{
+		Op:    k.Op,
+		Node:  k.Node,
+		Count: h.count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Min:   time.Duration(h.min),
+		Max:   time.Duration(h.max),
+	}
+}
+
+// Snapshot summarizes every histogram, sorted by op then node.
+func (s *HistogramSet) Snapshot() []HistogramSnapshot {
+	if s == nil {
+		return nil
+	}
+	var out []HistogramSnapshot
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, h := range sh.m {
+			out = append(out, summarize(k, h))
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Op != out[b].Op {
+			return out[a].Op < out[b].Op
+		}
+		return out[a].Node < out[b].Node
+	})
+	return out
+}
+
+// Get returns one key's summary and whether it exists.
+func (s *HistogramSet) Get(k Key) (HistogramSnapshot, bool) {
+	if s == nil {
+		return HistogramSnapshot{}, false
+	}
+	sh := s.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h := sh.m[k]
+	if h == nil {
+		return HistogramSnapshot{}, false
+	}
+	return summarize(k, h), true
+}
+
+// Merged folds all nodes' histograms for one op into a single summary
+// (per-op totals for /debug/fusionz's headline rows).
+func (s *HistogramSet) Merged(op string) (HistogramSnapshot, bool) {
+	if s == nil {
+		return HistogramSnapshot{}, false
+	}
+	var sum Histogram
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, h := range sh.m {
+			if k.Op == op {
+				sum.merge(h)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if sum.count == 0 {
+		return HistogramSnapshot{}, false
+	}
+	return summarize(Key{Op: op, Node: NodeNone}, &sum), true
+}
+
+// Reset drops every histogram.
+func (s *HistogramSet) Reset() {
+	if s == nil {
+		return
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[Key]*Histogram)
+		sh.mu.Unlock()
+	}
+}
+
+// WriteText renders the set as an aligned text table (the /debug/fusionz
+// text format and fusion-bench's histogram summaries).
+func (s *HistogramSet) WriteText(w io.Writer) {
+	snaps := s.Snapshot()
+	if len(snaps) == 0 {
+		fmt.Fprintln(w, "(no histograms)")
+		return
+	}
+	keyW := len("op")
+	for _, sn := range snaps {
+		if l := len(Key{Op: sn.Op, Node: sn.Node}.String()); l > keyW {
+			keyW = l
+		}
+	}
+	fmt.Fprintf(w, "  %-*s %10s %12s %12s %12s %12s %12s\n",
+		keyW, "op", "count", "mean", "p50", "p95", "p99", "max")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "  %-*s %10d %12v %12v %12v %12v %12v\n",
+			keyW, Key{Op: sn.Op, Node: sn.Node}.String(), sn.Count,
+			round(sn.Mean), round(sn.P50), round(sn.P95), round(sn.P99), round(sn.Max))
+	}
+}
+
+// String renders WriteText as a string.
+func (s *HistogramSet) String() string {
+	var b strings.Builder
+	s.WriteText(&b)
+	return b.String()
+}
+
+// round trims sub-microsecond noise from rendered durations.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d.Round(time.Nanosecond)
+	}
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 samples uniform over (0, 100ms]: quantiles must land within the
+	// 2x bucket resolution of the true value.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("q%.2f = %v, want within 2x of %v", c.q, got, c.want)
+		}
+	}
+	if got := h.Quantile(0); got != 100*time.Microsecond {
+		t.Errorf("q0 = %v, want min", got)
+	}
+	if got := h.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("q1 = %v, want max", got)
+	}
+	if mean := h.Mean(); mean < 40*time.Millisecond || mean > 60*time.Millisecond {
+		t.Errorf("mean = %v, want ~50ms", mean)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read as zero")
+	}
+	h.Observe(-time.Second)
+	if h.Count() != 1 || h.Quantile(0.5) != 0 {
+		t.Fatal("negative observations must clamp to zero")
+	}
+}
+
+func TestHistogramSetConcurrent(t *testing.T) {
+	s := NewHistogramSet()
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				k := Key{Op: "GetBlock", Node: rng.Intn(9)}
+				s.Observe(k, time.Duration(rng.Intn(1000)+1)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := uint64(0)
+	for _, sn := range s.Snapshot() {
+		if sn.Op != "GetBlock" {
+			t.Fatalf("unexpected op %q", sn.Op)
+		}
+		total += sn.Count
+	}
+	if total != workers*perWorker {
+		t.Fatalf("total observations = %d, want %d", total, workers*perWorker)
+	}
+	merged, ok := s.Merged("GetBlock")
+	if !ok || merged.Count != workers*perWorker {
+		t.Fatalf("merged = %+v ok=%v", merged, ok)
+	}
+	if _, ok := s.Merged("nope"); ok {
+		t.Fatal("Merged must miss on unknown op")
+	}
+}
+
+func TestHistogramSetNilSafe(t *testing.T) {
+	var s *HistogramSet
+	s.Observe(Key{Op: "x"}, time.Second)
+	if s.Snapshot() != nil {
+		t.Fatal("nil set must snapshot empty")
+	}
+	if _, ok := s.Get(Key{Op: "x"}); ok {
+		t.Fatal("nil set must miss")
+	}
+	s.Reset()
+}
+
+func TestHistogramSetText(t *testing.T) {
+	s := NewHistogramSet()
+	s.Observe(Key{Op: "query", Node: NodeNone}, 3*time.Millisecond)
+	s.Observe(Key{Op: "rpc.GetBlock", Node: 2}, 40*time.Microsecond)
+	out := s.String()
+	for _, want := range []string{"query", "rpc.GetBlock[node 2]", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	s.Reset()
+	if got := s.Snapshot(); len(got) != 0 {
+		t.Fatalf("after reset: %v", got)
+	}
+}
+
+func TestHistogramSetGetAndSort(t *testing.T) {
+	s := NewHistogramSet()
+	for node := 4; node >= 0; node-- {
+		for i := 0; i <= node; i++ {
+			s.Observe(Key{Op: "op", Node: node}, time.Millisecond)
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("len = %d", len(snap))
+	}
+	for i, sn := range snap {
+		if sn.Node != i {
+			t.Fatalf("snapshot not sorted by node: %+v", snap)
+		}
+	}
+	got, ok := s.Get(Key{Op: "op", Node: 3})
+	if !ok || got.Count != 4 {
+		t.Fatalf("Get = %+v ok=%v", got, ok)
+	}
+}
+
+func BenchmarkHistogramSetObserve(b *testing.B) {
+	s := NewHistogramSet()
+	keys := make([]Key, 9)
+	for i := range keys {
+		keys[i] = Key{Op: "rpc.GetBlock", Node: i}
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Observe(keys[i%len(keys)], time.Duration(i)*time.Nanosecond)
+			i++
+		}
+	})
+	_ = fmt.Sprint(s.Snapshot()[0].Count)
+}

@@ -1,0 +1,34 @@
+package snappy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnappyDecode throws arbitrary bytes at Decode: it must never panic or
+// over-allocate, and anything it accepts must survive an
+// Encode→Decode round trip byte-identically.
+func FuzzSnappyDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x03, 0x08, 'a', 'b', 'c'})
+	f.Add(Encode([]byte("the quick brown fox jumps over the lazy dog")))
+	f.Add(Encode(bytes.Repeat([]byte("abcd"), 64)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff}) // huge declared length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			return // rejected cleanly: fine
+		}
+		if n, err := DecodedLen(data); err != nil || n != len(dec) {
+			t.Fatalf("DecodedLen = %d, %v; Decode returned %d bytes", n, err, len(dec))
+		}
+		re, err := Decode(Encode(dec))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded output failed: %v", err)
+		}
+		if !bytes.Equal(dec, re) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(dec), len(re))
+		}
+	})
+}

@@ -61,6 +61,9 @@ func newFaultStore(t testing.TB, nodes int, seed int64, opts Options) (*Store, *
 		MaxAttempts: 3,
 		BaseBackoff: 50 * time.Microsecond,
 		MaxBackoff:  500 * time.Microsecond,
+		// Tie the backoff jitter to the fault seed so the whole run —
+		// injected faults AND retry schedules — replays from one number.
+		Jitter: cluster.NewJitterSource(seed),
 	}
 	s, err := New(inj, opts)
 	if err != nil {

@@ -1,11 +1,13 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/trace"
 )
 
 // ErrTooManyFailures is the sentinel for a degraded operation that ran out
@@ -20,7 +22,24 @@ var ErrTooManyFailures = errors.New("store: too many failures")
 // is rebuilt from the rest of its stripe via RS reconstruction (a degraded
 // read, §5 "Recovery and Fault Tolerance").
 func (s *Store) Get(name string, offset, length uint64) ([]byte, error) {
+	return s.GetContext(context.Background(), name, offset, length)
+}
+
+// GetContext is Get under a context. When the context carries a trace span
+// (trace.Start), the read records a span tree — meta read, per-block RPCs,
+// reconstructions — plus byte counters for read amplification; an untraced
+// context costs nothing.
+func (s *Store) GetContext(ctx context.Context, name string, offset, length uint64) ([]byte, error) {
+	sp := trace.FromContext(ctx).Child("store.Get")
+	defer sp.End()
+	if s.hist != nil {
+		defer func(start time.Time) {
+			s.hist.Observe(opKey("Get"), time.Since(start))
+		}(time.Now())
+	}
+	msp := sp.Child("meta")
 	meta, err := s.Meta(name)
+	msp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -30,20 +49,23 @@ func (s *Store) Get(name string, offset, length uint64) ([]byte, error) {
 	if length == 0 {
 		length = meta.Size - offset
 	}
-	if offset+length > meta.Size {
-		return nil, fmt.Errorf("store: range [%d,%d) beyond object of %d bytes", offset, offset+length, meta.Size)
+	// Overflow-safe range check: offset+length can wrap uint64 (e.g.
+	// length = ^uint64(0)), so never compare the sum against Size.
+	if length > meta.Size-offset {
+		return nil, fmt.Errorf("store: range [%d,+%d) beyond object of %d bytes", offset, length, meta.Size)
 	}
 	if length == 0 {
 		return []byte{}, nil
 	}
+	sp.Count(trace.BytesRequested, length)
 	if meta.Mode == LayoutFAC {
-		return s.getFAC(meta, offset, length)
+		return s.getFAC(sp, meta, offset, length)
 	}
-	return s.getFixed(meta, offset, length)
+	return s.getFixed(sp, meta, offset, length)
 }
 
 // getFAC gathers the range from the items covering it.
-func (s *Store) getFAC(meta *ObjectMeta, offset, length uint64) ([]byte, error) {
+func (s *Store) getFAC(sp *trace.Span, meta *ObjectMeta, offset, length uint64) ([]byte, error) {
 	out := make([]byte, 0, length)
 	end := offset + length
 	for i, it := range meta.Items {
@@ -54,7 +76,7 @@ func (s *Store) getFAC(meta *ObjectMeta, offset, length uint64) ([]byte, error) 
 		a := max(offset, it.Offset) - it.Offset // start within item
 		b := min(end, itEnd) - it.Offset        // end within item
 		loc := meta.ItemLocs[i]
-		data, err := s.readStripeRange(meta, loc.Stripe, loc.Bin, loc.BinOffset+a, b-a)
+		data, err := s.readStripeRange(sp, meta, loc.Stripe, loc.Bin, loc.BinOffset+a, b-a)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +89,7 @@ func (s *Store) getFAC(meta *ObjectMeta, offset, length uint64) ([]byte, error) 
 }
 
 // getFixed gathers the range from fixed blocks.
-func (s *Store) getFixed(meta *ObjectMeta, offset, length uint64) ([]byte, error) {
+func (s *Store) getFixed(sp *trace.Span, meta *ObjectMeta, offset, length uint64) ([]byte, error) {
 	out := make([]byte, 0, length)
 	bs := meta.BlockSize
 	k := uint64(s.opts.Params.K)
@@ -78,7 +100,7 @@ func (s *Store) getFixed(meta *ObjectMeta, offset, length uint64) ([]byte, error
 		bin := int(blockIdx % k)
 		within := pos - blockIdx*bs
 		n := min(bs-within, end-pos)
-		data, err := s.readStripeRange(meta, stripe, bin, within, n)
+		data, err := s.readStripeRange(sp, meta, stripe, bin, within, n)
 		if err != nil {
 			return nil, err
 		}
@@ -93,15 +115,17 @@ func (s *Store) getFixed(meta *ObjectMeta, offset, length uint64) ([]byte, error
 // unreachable or its block is missing. With Options.HedgeAfter set, a
 // direct read that is merely slow also races a reconstruction fan-out and
 // the first result wins.
-func (s *Store) readStripeRange(meta *ObjectMeta, stripe, bin int, off, length uint64) ([]byte, error) {
+func (s *Store) readStripeRange(sp *trace.Span, meta *ObjectMeta, stripe, bin int, off, length uint64) ([]byte, error) {
+	bsp := sp.Child("block")
+	defer bsp.End()
 	st := meta.Stripes[stripe]
 	req := &rpc.Request{
 		Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[bin], Offset: off, Length: length,
 	}
 	if s.opts.HedgeAfter > 0 {
-		return s.readStripeRangeHedged(meta, stripe, bin, off, length, req)
+		return s.readStripeRangeHedged(bsp, meta, stripe, bin, off, length, req)
 	}
-	resp, err := s.call(st.Nodes[bin], req)
+	resp, err := s.call(bsp, st.Nodes[bin], req)
 	if err == nil && resp.Err == "" {
 		return resp.Data, nil
 	}
@@ -109,7 +133,7 @@ func (s *Store) readStripeRange(meta *ObjectMeta, stripe, bin int, off, length u
 		err = errors.New(resp.Err)
 	}
 	// Degraded read: rebuild the whole block, then slice.
-	block, derr := s.reconstructBlock(meta, stripe, bin)
+	block, derr := s.reconstructBlock(bsp, meta, stripe, bin)
 	if derr != nil {
 		return nil, fmt.Errorf("store: degraded read failed (direct: %v): %w", err, derr)
 	}
@@ -118,7 +142,7 @@ func (s *Store) readStripeRange(meta *ObjectMeta, stripe, bin int, off, length u
 
 // readStripeRangeHedged races the direct read against a reconstruction
 // fan-out fired once the direct read exceeds the hedging threshold.
-func (s *Store) readStripeRangeHedged(meta *ObjectMeta, stripe, bin int, off, length uint64, req *rpc.Request) ([]byte, error) {
+func (s *Store) readStripeRangeHedged(sp *trace.Span, meta *ObjectMeta, stripe, bin int, off, length uint64, req *rpc.Request) ([]byte, error) {
 	node := meta.Stripes[stripe].Nodes[bin]
 	type result struct {
 		data   []byte
@@ -127,7 +151,7 @@ func (s *Store) readStripeRangeHedged(meta *ObjectMeta, stripe, bin int, off, le
 	}
 	results := make(chan result, 2) // buffered: late finishers never block
 	go func() {
-		resp, err := s.call(node, req)
+		resp, err := s.call(sp, node, req)
 		if err == nil && resp.Err != "" {
 			err = errors.New(resp.Err)
 		}
@@ -139,7 +163,7 @@ func (s *Store) readStripeRangeHedged(meta *ObjectMeta, stripe, bin int, off, le
 	}()
 	launchHedge := func() {
 		go func() {
-			block, err := s.reconstructBlock(meta, stripe, bin)
+			block, err := s.reconstructBlock(sp, meta, stripe, bin)
 			if err != nil {
 				results <- result{err: err, hedged: true}
 				return
@@ -160,6 +184,7 @@ func (s *Store) readStripeRangeHedged(meta *ObjectMeta, stripe, bin int, off, le
 			if r.err == nil {
 				if r.hedged {
 					s.health.HedgeWin(node)
+					sp.Count(trace.HedgeWins, 1)
 				}
 				return r.data, nil
 			}
@@ -181,6 +206,7 @@ func (s *Store) readStripeRangeHedged(meta *ObjectMeta, stripe, bin int, off, le
 				hedgeLaunched = true
 				pending++
 				s.health.Hedge(node)
+				sp.Count(trace.Hedges, 1)
 				launchHedge()
 			}
 		}
@@ -188,36 +214,73 @@ func (s *Store) readStripeRangeHedged(meta *ObjectMeta, stripe, bin int, off, le
 }
 
 // sliceBlock bounds-checks and slices [off, off+length) of a reconstructed
-// block.
+// block. The two-step comparison is overflow-safe for adversarial offsets
+// and lengths (off+length may wrap uint64).
 func sliceBlock(block []byte, off, length uint64) ([]byte, error) {
-	if off+length > uint64(len(block)) {
-		return nil, fmt.Errorf("store: reconstructed block is %d bytes, need [%d,%d)", len(block), off, off+length)
+	if off > uint64(len(block)) || length > uint64(len(block))-off {
+		return nil, fmt.Errorf("store: reconstructed block is %d bytes, need [%d,+%d)", len(block), off, length)
 	}
 	return block[off : off+length : off+length], nil
 }
 
-// reconstructBlock rebuilds one data block of a stripe from any k surviving
-// blocks and returns its unpadded bytes.
-func (s *Store) reconstructBlock(meta *ObjectMeta, stripe, bin int) ([]byte, error) {
+// gatherSurvivors fans GetBlock reads for a stripe's blocks (skipping the
+// block being rebuilt) out in parallel and returns as soon as any k shards
+// arrive, capacity-padded and indexed by bin. Losing reads are abandoned to
+// the buffered channel (cluster.Client calls cannot be cancelled mid-
+// flight; every RPC is idempotent, so a late response is harmless). This is
+// the one survivor-gathering path shared by block reconstruction, parity
+// reconstruction and the hedged-read fan-out.
+func (s *Store) gatherSurvivors(sp *trace.Span, meta *ObjectMeta, stripe, skip int) ([][]byte, error) {
 	p := s.opts.Params
 	st := meta.Stripes[stripe]
+	type result struct {
+		bin  int
+		data []byte
+		ok   bool
+	}
+	results := make(chan result, p.N)
+	launched := 0
+	for j := 0; j < p.N; j++ {
+		if j == skip {
+			continue
+		}
+		launched++
+		go func(j int) {
+			resp, err := s.call(sp, st.Nodes[j], &rpc.Request{
+				Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
+			})
+			if err != nil || resp.Err != "" {
+				results <- result{bin: j}
+				return
+			}
+			results <- result{bin: j, data: resp.Data, ok: true}
+		}(j)
+	}
 	shards := make([][]byte, p.N)
 	available := 0
-	for j := 0; j < p.N && available < p.K; j++ {
-		if j == bin {
-			continue
+	for i := 0; i < launched && available < p.K; i++ {
+		r := <-results
+		if r.ok {
+			shards[r.bin] = padTo(r.data, st.Capacity)
+			available++
 		}
-		resp, err := s.call(st.Nodes[j], &rpc.Request{
-			Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
-		})
-		if err != nil || resp.Err != "" {
-			continue
-		}
-		shards[j] = padTo(resp.Data, st.Capacity)
-		available++
 	}
 	if available < p.K {
 		return nil, fmt.Errorf("%w: only %d of %d shards available for stripe %d", ErrTooManyFailures, available, p.K, stripe)
+	}
+	return shards, nil
+}
+
+// reconstructBlock rebuilds one data block of a stripe from any k surviving
+// blocks and returns its unpadded bytes.
+func (s *Store) reconstructBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
+	rsp := sp.Child("reconstruct")
+	defer rsp.End()
+	rsp.Count(trace.DegradedReads, 1)
+	st := meta.Stripes[stripe]
+	shards, err := s.gatherSurvivors(rsp, meta, stripe, bin)
+	if err != nil {
+		return nil, err
 	}
 	if err := s.coder.ReconstructData(shards); err != nil {
 		return nil, err
@@ -225,10 +288,37 @@ func (s *Store) reconstructBlock(meta *ObjectMeta, stripe, bin int) ([]byte, err
 	return shards[bin][:st.DataLens[bin]], nil
 }
 
+// reconstructParity rebuilds a parity block from the stripe's survivors.
+func (s *Store) reconstructParity(sp *trace.Span, meta *ObjectMeta, stripe, idx int) ([]byte, error) {
+	rsp := sp.Child("reconstruct-parity")
+	defer rsp.End()
+	rsp.Count(trace.DegradedReads, 1)
+	shards, err := s.gatherSurvivors(rsp, meta, stripe, idx)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.coder.Reconstruct(shards); err != nil {
+		return nil, err
+	}
+	return shards[idx], nil
+}
+
 // RepairNode rebuilds every block an object had on the given node and
 // rewrites it there — the conventional recovery procedure run after a node
 // is replaced. Metadata replicas hosted by the node are restored too.
 func (s *Store) RepairNode(name string, node int) (int, error) {
+	return s.RepairNodeContext(context.Background(), name, node)
+}
+
+// RepairNodeContext is RepairNode under a (possibly traced) context.
+func (s *Store) RepairNodeContext(ctx context.Context, name string, node int) (int, error) {
+	sp := trace.FromContext(ctx).Child("store.RepairNode")
+	defer sp.End()
+	if s.hist != nil {
+		defer func(start time.Time) {
+			s.hist.Observe(opKey("RepairNode"), time.Since(start))
+		}(time.Now())
+	}
 	meta, err := s.Meta(name)
 	if err != nil {
 		return 0, err
@@ -256,14 +346,14 @@ func (s *Store) RepairNode(name string, node int) (int, error) {
 			}
 			var block []byte
 			if j < p.K {
-				block, err = s.reconstructBlock(meta, si, j)
+				block, err = s.reconstructBlock(sp, meta, si, j)
 			} else {
-				block, err = s.reconstructParity(meta, si, j)
+				block, err = s.reconstructParity(sp, meta, si, j)
 			}
 			if err != nil {
 				return repaired, fmt.Errorf("store: repairing stripe %d block %d: %w", si, j, err)
 			}
-			if _, err := s.callChecked(node, &rpc.Request{
+			if _, err := s.callChecked(sp, node, &rpc.Request{
 				Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: block,
 			}); err != nil {
 				return repaired, err
@@ -272,32 +362,4 @@ func (s *Store) RepairNode(name string, node int) (int, error) {
 		}
 	}
 	return repaired, nil
-}
-
-// reconstructParity rebuilds a parity block from the stripe's survivors.
-func (s *Store) reconstructParity(meta *ObjectMeta, stripe, idx int) ([]byte, error) {
-	p := s.opts.Params
-	st := meta.Stripes[stripe]
-	shards := make([][]byte, p.N)
-	available := 0
-	for j := 0; j < p.N && available < p.K; j++ {
-		if j == idx {
-			continue
-		}
-		resp, err := s.call(st.Nodes[j], &rpc.Request{
-			Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
-		})
-		if err != nil || resp.Err != "" {
-			continue
-		}
-		shards[j] = padTo(resp.Data, st.Capacity)
-		available++
-	}
-	if available < p.K {
-		return nil, fmt.Errorf("%w: only %d of %d shards available", ErrTooManyFailures, available, p.K)
-	}
-	if err := s.coder.Reconstruct(shards); err != nil {
-		return nil, err
-	}
-	return shards[idx], nil
 }

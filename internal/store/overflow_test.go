@@ -1,0 +1,174 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// overflowStore builds one small object under each layout for the
+// adversarial-range tests.
+func overflowStore(t testing.TB, layout LayoutMode) (*Store, []byte) {
+	t.Helper()
+	opts := fusionTestOptions()
+	opts.Layout = layout
+	s, _ := newSimStore(t, opts)
+	data, _, _ := makeObject(t, 2, 200, 7)
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	return s, data
+}
+
+// TestGetRangeOverflow is the regression table for the read-path overflow:
+// offset+length can wrap uint64, so a naive `offset+length > meta.Size`
+// check accepts adversarial ranges and silently returns truncated (or
+// empty) data. Every out-of-range request must fail cleanly; every
+// in-range request must return exactly the requested bytes.
+func TestGetRangeOverflow(t *testing.T) {
+	for _, layout := range []LayoutMode{LayoutFAC, LayoutFixed} {
+		t.Run(layout.String(), func(t *testing.T) {
+			s, data := overflowStore(t, layout)
+			size := uint64(len(data))
+			cases := []struct {
+				name           string
+				offset, length uint64
+				wantErr        bool
+			}{
+				{"full", 0, 0, false},
+				{"full-explicit", 0, size, false},
+				{"tail", size - 10, 10, false},
+				{"empty-at-end", size, 0, false},
+				{"mid", size / 3, size / 4, false},
+				{"offset-past-end", size + 1, 1, true},
+				{"length-past-end", size - 1, 2, true},
+				{"max-length", 0, ^uint64(0), true},
+				{"max-length-at-end", size, ^uint64(0), true},
+				{"max-offset", ^uint64(0), 1, true},
+				// offset+length wraps to a small value: the classic bypass.
+				{"wrapping-sum", 2, ^uint64(0) - 1, true},
+				{"wrapping-sum-to-size", size, ^uint64(0) - size + 1, true},
+			}
+			for _, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) {
+					got, err := s.Get("obj", tc.offset, tc.length)
+					if tc.wantErr {
+						if err == nil {
+							t.Fatalf("Get(%d, %d) = %d bytes, want error", tc.offset, tc.length, len(got))
+						}
+						return
+					}
+					if err != nil {
+						t.Fatalf("Get(%d, %d): %v", tc.offset, tc.length, err)
+					}
+					wantLen := tc.length
+					if wantLen == 0 && tc.offset < size {
+						wantLen = size - tc.offset
+					}
+					want := data[tc.offset : tc.offset+wantLen]
+					if !bytes.Equal(got, want) {
+						t.Fatalf("Get(%d, %d) returned wrong bytes (%d vs %d)", tc.offset, tc.length, len(got), len(want))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSliceBlockOverflow covers the second overflow site: slicing a
+// reconstructed block with attacker-influenced off/length.
+func TestSliceBlockOverflow(t *testing.T) {
+	block := []byte("0123456789")
+	cases := []struct {
+		off, length uint64
+		wantErr     bool
+		want        string
+	}{
+		{0, 10, false, "0123456789"},
+		{3, 4, false, "3456"},
+		{10, 0, false, ""},
+		{0, 11, true, ""},
+		{11, 0, true, ""},
+		{1, ^uint64(0), true, ""}, // off+length wraps to 0
+		{^uint64(0), 2, true, ""},
+		{^uint64(0), ^uint64(0), true, ""},
+	}
+	for _, tc := range cases {
+		got, err := sliceBlock(block, tc.off, tc.length)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("sliceBlock(%d, %d) = %q, want error", tc.off, tc.length, got)
+			}
+			continue
+		}
+		if err != nil || string(got) != tc.want {
+			t.Errorf("sliceBlock(%d, %d) = %q, %v; want %q", tc.off, tc.length, got, err, tc.want)
+		}
+	}
+}
+
+// TestGetNeverPanicsQuick is the property test: for arbitrary uint64
+// (offset, length) pairs, Get must either return exactly the requested
+// range or a clean error — never panic, never silently truncate.
+func TestGetNeverPanicsQuick(t *testing.T) {
+	s, data := overflowStore(t, LayoutFAC)
+	size := uint64(len(data))
+	prop := func(offset, length uint64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Get(%d, %d) panicked: %v", offset, length, r)
+				ok = false
+			}
+		}()
+		got, err := s.Get("obj", offset, length)
+		inRange := offset <= size && length <= size-offset
+		if !inRange {
+			return err != nil
+		}
+		wantLen := length
+		if wantLen == 0 {
+			wantLen = size - offset
+		}
+		return err == nil && bytes.Equal(got, data[offset:offset+wantLen])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzGetRange drives Get with fuzzer-chosen ranges; the oracle is the
+// original object bytes.
+func FuzzGetRange(f *testing.F) {
+	s, data := overflowStore(f, LayoutFAC)
+	size := uint64(len(data))
+	f.Add(uint64(0), uint64(0))
+	f.Add(size, ^uint64(0))
+	f.Add(uint64(2), ^uint64(0)-1)
+	f.Add(size/2, size/3)
+	f.Fuzz(func(t *testing.T, offset, length uint64) {
+		got, err := s.Get("obj", offset, length)
+		if offset > size || length > size-offset {
+			if err == nil {
+				t.Fatalf("Get(%d, %d) accepted an out-of-range request (%d bytes)", offset, length, len(got))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Get(%d, %d): %v", offset, length, err)
+		}
+		wantLen := length
+		if wantLen == 0 {
+			wantLen = size - offset
+		}
+		if !bytes.Equal(got, data[offset:offset+wantLen]) {
+			t.Fatalf("Get(%d, %d) returned wrong bytes", offset, length)
+		}
+	})
+}
+
+func init() {
+	// Guard against LayoutMode gaining values without a String method (the
+	// subtest names above rely on it).
+	_ = fmt.Stringer(LayoutFAC)
+}

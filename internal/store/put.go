@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"github.com/fusionstore/fusion/internal/fac"
 	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/trace"
 )
 
 // PutStats reports how an object was stored.
@@ -35,6 +37,19 @@ type PutStats struct {
 // stripe and scatters its blocks, falling back to fixed-block coding when
 // the storage budget cannot be met (§4.2, §5 "Storing Objects").
 func (s *Store) Put(name string, data []byte) (*PutStats, error) {
+	return s.PutContext(context.Background(), name, data)
+}
+
+// PutContext is Put under a (possibly traced) context: the span records
+// layout construction, per-stripe placement RPCs and metadata replication.
+func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutStats, error) {
+	sp := trace.FromContext(ctx).Child("store.Put")
+	defer sp.End()
+	if s.hist != nil {
+		defer func(start time.Time) {
+			s.hist.Observe(opKey("Put"), time.Since(start))
+		}(time.Now())
+	}
 	start := time.Now()
 	footer, err := lpq.ParseFooter(data)
 	if err != nil {
@@ -63,9 +78,11 @@ func (s *Store) Put(name string, data []byte) (*PutStats, error) {
 	mode := s.opts.Layout
 	var layout fac.Layout
 	if mode == LayoutFAC {
+		lsp := sp.Child("layout")
 		layoutStart := time.Now()
 		l, err := fac.ConstructWithBudget(s.opts.Params.N, s.opts.Params.K, itemSizes(items), s.opts.StorageBudget)
 		stats.LayoutTime = time.Since(layoutStart)
+		lsp.End()
 		switch {
 		case err == nil:
 			layout = l
@@ -79,11 +96,11 @@ func (s *Store) Put(name string, data []byte) (*PutStats, error) {
 
 	meta.Mode = mode
 	if mode == LayoutFAC {
-		if err := s.putFAC(meta, data, layout, stats); err != nil {
+		if err := s.putFAC(sp, meta, data, layout, stats); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := s.putFixed(meta, data, stats); err != nil {
+		if err := s.putFixed(sp, meta, data, stats); err != nil {
 			return nil, err
 		}
 	}
@@ -97,7 +114,10 @@ func (s *Store) Put(name string, data []byte) (*PutStats, error) {
 	stats.Mode = mode
 	stats.Stripes = len(meta.Stripes)
 
-	if err := s.replicateMeta(meta); err != nil {
+	rsp := sp.Child("replicate-meta")
+	err = s.replicateMeta(meta)
+	rsp.End()
+	if err != nil {
 		return nil, err
 	}
 	s.cacheMeta(meta)
@@ -109,7 +129,7 @@ func (s *Store) Put(name string, data []byte) (*PutStats, error) {
 }
 
 // putFAC encodes and stores the object under a FAC layout.
-func (s *Store) putFAC(meta *ObjectMeta, data []byte, layout fac.Layout, stats *PutStats) error {
+func (s *Store) putFAC(sp *trace.Span, meta *ObjectMeta, data []byte, layout fac.Layout, stats *PutStats) error {
 	p := s.opts.Params
 	meta.ItemLocs = facLayoutToMeta(layout, meta.Items)
 	for si, st := range layout.Stripes {
@@ -151,7 +171,7 @@ func (s *Store) putFAC(meta *ObjectMeta, data []byte, layout fac.Layout, stats *
 				bins[j] = []byte{}
 			}
 		}
-		if err := s.placeStripe(meta, si, bins, &sm, stats); err != nil {
+		if err := s.placeStripe(sp, meta, si, bins, &sm, stats); err != nil {
 			return err
 		}
 		meta.Stripes = append(meta.Stripes, sm)
@@ -161,7 +181,7 @@ func (s *Store) putFAC(meta *ObjectMeta, data []byte, layout fac.Layout, stats *
 
 // putFixed encodes and stores the object as fixed-size blocks (the
 // conventional layout; also the FAC budget fallback).
-func (s *Store) putFixed(meta *ObjectMeta, data []byte, stats *PutStats) error {
+func (s *Store) putFixed(sp *trace.Span, meta *ObjectMeta, data []byte, stats *PutStats) error {
 	p := s.opts.Params
 	bs := s.opts.FixedBlockSize
 	// Objects smaller than one full stripe shrink the block size so the
@@ -206,7 +226,7 @@ func (s *Store) putFixed(meta *ObjectMeta, data []byte, stats *PutStats) error {
 		if err := s.coder.Encode(padded); err != nil {
 			return fmt.Errorf("store: encoding stripe %d: %w", si, err)
 		}
-		if err := s.placeStripe(meta, si, blocks, &sm, stats); err != nil {
+		if err := s.placeStripe(sp, meta, si, blocks, &sm, stats); err != nil {
 			return err
 		}
 		meta.Stripes = append(meta.Stripes, sm)
@@ -217,7 +237,9 @@ func (s *Store) putFixed(meta *ObjectMeta, data []byte, stats *PutStats) error {
 // placeStripe writes a stripe's n blocks to n distinct nodes, trying
 // candidates in random order and skipping nodes that refuse the write
 // (down or full) — Put succeeds as long as n healthy nodes exist.
-func (s *Store) placeStripe(meta *ObjectMeta, si int, blocks [][]byte, sm *StripeMeta, stats *PutStats) error {
+func (s *Store) placeStripe(sp *trace.Span, meta *ObjectMeta, si int, blocks [][]byte, sm *StripeMeta, stats *PutStats) error {
+	ssp := sp.Child("place-stripe")
+	defer ssp.End()
 	p := s.opts.Params
 	candidates := s.nodeOrder()
 	next := 0
@@ -226,7 +248,7 @@ func (s *Store) placeStripe(meta *ObjectMeta, si int, blocks [][]byte, sm *Strip
 		placed := false
 		for ; next < len(candidates); next++ {
 			node := candidates[next]
-			if _, err := s.callChecked(node, &rpc.Request{
+			if _, err := s.callChecked(ssp, node, &rpc.Request{
 				Kind: rpc.KindPutBlock, BlockID: id, Data: blocks[j],
 			}); err != nil {
 				continue // unhealthy candidate: try the next
@@ -302,7 +324,7 @@ func (s *Store) Meta(name string) (*ObjectMeta, error) {
 func (s *Store) deleteBlocks(meta *ObjectMeta) {
 	for _, st := range meta.Stripes {
 		for j, id := range st.BlockIDs {
-			_, _ = s.call(st.Nodes[j], &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: id})
+			_, _ = s.call(nil, st.Nodes[j], &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: id})
 		}
 	}
 }

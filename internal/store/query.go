@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"hash/crc32"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"github.com/fusionstore/fusion/internal/rpc"
 	"github.com/fusionstore/fusion/internal/simnet"
 	"github.com/fusionstore/fusion/internal/sql"
+	"github.com/fusionstore/fusion/internal/trace"
 )
 
 // Result is a query's output: filtered column values for plain projections
@@ -60,7 +62,8 @@ type execState struct {
 	store *Store
 	meta  *ObjectMeta
 	coord int
-	nowSt int // current stage index
+	nowSt int         // current stage index
+	sp    *trace.Span // current stage's trace span (nil when untraced)
 
 	mu    sync.Mutex
 	stats QueryStats
@@ -77,9 +80,10 @@ func (e *execState) addOp(op simnet.OpCost) {
 }
 
 // fork returns a child state for one fan-out task. Children are owned by a
-// single worker goroutine and carry the parent's stage index.
+// single worker goroutine and carry the parent's stage index and span (the
+// span itself is concurrency-safe, so tasks account into it directly).
 func (e *execState) fork() *execState {
-	return &execState{store: e.store, meta: e.meta, coord: e.coord, nowSt: e.nowSt}
+	return &execState{store: e.store, meta: e.meta, coord: e.coord, nowSt: e.nowSt, sp: e.sp}
 }
 
 // join folds a child's accounting back into e. Callers join children in
@@ -124,16 +128,35 @@ func (e *execState) chargeCoordCPU(procBytes uint64) {
 // configuration the needed chunks are instead fetched (and reassembled
 // across nodes when split) and processed at the coordinator.
 func (s *Store) Query(query string) (*Result, error) {
+	return s.QueryContext(context.Background(), query)
+}
+
+// QueryContext is Query under a (possibly traced) context. The span tree
+// records the filter and projection stages, per-chunk block RPCs, pushdown
+// replies, reconstructions and local decodes, plus the bytes-requested vs
+// bytes-from-nodes counters behind the read-amplification figure — for a
+// pushdown query the amplification drops below 1, which is the paper's
+// headline effect.
+func (s *Store) QueryContext(ctx context.Context, query string) (*Result, error) {
+	qsp := trace.FromContext(ctx).Child("store.Query")
+	defer qsp.End()
+	if s.hist != nil {
+		defer func(start time.Time) {
+			s.hist.Observe(opKey("Query"), time.Since(start))
+		}(time.Now())
+	}
 	start := time.Now()
 	q, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
+	msp := qsp.Child("meta")
 	meta, err := s.Meta(q.Table)
+	msp.End()
 	if err != nil {
 		return nil, err
 	}
-	st := &execState{store: s, meta: meta, coord: s.CoordinatorFor(q.Table)}
+	st := &execState{store: s, meta: meta, coord: s.CoordinatorFor(q.Table), sp: qsp}
 
 	// Resolve the SELECT list.
 	if q.Star {
@@ -162,7 +185,9 @@ func (s *Store) Query(query string) (*Result, error) {
 
 	// Stage 1: filter. Produces one bitmap per surviving row group.
 	st.nowSt = 0
+	st.sp = qsp.Child("filter")
 	rgBitmaps, err := s.filterStage(st, q, colIdx)
+	st.sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +205,9 @@ func (s *Store) Query(query string) (*Result, error) {
 
 	// Stage 2: projection.
 	st.nowSt = 1
+	st.sp = qsp.Child("project")
 	res, err := s.projectionStage(st, q, colIdx, rgBitmaps)
+	st.sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -357,10 +384,13 @@ func (s *Store) pushdownFilter(st *execState, c *sql.Compare, colType lpq.Type, 
 		Op:    c.Op,
 		Value: c.Value,
 	}
-	resp, err := s.callChecked(node, req)
+	resp, err := s.callChecked(st.sp, node, req)
 	if err != nil {
 		return nil, err
 	}
+	// The filter logically touched the chunk but only the bitmap crossed
+	// the network — this is what pulls query read amplification below 1.
+	st.sp.Count(trace.BytesRequested, ch.Size)
 	st.stats.FilterRPCs++
 	st.addOp(simnet.OpCost{
 		Node:      node,
@@ -385,7 +415,9 @@ func (s *Store) fetchChunkColumn(st *execState, rg, ci int) (lpq.ColumnData, err
 	meta := st.meta
 	ch := meta.Footer.RowGroups[rg].Chunks[ci]
 	st.addOp(simnet.OpCost{Local: true, ProcBytes: ch.RawSize})
+	dsp := st.sp.Child("decode")
 	col, err := lpq.DecodeChunk(meta.Footer.Columns[ci].Type, ch, raw)
+	dsp.End()
 	if err == nil {
 		return col, nil
 	}
@@ -406,7 +438,7 @@ func (s *Store) reconstructChunkBytes(st *execState, rg, ci int) ([]byte, error)
 	if meta.Mode == LayoutFAC {
 		itemIdx := meta.ChunkItemIndex(rg, ci)
 		loc := meta.ItemLocs[itemIdx]
-		block, err := s.reconstructBlock(meta, loc.Stripe, loc.Bin)
+		block, err := s.reconstructBlock(st.sp, meta, loc.Stripe, loc.Bin)
 		if err != nil {
 			return nil, err
 		}
@@ -445,7 +477,7 @@ func (s *Store) reconstructChunkBytes(st *execState, rg, ci int) ([]byte, error)
 	stored := make([][]byte, len(spans))
 	for i, sp := range spans {
 		sm := meta.Stripes[sp.stripe]
-		resp, err := s.call(sm.Nodes[sp.bin], &rpc.Request{
+		resp, err := s.call(st.sp, sm.Nodes[sp.bin], &rpc.Request{
 			Kind: rpc.KindGetBlock, BlockID: sm.BlockIDs[sp.bin],
 		})
 		if err == nil && resp.Err == "" {
@@ -458,7 +490,7 @@ func (s *Store) reconstructChunkBytes(st *execState, rg, ci int) ([]byte, error)
 		for i, sp := range spans {
 			var block []byte
 			if i == suspect || stored[i] == nil {
-				rebuilt, err := s.reconstructBlock(meta, sp.stripe, sp.bin)
+				rebuilt, err := s.reconstructBlock(st.sp, meta, sp.stripe, sp.bin)
 				if err != nil {
 					ok = false
 					break
@@ -502,12 +534,13 @@ func (s *Store) accountReconstruct(st *execState, meta *ObjectMeta, stripe int) 
 func (s *Store) fetchChunkBytes(st *execState, rg, ci int) ([]byte, error) {
 	meta := st.meta
 	ch := meta.Footer.RowGroups[rg].Chunks[ci]
+	st.sp.Count(trace.BytesRequested, ch.Size)
 	if meta.Mode == LayoutFAC {
 		itemIdx := meta.ChunkItemIndex(rg, ci)
 		loc := meta.ItemLocs[itemIdx]
 		stripe := meta.Stripes[loc.Stripe]
 		node := stripe.Nodes[loc.Bin]
-		data, err := s.readStripeRange(meta, loc.Stripe, loc.Bin, loc.BinOffset, ch.Size)
+		data, err := s.readStripeRange(st.sp, meta, loc.Stripe, loc.Bin, loc.BinOffset, ch.Size)
 		if err != nil {
 			return nil, err
 		}
@@ -532,7 +565,7 @@ func (s *Store) fetchChunkBytes(st *execState, rg, ci int) ([]byte, error) {
 		bin := int(blockIdx % k)
 		within := pos - blockIdx*bs
 		n := min(bs-within, end-pos)
-		data, err := s.readStripeRange(meta, stripe, bin, within, n)
+		data, err := s.readStripeRange(st.sp, meta, stripe, bin, within, n)
 		if err != nil {
 			return nil, err
 		}
@@ -782,8 +815,9 @@ func (s *Store) aggregateChunk(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *
 			},
 			Bitmap: bm.Marshal(),
 		}
-		resp, err := s.callChecked(node, req)
+		resp, err := s.callChecked(st.sp, node, req)
 		if err == nil && resp.Agg != nil {
+			st.sp.Count(trace.BytesRequested, ch.Size)
 			st.stats.AggregateRPCs++
 			st.addOp(simnet.OpCost{
 				Node:      node,
@@ -829,10 +863,11 @@ func (s *Store) pushdownProject(st *execState, rg, ci int, ch lpq.ChunkMeta, bm 
 		},
 		Bitmap: bm.Marshal(),
 	}
-	resp, err := s.callChecked(node, req)
+	resp, err := s.callChecked(st.sp, node, req)
 	if err != nil {
 		return lpq.ColumnData{}, err
 	}
+	st.sp.Count(trace.BytesRequested, ch.Size)
 	st.stats.ProjectRPCs++
 	st.addOp(simnet.OpCost{
 		Node:      node,

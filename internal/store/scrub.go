@@ -1,10 +1,13 @@
 package store
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/trace"
 )
 
 // ScrubReport summarizes one object's integrity scrub.
@@ -37,6 +40,19 @@ type ScrubOptions struct {
 // procedure: RS parity detects whole-stripe inconsistency, while per-chunk
 // CRCs (lpq) localize which copy is bad.
 func (s *Store) Scrub(name string, opts ScrubOptions) (*ScrubReport, error) {
+	return s.ScrubContext(context.Background(), name, opts)
+}
+
+// ScrubContext is Scrub under a (possibly traced) context: the span records
+// one child per stripe with its block-fetch RPCs and any repair writes.
+func (s *Store) ScrubContext(ctx context.Context, name string, opts ScrubOptions) (*ScrubReport, error) {
+	sp := trace.FromContext(ctx).Child("store.Scrub")
+	defer sp.End()
+	if s.hist != nil {
+		defer func(start time.Time) {
+			s.hist.Observe(opKey("Scrub"), time.Since(start))
+		}(time.Now())
+	}
 	meta, err := s.Meta(name)
 	if err != nil {
 		return nil, err
@@ -44,11 +60,12 @@ func (s *Store) Scrub(name string, opts ScrubOptions) (*ScrubReport, error) {
 	p := s.opts.Params
 	report := &ScrubReport{}
 	for si, st := range meta.Stripes {
+		ssp := sp.Child("stripe")
 		report.Stripes++
 		shards := make([][]byte, p.N)
 		var missing []int
 		for j := 0; j < p.N; j++ {
-			resp, err := s.call(st.Nodes[j], &rpc.Request{
+			resp, err := s.call(ssp, st.Nodes[j], &rpc.Request{
 				Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
 			})
 			if err != nil || resp.Err != "" {
@@ -57,6 +74,7 @@ func (s *Store) Scrub(name string, opts ScrubOptions) (*ScrubReport, error) {
 			}
 			shards[j] = padTo(resp.Data, st.Capacity)
 		}
+		ssp.End() // the fetch phase; repair writes charge to the parent
 		report.MissingBlocks += len(missing)
 		if len(missing) > 0 {
 			if !opts.Repair {
@@ -79,7 +97,7 @@ func (s *Store) Scrub(name string, opts ScrubOptions) (*ScrubReport, error) {
 				if j < p.K {
 					data = data[:st.DataLens[j]]
 				}
-				if _, err := s.callChecked(st.Nodes[j], &rpc.Request{
+				if _, err := s.callChecked(sp, st.Nodes[j], &rpc.Request{
 					Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: data,
 				}); err != nil {
 					return report, err
@@ -95,7 +113,7 @@ func (s *Store) Scrub(name string, opts ScrubOptions) (*ScrubReport, error) {
 		if !ok {
 			report.CorruptStripes++
 			if opts.Repair {
-				n, err := s.repairCorruptStripe(meta, si, shards)
+				n, err := s.repairCorruptStripe(sp, meta, si, shards)
 				if err != nil {
 					return report, err
 				}
@@ -109,7 +127,7 @@ func (s *Store) Scrub(name string, opts ScrubOptions) (*ScrubReport, error) {
 // repairCorruptStripe localizes corruption within a parity-inconsistent
 // stripe using the per-chunk CRCs (FAC mode), then rebuilds the bad blocks
 // from the remaining ones. It returns the number of blocks rewritten.
-func (s *Store) repairCorruptStripe(meta *ObjectMeta, si int, shards [][]byte) (int, error) {
+func (s *Store) repairCorruptStripe(sp *trace.Span, meta *ObjectMeta, si int, shards [][]byte) (int, error) {
 	p := s.opts.Params
 	st := meta.Stripes[si]
 	bad := map[int]bool{}
@@ -145,7 +163,7 @@ func (s *Store) repairCorruptStripe(meta *ObjectMeta, si int, shards [][]byte) (
 		}
 		n := 0
 		for j := p.K; j < p.N; j++ {
-			if _, err := s.callChecked(st.Nodes[j], &rpc.Request{
+			if _, err := s.callChecked(sp, st.Nodes[j], &rpc.Request{
 				Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: work[j],
 			}); err != nil {
 				return n, err
@@ -172,7 +190,7 @@ func (s *Store) repairCorruptStripe(meta *ObjectMeta, si int, shards [][]byte) (
 		if j < p.K {
 			data = data[:st.DataLens[j]]
 		}
-		if _, err := s.callChecked(st.Nodes[j], &rpc.Request{
+		if _, err := s.callChecked(sp, st.Nodes[j], &rpc.Request{
 			Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: data,
 		}); err != nil {
 			return n, err

@@ -14,6 +14,7 @@ import (
 	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/rpc"
 	"github.com/fusionstore/fusion/internal/simnet"
+	"github.com/fusionstore/fusion/internal/trace"
 )
 
 // PushdownPolicy selects how the projection stage treats each column chunk.
@@ -94,6 +95,11 @@ type Options struct {
 	// Health, when set, receives per-node failure/retry/hedge counters. New
 	// installs a fresh recorder when nil, exposed via Store.Health.
 	Health *metrics.Health
+	// Metrics, when set, receives per-(op, node) latency histograms from
+	// every coordinator→node RPC and every top-level operation — the data
+	// behind /debug/fusionz and fusion-bench's percentile tables. Nil (the
+	// default) disables all timing.
+	Metrics *metrics.HistogramSet
 	// Seed drives stripe placement.
 	Seed int64
 	// Model, when set, computes simulated query latencies from the
@@ -136,6 +142,7 @@ type Store struct {
 	coder  *erasure.Coder
 	retry  cluster.Policy
 	health *metrics.Health
+	hist   *metrics.HistogramSet
 
 	mu      sync.RWMutex
 	objects map[string]*ObjectMeta // coordinator-side metadata cache
@@ -173,6 +180,7 @@ func New(client cluster.Client, opts Options) (*Store, error) {
 		coder:   coder,
 		retry:   retry,
 		health:  health,
+		hist:    opts.Metrics,
 		objects: make(map[string]*ObjectMeta),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 	}, nil
@@ -181,16 +189,48 @@ func New(client cluster.Client, opts Options) (*Store, error) {
 // Health returns the store's per-node failure/retry/hedge counters.
 func (s *Store) Health() *metrics.Health { return s.health }
 
+// Metrics returns the store's latency histogram set (nil unless
+// Options.Metrics was set).
+func (s *Store) Metrics() *metrics.HistogramSet { return s.hist }
+
+// opKey is the histogram key for a coordinator-level operation.
+func opKey(op string) metrics.Key {
+	return metrics.Key{Op: "op." + op, Node: metrics.NodeNone}
+}
+
 // call is the hardened transport entry for coordinator→node RPCs: bounded
 // retries with backoff and per-attempt deadlines per Options.Retry, with
-// per-node health accounting.
-func (s *Store) call(node int, req *rpc.Request) (*rpc.Response, error) {
-	return cluster.CallRetry(s.client, node, req, s.retry)
+// per-node health accounting. When sp is non-nil the call charges its RPC,
+// retry and bytes-from-node counters to that request span; when the store
+// has a histogram set, the call's latency is recorded under the node and
+// request kind. Both are nil by default and then cost nothing.
+func (s *Store) call(sp *trace.Span, node int, req *rpc.Request) (*rpc.Response, error) {
+	if sp == nil && s.hist == nil {
+		return cluster.CallRetry(s.client, node, req, s.retry)
+	}
+	start := time.Now()
+	resp, attempts, err := cluster.CallRetryN(s.client, node, req, s.retry)
+	s.hist.Observe(metrics.Key{Op: "rpc." + req.Kind.String(), Node: node}, time.Since(start))
+	sp.Count(trace.RPCs, uint64(attempts))
+	if attempts > 1 {
+		sp.Count(trace.Retries, uint64(attempts-1))
+	}
+	if resp != nil {
+		sp.Count(trace.BytesFromNodes, uint64(len(resp.Data)))
+	}
+	return resp, err
 }
 
 // callChecked is call with application errors converted to Go errors.
-func (s *Store) callChecked(node int, req *rpc.Request) (*rpc.Response, error) {
-	return cluster.CallCheckedPolicy(s.client, node, req, s.retry)
+func (s *Store) callChecked(sp *trace.Span, node int, req *rpc.Request) (*rpc.Response, error) {
+	resp, err := s.call(sp, node, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("cluster: node %d: %s", node, resp.Err)
+	}
+	return resp, nil
 }
 
 // Options returns the store's configuration.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/rpc"
 )
 
@@ -145,6 +146,7 @@ func (s *Server) Close() error {
 type Client struct {
 	addrs     []string
 	ioTimeout time.Duration
+	hist      *metrics.HistogramSet
 
 	mu    sync.Mutex
 	conns []net.Conn
@@ -167,6 +169,18 @@ func NewClient(addrs []string) *Client {
 func (c *Client) SetIOTimeout(d time.Duration) {
 	c.mu.Lock()
 	c.ioTimeout = d
+	c.mu.Unlock()
+}
+
+// SetMetrics installs per-frame wire timing: every request/response pair
+// records its serialize+write and wait+read+decode legs under
+// Key{Op: "net.write"/"net.read", Node: node}. The read leg includes the
+// server's processing time — comparing it against the node-side
+// "node.<kind>" histograms isolates pure network cost. Nil (the default)
+// disables timing.
+func (c *Client) SetMetrics(h *metrics.HistogramSet) {
+	c.mu.Lock()
+	c.hist = h
 	c.mu.Unlock()
 }
 
@@ -200,18 +214,29 @@ func (c *Client) dropConn(node int) {
 }
 
 // exchange performs one request/response pair on conn, applying the
-// per-frame IO deadline when configured.
-func (c *Client) exchange(conn net.Conn, req *rpc.Request) (*rpc.Response, error) {
+// per-frame IO deadline when configured and recording per-frame timings
+// when a histogram set is installed.
+func (c *Client) exchange(conn net.Conn, node int, req *rpc.Request) (*rpc.Response, error) {
 	c.mu.Lock()
 	timeout := c.ioTimeout
+	hist := c.hist
 	c.mu.Unlock()
 	if timeout > 0 {
 		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 			return nil, err
 		}
 	}
+	start := time.Time{}
+	if hist != nil {
+		start = time.Now()
+	}
 	if err := writeFrame(conn, req); err != nil {
 		return nil, err
+	}
+	if hist != nil {
+		now := time.Now()
+		hist.Observe(metrics.Key{Op: "net.write", Node: node}, now.Sub(start))
+		start = now
 	}
 	if timeout > 0 {
 		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
@@ -221,6 +246,9 @@ func (c *Client) exchange(conn net.Conn, req *rpc.Request) (*rpc.Response, error
 	var resp rpc.Response
 	if err := readFrame(conn, &resp); err != nil {
 		return nil, err
+	}
+	if hist != nil {
+		hist.Observe(metrics.Key{Op: "net.read", Node: node}, time.Since(start))
 	}
 	return &resp, nil
 }
@@ -241,7 +269,7 @@ func (c *Client) Call(node int, req *rpc.Request) (*rpc.Response, error) {
 		if err != nil {
 			return nil, err
 		}
-		resp, err := c.exchange(conn, req)
+		resp, err := c.exchange(conn, node, req)
 		if err == nil {
 			return resp, nil
 		}

@@ -111,6 +111,13 @@ type RunResult struct {
 	PushdownOn, PushdownOff int
 }
 
+// Hist, when non-nil, receives every simulated query latency RunQueries
+// measures, broken down by phase ("query.total", "query.disk",
+// "query.proc", "query.net"). fusion-bench installs a set here so each
+// experiment's tables come with p50/p95/p99 latency distributions for free;
+// the nil default costs the harness nothing.
+var Hist *metrics.HistogramSet
+
 // RunQueries executes the batch against the system, recording simulated
 // latency samples and traffic.
 func RunQueries(sys *System, queries []string) (*RunResult, error) {
@@ -125,6 +132,10 @@ func RunQueries(sys *System, queries []string) (*RunResult, error) {
 		out.Selectivity += res.Stats.Selectivity
 		out.PushdownOn += res.Stats.PushdownOn
 		out.PushdownOff += res.Stats.PushdownOff
+		Hist.Observe(metrics.Key{Op: "query.total", Node: metrics.NodeNone}, res.Stats.Sim.Total)
+		Hist.Observe(metrics.Key{Op: "query.disk", Node: metrics.NodeNone}, res.Stats.Sim.Phase.DiskRead)
+		Hist.Observe(metrics.Key{Op: "query.proc", Node: metrics.NodeNone}, res.Stats.Sim.Phase.Processing)
+		Hist.Observe(metrics.Key{Op: "query.net", Node: metrics.NodeNone}, res.Stats.Sim.Phase.Network)
 	}
 	if len(queries) > 0 {
 		out.Selectivity /= float64(len(queries))
