@@ -8,8 +8,10 @@
 //	fusion-cli -nodes ...                       get  <object> [offset length] > out
 //	fusion-cli -nodes ...                       query 'SELECT l_orderkey FROM lineitem WHERE l_shipdate < 100'
 //	fusion-cli -nodes ...                       delete <object>
-//	fusion-cli -nodes ...                       scrub <object> [-repair]
+//	fusion-cli -nodes ...                       scrub [<object>] [-repair]
+//	fusion-cli -nodes ...                       repair <node-id>
 //	fusion-cli -nodes ...                       repair-node <object> <node-id>
+//	fusion-cli -nodes ...                       reconcile [-force]
 //	fusion-cli -nodes ...                       gen-lineitem <file.lpq>
 package main
 
@@ -99,13 +101,42 @@ func main() {
 		die(s.Delete(args[1]))
 		fmt.Printf("deleted %s\n", args[1])
 	case "scrub":
-		if len(args) != 2 && !(len(args) == 3 && args[2] == "-repair") {
+		// No object: scrub everything discoverable in the cluster.
+		repair := len(args) >= 2 && args[len(args)-1] == "-repair"
+		rest := args[1:]
+		if repair {
+			rest = rest[:len(rest)-1]
+		}
+		switch len(rest) {
+		case 0:
+			rep, err := s.ScrubAll(store.ScrubOptions{Repair: repair})
+			die(err)
+			t := rep.Totals()
+			fmt.Printf("scrubbed %d objects: %d stripes, %d missing blocks, %d checksum failures, %d corrupt stripes, %d repaired\n",
+				rep.Objects, t.Stripes, t.MissingBlocks, t.ChecksumFailures, t.CorruptStripes, t.Repaired)
+			for name, msg := range rep.Errors {
+				fmt.Fprintf(os.Stderr, "fusion-cli: scrub %s: %s\n", name, msg)
+			}
+			if len(rep.Errors) > 0 {
+				os.Exit(1)
+			}
+		case 1:
+			rep, err := s.Scrub(rest[0], store.ScrubOptions{Repair: repair})
+			die(err)
+			fmt.Printf("scrubbed %s: %d stripes, %d missing blocks, %d checksum failures, %d corrupt stripes, %d repaired\n",
+				rest[0], rep.Stripes, rep.MissingBlocks, rep.ChecksumFailures, rep.CorruptStripes, rep.Repaired)
+		default:
 			usage()
 		}
-		rep, err := s.Scrub(args[1], store.ScrubOptions{Repair: len(args) == 3})
+	case "repair":
+		if len(args) != 2 {
+			usage()
+		}
+		node, err := strconv.Atoi(args[1])
 		die(err)
-		fmt.Printf("scrubbed %s: %d stripes, %d missing blocks, %d corrupt stripes, %d repaired\n",
-			args[1], rep.Stripes, rep.MissingBlocks, rep.CorruptStripes, rep.Repaired)
+		n, err := s.RepairNodeAll(node)
+		die(err)
+		fmt.Printf("repaired %d blocks/replicas on node %d\n", n, node)
 	case "repair-node":
 		if len(args) != 3 {
 			usage()
@@ -115,6 +146,14 @@ func main() {
 		n, err := s.RepairNode(args[1], node)
 		die(err)
 		fmt.Printf("repaired %d blocks of %s on node %d\n", n, args[1], node)
+	case "reconcile":
+		if len(args) != 1 && !(len(args) == 2 && args[1] == "-force") {
+			usage()
+		}
+		rep, err := s.ReconcileOrphans(len(args) == 2)
+		die(err)
+		fmt.Printf("reconciled: %d blocks scanned, %d live, %d half-commits finished, %d orphans deleted, %d skipped (possible in-flight)\n",
+			rep.Scanned, rep.Live, rep.Committed, rep.Deleted, rep.Skipped)
 	default:
 		usage()
 	}
@@ -170,8 +209,10 @@ func usage() {
   fusion-cli [-nodes a,b,...] get <object> [offset length]
   fusion-cli [-nodes a,b,...] query '<SELECT statement>'
   fusion-cli [-nodes a,b,...] delete <object>
-  fusion-cli [-nodes a,b,...] scrub <object> [-repair]
+  fusion-cli [-nodes a,b,...] scrub [<object>] [-repair]
+  fusion-cli [-nodes a,b,...] repair <node-id>
   fusion-cli [-nodes a,b,...] repair-node <object> <node-id>
+  fusion-cli [-nodes a,b,...] reconcile [-force]
   fusion-cli gen-lineitem <file.lpq>`)
 	os.Exit(2)
 }

@@ -43,7 +43,7 @@ import (
 )
 
 // Store is the analytics object store client/coordinator: Put, Get, Query,
-// Delete, Scrub, RepairNode.
+// Delete, Scrub, ScrubAll, RepairNode, RepairNodeAll, ReconcileOrphans.
 type Store = store.Store
 
 // Options configure a Store; see FusionOptions and BaselineOptions for the
@@ -61,6 +61,56 @@ type (
 	ScrubOptions = store.ScrubOptions
 	ScrubReport  = store.ScrubReport
 )
+
+//
+// Durability & self-healing (DESIGN.md §9).
+//
+
+// RepairConfig tunes the repair queue and the background RepairManager
+// (heartbeat cadence, repair rate limit, scrub and reconcile periods); the
+// zero value enables sensible defaults via Options.Repair.
+type RepairConfig = store.RepairConfig
+
+// RepairItem identifies one block awaiting repair; RepairStats snapshots the
+// repair queue (depth, enqueued, dropped, processed, failed).
+type (
+	RepairItem  = store.RepairItem
+	RepairStats = store.RepairStats
+)
+
+// ScrubAllReport aggregates per-object scrub reports for a whole-cluster
+// scrub (Store.ScrubAll); Totals sums them.
+type ScrubAllReport = store.ScrubAllReport
+
+// ReconcileReport summarizes an orphan-reconciliation pass
+// (Store.ReconcileOrphans): blocks scanned, live, half-commits finished,
+// orphans deleted, conservatively skipped.
+type ReconcileReport = store.ReconcileReport
+
+// RepairManager runs the self-healing background loops (heartbeats with
+// circuit-breaker wiring, rate-limited repairs, periodic scrub and orphan
+// reconciliation); start one with Store.StartRepairManager.
+type RepairManager = store.RepairManager
+
+// RepairManagerStats counts the manager's background activity; NodeState is
+// the heartbeat view of one storage node.
+type (
+	RepairManagerStats = store.RepairManagerStats
+	NodeState          = store.NodeState
+)
+
+// Breaker is a per-node circuit breaker; install one on Options.Breaker to
+// fail fast against persistently unhealthy nodes (DESIGN.md §9).
+type (
+	Breaker       = cluster.Breaker
+	BreakerConfig = cluster.BreakerConfig
+)
+
+// NewBreaker builds a circuit breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker { return cluster.NewBreaker(cfg) }
+
+// DefaultBreakerConfig returns the default trip threshold and cooldown.
+func DefaultBreakerConfig() BreakerConfig { return cluster.DefaultBreakerConfig() }
 
 // NewStore builds a store over a cluster transport.
 func NewStore(client Cluster, opts Options) (*Store, error) { return store.New(client, opts) }

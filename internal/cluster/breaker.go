@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one node's circuit state as seen by a coordinator.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: the node is healthy; calls flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the node accumulated Threshold consecutive transport
+	// failures; calls fail fast (ErrNodeDown) until Cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe call is
+	// in flight; its outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// BreakerConfig parameterizes the per-node circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive transport failures that opens
+	// a node's circuit. <= 0 applies the default (5).
+	Threshold int
+	// Cooldown is how long an open circuit rejects calls before letting a
+	// single probe through. <= 0 applies the default (500ms).
+	Cooldown time.Duration
+}
+
+// DefaultBreakerConfig returns the default breaker parameters.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{Threshold: 5, Cooldown: 500 * time.Millisecond}
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
+	return c
+}
+
+// breakerNode is one node's circuit.
+type breakerNode struct {
+	state       BreakerState
+	consecFails int
+	openedAt    time.Time
+}
+
+// Breaker is a per-node circuit breaker shared by every call a coordinator
+// makes: wired into Policy, it converts a node that keeps failing at the
+// transport level into an immediate ErrNodeDown (the fan-out's
+// reconstruction path is the better retry), and it meters recovery through
+// single half-open probes instead of a thundering herd. All methods are
+// safe for concurrent use and safe on a nil receiver (a nil *Breaker allows
+// everything and records nothing).
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for tests
+
+	mu    sync.Mutex
+	nodes map[int]*breakerNode
+}
+
+// NewBreaker returns a breaker with the given configuration.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now, nodes: make(map[int]*breakerNode)}
+}
+
+// SetClock replaces the breaker's time source (deterministic tests).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+func (b *Breaker) node(id int) *breakerNode {
+	n := b.nodes[id]
+	if n == nil {
+		n = &breakerNode{}
+		b.nodes[id] = n
+	}
+	return n
+}
+
+// Allow reports whether a call to the node may proceed. On an open circuit
+// whose cooldown has elapsed it transitions to half-open and admits exactly
+// one probe; further calls are rejected until the probe reports.
+func (b *Breaker) Allow(node int) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.node(node)
+	switch n.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(n.openedAt) >= b.cfg.Cooldown {
+			n.state = BreakerHalfOpen
+			return true // the single probe
+		}
+		return false
+	default: // BreakerHalfOpen: a probe is already in flight
+		return false
+	}
+}
+
+// Success reports a call that completed at the transport level. It closes a
+// half-open circuit and resets the failure streak.
+func (b *Breaker) Success(node int) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	n := b.node(node)
+	n.state = BreakerClosed
+	n.consecFails = 0
+	b.mu.Unlock()
+}
+
+// Failure reports a transport-level failure. Threshold consecutive failures
+// open the circuit; a failed half-open probe re-opens it immediately.
+func (b *Breaker) Failure(node int) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	n := b.node(node)
+	n.consecFails++
+	if n.state == BreakerHalfOpen || n.consecFails >= b.cfg.Threshold {
+		n.state = BreakerOpen
+		n.openedAt = b.now()
+	}
+	b.mu.Unlock()
+}
+
+// State returns a node's current circuit state (without side effects).
+func (b *Breaker) State(node int) BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n := b.nodes[node]; n != nil {
+		return n.state
+	}
+	return BreakerClosed
+}
+
+// Snapshot returns every tracked node's state, for /debug/fusionz.
+func (b *Breaker) Snapshot() map[int]string {
+	out := make(map[int]string)
+	if b == nil {
+		return out
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, n := range b.nodes {
+		out[id] = n.state.String()
+	}
+	return out
+}

@@ -1,7 +1,11 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"strings"
+	"sync"
 	"time"
 
 	"github.com/fusionstore/fusion/internal/bitmap"
@@ -11,6 +15,35 @@ import (
 	"github.com/fusionstore/fusion/internal/sql"
 )
 
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64 via hash/crc32's SSE4.2/CRC32 fast paths).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum is the block checksum used across the durability layer: CRC32C
+// over the stored (unpadded) block bytes.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// ErrChecksum reports a block whose bytes no longer match its recorded
+// CRC32C — bit rot at rest, or a write whose payload was corrupted in
+// flight. It crosses the wire as a Response.Err string; use IsChecksumErr
+// on that side.
+var ErrChecksum = errors.New("cluster: block checksum mismatch")
+
+// IsChecksumErr reports whether a Response.Err string carries ErrChecksum.
+func IsChecksumErr(msg string) bool {
+	return strings.Contains(msg, "block checksum mismatch")
+}
+
+// blockEntry is the node's durability record for one block: which write
+// attempt produced it, whether that attempt has committed, and the CRC32C
+// its bytes must verify against.
+type blockEntry struct {
+	object  string
+	epoch   uint64
+	crc     uint32
+	pending bool
+}
+
 // Node is one Fusion storage node: a block store plus the in-situ pushdown
 // executor. Every node is identical; any of them can additionally act as a
 // coordinator (§4.1), which the store layer implements on top of Client.
@@ -19,11 +52,14 @@ type Node struct {
 	Blocks BlockStore
 
 	hist *metrics.HistogramSet
+
+	mu      sync.Mutex
+	entries map[string]blockEntry
 }
 
 // NewNode returns a node backed by the given store.
 func NewNode(id int, bs BlockStore) *Node {
-	return &Node{ID: id, Blocks: bs}
+	return &Node{ID: id, Blocks: bs, entries: make(map[string]blockEntry)}
 }
 
 // SetMetrics installs a node-side latency histogram set: every handled RPC
@@ -48,20 +84,22 @@ func (n *Node) handle(req *rpc.Request) *rpc.Response {
 	case rpc.KindPing:
 		return &rpc.Response{}
 	case rpc.KindPutBlock:
-		if err := n.Blocks.Put(req.BlockID, req.Data); err != nil {
-			return errResp(err)
-		}
-		return &rpc.Response{}
+		return n.handlePut(req, false)
+	case rpc.KindPrepareBlock:
+		return n.handlePut(req, true)
+	case rpc.KindCommitObject:
+		return n.handleCommit(req)
+	case rpc.KindListBlocks:
+		return n.handleList()
 	case rpc.KindGetBlock:
-		data, err := n.Blocks.Get(req.BlockID, req.Offset, req.Length)
-		if err != nil {
-			return errResp(err)
-		}
-		return &rpc.Response{Data: data, Cost: rpc.Cost{DiskBytes: uint64(len(data))}}
+		return n.handleGet(req)
 	case rpc.KindDeleteBlock:
 		if err := n.Blocks.Delete(req.BlockID); err != nil {
 			return errResp(err)
 		}
+		n.mu.Lock()
+		delete(n.entries, req.BlockID)
+		n.mu.Unlock()
 		return &rpc.Response{}
 	case rpc.KindBlockSize:
 		size, err := n.Blocks.Size(req.BlockID)
@@ -78,6 +116,116 @@ func (n *Node) handle(req *rpc.Request) *rpc.Response {
 	default:
 		return errResp(fmt.Errorf("cluster: unknown request kind %d", req.Kind))
 	}
+}
+
+// handlePut stores a block. A request carrying an Object ties the block to
+// a write attempt: the payload is verified against req.Crc before it
+// touches the block store (rejecting writes corrupted in flight) and a
+// durability record is kept — pending for PrepareBlock (phase one of the
+// two-phase write), committed for PutBlock (repair/scrub rewrites).
+// Object-less PutBlock keeps the legacy semantics for the metadata
+// register, which carries its own payload checksum.
+func (n *Node) handlePut(req *rpc.Request, pending bool) *rpc.Response {
+	if req.Object != "" || pending {
+		if got := Checksum(req.Data); got != req.Crc {
+			return errResp(fmt.Errorf("%w: %s: payload crc %08x, want %08x",
+				ErrChecksum, req.BlockID, got, req.Crc))
+		}
+	}
+	if err := n.Blocks.Put(req.BlockID, req.Data); err != nil {
+		return errResp(err)
+	}
+	n.mu.Lock()
+	if req.Object != "" || pending {
+		n.entries[req.BlockID] = blockEntry{
+			object: req.Object, epoch: req.Epoch, crc: req.Crc, pending: pending,
+		}
+	} else {
+		// A plain overwrite invalidates any stale durability record.
+		delete(n.entries, req.BlockID)
+	}
+	n.mu.Unlock()
+	return &rpc.Response{}
+}
+
+// handleCommit flips every pending block of (Object, Epoch) to committed.
+// Idempotent: re-committing, or committing after a reconciliation pass
+// already did, is a no-op.
+func (n *Node) handleCommit(req *rpc.Request) *rpc.Response {
+	n.mu.Lock()
+	for id, e := range n.entries {
+		if e.pending && e.object == req.Object && e.epoch == req.Epoch {
+			e.pending = false
+			n.entries[id] = e
+		}
+	}
+	n.mu.Unlock()
+	return &rpc.Response{}
+}
+
+// handleList returns the node's block inventory. The block store is the
+// source of truth for which blocks exist; durability records annotate the
+// ones this node has seen prepared or checksummed (a restarted node may
+// have blocks with no record — reconciliation falls back to parsing IDs).
+func (n *Node) handleList() *rpc.Response {
+	ids := n.Blocks.IDs()
+	infos := make([]rpc.BlockInfo, 0, len(ids))
+	n.mu.Lock()
+	for _, id := range ids {
+		info := rpc.BlockInfo{ID: id}
+		if e, ok := n.entries[id]; ok {
+			info.Object, info.Epoch, info.Pending = e.object, e.epoch, e.pending
+			info.Crc, info.HasCrc = e.crc, true
+		}
+		infos = append(infos, info)
+	}
+	n.mu.Unlock()
+	return &rpc.Response{Blocks: infos}
+}
+
+// handleGet serves a byte range of a block. Blocks with a durability record
+// are verified at rest first — the whole block is read and checked against
+// its recorded CRC32C, and a mismatch is served as ErrChecksum so the
+// coordinator treats the block as an erasure (reconstruct-and-serve) and
+// queues a repair. A request with CallerVerifies set skips that pass: the
+// caller holds the block's checksum in its own metadata and verifies the
+// received bytes itself, which covers rot and transit corruption in a
+// single pass at the receiver. Every reply carries the CRC32C of the served
+// range for end-to-end (in-flight) verification at the coordinator; a
+// whole-block serve reuses the CRC the at-rest pass already computed (or
+// the recorded one under CallerVerifies) instead of hashing the bytes
+// again.
+func (n *Node) handleGet(req *rpc.Request) *rpc.Response {
+	n.mu.Lock()
+	e, verified := n.entries[req.BlockID]
+	n.mu.Unlock()
+	if !verified {
+		data, err := n.Blocks.Get(req.BlockID, req.Offset, req.Length)
+		if err != nil {
+			return errResp(err)
+		}
+		return &rpc.Response{Data: data, Crc: Checksum(data), Cost: rpc.Cost{DiskBytes: uint64(len(data))}}
+	}
+	full, err := n.Blocks.Get(req.BlockID, 0, 0)
+	if err != nil {
+		return errResp(err)
+	}
+	cost := rpc.Cost{DiskBytes: uint64(len(full))}
+	if !req.CallerVerifies {
+		if got := Checksum(full); got != e.crc {
+			return errRespCost(fmt.Errorf("%w: %s: crc %08x, want %08x",
+				ErrChecksum, req.BlockID, got, e.crc), cost)
+		}
+	}
+	data, err := sliceRange(full, req.Offset, req.Length)
+	if err != nil {
+		return errRespCost(err, cost)
+	}
+	crc := e.crc
+	if len(data) != len(full) {
+		crc = Checksum(data)
+	}
+	return &rpc.Response{Data: data, Crc: crc, Cost: cost}
 }
 
 // readChunk loads and decodes the referenced column chunk from local

@@ -49,6 +49,11 @@ type Policy struct {
 	OnBackoff func(node, retry int, d time.Duration)
 	// Health, when set, receives per-node call/failure/retry/timeout counts.
 	Health *metrics.Health
+	// Breaker, when set, is the per-node circuit breaker every call
+	// consults: a node whose circuit is open fails fast with ErrNodeDown
+	// (no transport attempt), and every attempt's transport outcome feeds
+	// the breaker's state machine. Nil disables circuit breaking.
+	Breaker *Breaker
 }
 
 // JitterSource yields uniform draws in [0,1) for backoff jitter. It must be
@@ -184,12 +189,20 @@ func CallRetryN(c Client, node int, req *rpc.Request, p Policy) (*rpc.Response, 
 			}
 			time.Sleep(d)
 		}
+		if !p.Breaker.Allow(node) {
+			// Open circuit: fail fast without a transport attempt, with the
+			// same sentinel a refused connection produces so callers fall
+			// into their reconstruction/fan-out paths immediately.
+			return nil, attempts, fmt.Errorf("%w: node %d (circuit open)", ErrNodeDown, node)
+		}
 		attempts = attempt
 		p.Health.Call(node)
 		resp, err := CallTimeout(c, node, req, p.Timeout)
 		if err == nil {
+			p.Breaker.Success(node)
 			return resp, attempts, nil
 		}
+		p.Breaker.Failure(node)
 		p.Health.Failure(node)
 		if errors.Is(err, ErrCallTimeout) {
 			p.Health.Timeout(node)

@@ -24,6 +24,12 @@ import (
 // layer treats it as retryable, the way a real flaky link behaves.
 var ErrInjected = errors.New("faultnet: injected transport error")
 
+// ErrClientCrashed reports a call made through an injector whose
+// coordinator-crash switch has tripped (CrashClientAfter): the process
+// using this client is simulated dead, so nothing it tries — including its
+// own cleanup — reaches the cluster.
+var ErrClientCrashed = errors.New("faultnet: coordinator crashed")
+
 // NodeAny matches every node in a Rule.
 const NodeAny = -1
 
@@ -78,6 +84,9 @@ type Rule struct {
 	Prob float64
 	// Count caps how many times the rule fires; <= 0 means unlimited.
 	Count int
+	// After skips the first After matching calls before the rule becomes
+	// eligible — "fail the third GetBlock" is After: 2, Count: 1.
+	After int
 	// Delay parameterizes FaultSlow and FaultHang.
 	Delay time.Duration
 }
@@ -86,10 +95,11 @@ func (r Rule) matches(node int, kind rpc.Kind) bool {
 	return (r.Node == NodeAny || r.Node == node) && (r.Kind == KindAny || r.Kind == kind)
 }
 
-// rule is a Rule plus its firing count.
+// rule is a Rule plus its firing and skip counts.
 type rule struct {
 	Rule
-	fired int
+	fired   int
+	skipped int
 }
 
 // Injector implements cluster.Client over an inner transport, injecting
@@ -103,6 +113,12 @@ type Injector struct {
 	rules    []*rule
 	down     []bool
 	injected []uint64 // per-node injected fault count
+
+	// Coordinator-crash switch (CrashClientAfter/Reattach).
+	crashArmed     bool
+	crashKind      rpc.Kind
+	crashRemaining int
+	crashed        bool
 }
 
 // New wraps inner with a fault injector seeded for reproducibility.
@@ -170,6 +186,38 @@ func (in *Injector) DownNodes() []int {
 	return out
 }
 
+// CrashClientAfter arms the coordinator-crash switch: after n calls
+// matching kind (KindAny = every call) have gone through, the injector
+// behaves as if the coordinator process died mid-operation — every further
+// call, of any kind, fails with ErrClientCrashed. n = 0 crashes
+// immediately. Unlike per-node faults, this models the *client* dying: its
+// rollback and cleanup attempts fail too, leaving true crash debris on the
+// cluster for a fresh coordinator to reconcile. Reattach clears the switch.
+func (in *Injector) CrashClientAfter(kind rpc.Kind, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashArmed = true
+	in.crashKind = kind
+	in.crashRemaining = n
+	in.crashed = n <= 0
+}
+
+// Reattach clears the coordinator-crash switch (simulating a fresh
+// coordinator process over the same transport).
+func (in *Injector) Reattach() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashArmed = false
+	in.crashed = false
+}
+
+// Crashed reports whether the coordinator-crash switch has tripped.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
 // Injected returns the number of faults injected against a node.
 func (in *Injector) Injected(node int) uint64 {
 	in.mu.Lock()
@@ -192,6 +240,18 @@ func (in *Injector) InjectedTotal() uint64 {
 // under the injector lock; sleeps and the inner call run outside it.
 func (in *Injector) Call(node int, req *rpc.Request) (*rpc.Response, error) {
 	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return nil, fmt.Errorf("%w (node %d %s)", ErrClientCrashed, node, req.Kind)
+	}
+	if in.crashArmed && (in.crashKind == KindAny || in.crashKind == req.Kind) {
+		if in.crashRemaining <= 0 {
+			in.crashed = true
+			in.mu.Unlock()
+			return nil, fmt.Errorf("%w (node %d %s)", ErrClientCrashed, node, req.Kind)
+		}
+		in.crashRemaining--
+	}
 	if node >= 0 && node < len(in.down) && in.down[node] {
 		in.mu.Unlock()
 		return nil, fmt.Errorf("%w: %d (faultnet)", cluster.ErrNodeDown, node)
@@ -203,6 +263,10 @@ func (in *Injector) Call(node int, req *rpc.Request) (*rpc.Response, error) {
 			continue
 		}
 		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.After > 0 && r.skipped < r.After {
+			r.skipped++
 			continue
 		}
 		if p := r.Prob; p > 0 && p < 1 && in.rng.Float64() >= p {

@@ -239,3 +239,87 @@ func TestRetryIdempotentSafe(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRuleAfterSkipsEarlyCalls pins the After window: "fail the third
+// matching call" is After: 2, Count: 1.
+func TestRuleAfterSkipsEarlyCalls(t *testing.T) {
+	inj, _ := newInjector(t, 2, 1)
+	inj.Add(Rule{Node: 0, Kind: rpc.KindPing, Fault: FaultError, After: 2, Count: 1})
+	for i := 0; i < 2; i++ {
+		if _, err := inj.Call(0, &rpc.Request{Kind: rpc.KindPing}); err != nil {
+			t.Fatalf("call %d is inside the After window, must pass: %v", i+1, err)
+		}
+	}
+	if _, err := inj.Call(0, &rpc.Request{Kind: rpc.KindPing}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third call must fail, got %v", err)
+	}
+	// Count exhausted: the fourth call passes again.
+	if _, err := inj.Call(0, &rpc.Request{Kind: rpc.KindPing}); err != nil {
+		t.Fatalf("fourth call: %v", err)
+	}
+	// Non-matching calls never consume the window.
+	inj.Add(Rule{Node: 1, Kind: rpc.KindPing, Fault: FaultError, After: 1, Count: 1})
+	if _, err := inj.Call(0, &rpc.Request{Kind: rpc.KindPing}); err != nil {
+		t.Fatalf("node 0 call must not consume node 1's window: %v", err)
+	}
+	if _, err := inj.Call(1, &rpc.Request{Kind: rpc.KindPing}); err != nil {
+		t.Fatalf("first node 1 call is skipped: %v", err)
+	}
+	if _, err := inj.Call(1, &rpc.Request{Kind: rpc.KindPing}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second node 1 call must fail, got %v", err)
+	}
+}
+
+// TestCrashClientAfter pins the coordinator-crash switch: after n matching
+// calls complete, EVERY further call — any kind, any node — fails, modeling
+// the client process dying mid-operation (its cleanup fails too).
+func TestCrashClientAfter(t *testing.T) {
+	inj, _ := newInjector(t, 3, 1)
+	inj.CrashClientAfter(rpc.KindPutBlock, 2)
+	// Two matching calls go through.
+	put(t, inj, 0, "a", []byte("x"))
+	put(t, inj, 1, "b", []byte("y"))
+	if inj.Crashed() {
+		t.Fatal("switch must not trip inside the allowance")
+	}
+	// Non-matching kinds pass freely until the switch trips.
+	if _, err := inj.Call(2, &rpc.Request{Kind: rpc.KindPing}); err != nil {
+		t.Fatalf("ping before trip: %v", err)
+	}
+	// The third matching call trips the switch and fails.
+	if _, err := inj.Call(2, &rpc.Request{Kind: rpc.KindPutBlock, BlockID: "c", Data: []byte("z")}); !errors.Is(err, ErrClientCrashed) {
+		t.Fatalf("tripping call: want ErrClientCrashed, got %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("Crashed() must report the tripped switch")
+	}
+	// Now everything fails, including other kinds — the process is dead.
+	if _, err := inj.Call(0, &rpc.Request{Kind: rpc.KindPing}); !errors.Is(err, ErrClientCrashed) {
+		t.Fatalf("post-crash ping: want ErrClientCrashed, got %v", err)
+	}
+	if _, err := inj.Call(0, &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: "a"}); !errors.Is(err, ErrClientCrashed) {
+		t.Fatalf("post-crash cleanup: want ErrClientCrashed, got %v", err)
+	}
+	// Reattach: a fresh coordinator over the same transport works, and the
+	// pre-crash writes survived.
+	inj.Reattach()
+	if inj.Crashed() {
+		t.Fatal("Reattach must clear the switch")
+	}
+	resp, err := inj.Call(0, &rpc.Request{Kind: rpc.KindGetBlock, BlockID: "a"})
+	if err != nil || resp.Err != "" || !bytes.Equal(resp.Data, []byte("x")) {
+		t.Fatalf("pre-crash write must survive: %v %q", err, resp.Data)
+	}
+}
+
+// TestCrashClientImmediate: n = 0 crashes before any call lands.
+func TestCrashClientImmediate(t *testing.T) {
+	inj, _ := newInjector(t, 2, 1)
+	inj.CrashClientAfter(KindAny, 0)
+	if _, err := inj.Call(0, &rpc.Request{Kind: rpc.KindPing}); !errors.Is(err, ErrClientCrashed) {
+		t.Fatalf("want ErrClientCrashed, got %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("Crashed() must be true")
+	}
+}

@@ -9,6 +9,9 @@
 //	GET    /objects/{name}/meta      footer summary (JSON)
 //	POST   /query                     body = SELECT statement; JSON reply
 //	POST   /scrub/{name}?repair=1     integrity scrub
+//	POST   /scruball?repair=1         scrub every discoverable object
+//	POST   /repair/{node}             rebuild a node's blocks (rejoin catch-up)
+//	POST   /reconcile?force=1         garbage-collect crash debris
 //	GET    /healthz                   liveness
 //	GET    /debug/fusionz             observability: latency histograms,
 //	                                  per-node health, recent request traces
@@ -54,6 +57,9 @@ func New(s *store.Store) *Handler {
 	h.mux.HandleFunc("GET /objects/{name}/meta", h.getMeta)
 	h.mux.HandleFunc("POST /query", h.query)
 	h.mux.HandleFunc("POST /scrub/{name}", h.scrub)
+	h.mux.HandleFunc("POST /scruball", h.scrubAll)
+	h.mux.HandleFunc("POST /repair/{node}", h.repairNode)
+	h.mux.HandleFunc("POST /reconcile", h.reconcile)
 	h.mux.HandleFunc("GET /debug/fusionz", h.debugFusionz)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -264,30 +270,86 @@ func (h *Handler) scrub(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(rep)
 }
 
+func (h *Handler) scrubAll(w http.ResponseWriter, r *http.Request) {
+	repair := r.URL.Query().Get("repair") == "1"
+	rep, err := h.store.ScrubAll(store.ScrubOptions{Repair: repair})
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"objects": rep.Objects,
+		"totals":  rep.Totals(),
+		"reports": rep.Reports,
+		"errors":  rep.Errors,
+	})
+}
+
+func (h *Handler) repairNode(w http.ResponseWriter, r *http.Request) {
+	node, err := strconv.Atoi(r.PathValue("node"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad node id: %w", err))
+		return
+	}
+	n, err := h.store.RepairNodeAll(node)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"node": node, "repaired": n})
+}
+
+func (h *Handler) reconcile(w http.ResponseWriter, r *http.Request) {
+	force := r.URL.Query().Get("force") == "1"
+	rep, err := h.store.ReconcileOrphans(force)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rep)
+}
+
 // debugFusionz serves the observability snapshot: latency histograms by
 // (op, node), per-node health counters, and the most recent request traces
 // (span trees with read-amplification ratios). JSON by default;
 // ?format=text renders the aligned tables and indented trees.
 func (h *Handler) debugFusionz(w http.ResponseWriter, r *http.Request) {
 	hist := h.store.Metrics()
+	repair := h.store.RepairStats()
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "== histograms ==\n")
 		hist.WriteText(w)
 		fmt.Fprintf(w, "\n== node health ==\n%s", h.store.Health())
+		fmt.Fprintf(w, "\n== repair queue ==\ndepth %d  enqueued %d  processed %d  failed %d  dropped %d\n",
+			repair.QueueDepth, repair.Enqueued, repair.Processed, repair.Failed, repair.Dropped)
+		if b := h.store.Breaker(); b != nil {
+			fmt.Fprintf(w, "\n== circuit breakers ==\n")
+			for node, state := range b.Snapshot() {
+				fmt.Fprintf(w, "node %d: %s\n", node, state)
+			}
+		}
 		fmt.Fprintf(w, "\n== recent traces (%d seen) ==\n", h.ring.Seen())
 		for _, tree := range h.ring.Trees() {
 			fmt.Fprintf(w, "%s\n", tree)
 		}
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	out := map[string]any{
 		"histograms":  hist.Snapshot(),
 		"health":      h.store.Health().Snapshot(),
+		"repair":      repair,
 		"traces":      h.ring.Snapshot(),
 		"traces_seen": h.ring.Seen(),
-	})
+	}
+	if b := h.store.Breaker(); b != nil {
+		out["breakers"] = b.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 // statusFor maps store errors onto HTTP codes.

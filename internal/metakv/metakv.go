@@ -74,18 +74,26 @@ type versioned struct {
 	node    int
 }
 
+// The versioned encoding is [4-byte CRC32C][8-byte version][value], the
+// checksum covering version and value. A replica whose stored register
+// block rots at rest decodes as "no value" instead of possibly winning the
+// read with a garbage version, and the next quorum read repairs it.
 func encodeVersioned(version uint64, value []byte) []byte {
-	out := make([]byte, 8+len(value))
-	binary.LittleEndian.PutUint64(out, version)
-	copy(out[8:], value)
+	out := make([]byte, 12+len(value))
+	binary.LittleEndian.PutUint64(out[4:], version)
+	copy(out[12:], value)
+	binary.LittleEndian.PutUint32(out, cluster.Checksum(out[4:]))
 	return out
 }
 
 func decodeVersioned(data []byte) (uint64, []byte, error) {
-	if len(data) < 8 {
+	if len(data) < 12 {
 		return 0, nil, errors.New("metakv: truncated register value")
 	}
-	return binary.LittleEndian.Uint64(data), data[8:], nil
+	if cluster.Checksum(data[4:]) != binary.LittleEndian.Uint32(data) {
+		return 0, nil, errors.New("metakv: register value failed checksum")
+	}
+	return binary.LittleEndian.Uint64(data[4:]), data[12:], nil
 }
 
 // readPhase collects each reachable replica's current (version, value).
@@ -186,6 +194,49 @@ func (kv *KV) Put(key string, value []byte) (uint64, error) {
 		return 0, err
 	}
 	return next, nil
+}
+
+// Incr bumps the key's version without changing its (typically empty)
+// value and returns the new version — a crash-safe monotonic counter. The
+// store uses one register per object as its epoch allocator: two write
+// attempts, even either side of a coordinator crash, can never share an
+// epoch because every allocation lands on a majority before it is used.
+func (kv *KV) Incr(key string) (uint64, error) {
+	reads, err := kv.readPhase(key)
+	if err != nil {
+		return 0, err
+	}
+	var maxVer uint64
+	var value []byte
+	for _, r := range reads {
+		if r.exists && r.version > maxVer {
+			maxVer = r.version
+			value = r.value
+		}
+	}
+	next := maxVer + 1
+	if err := kv.writePhase(key, next, value); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// Head returns the highest version any reachable replica holds, or 0 when
+// the key has never been written. Unlike Get it does not error on a missing
+// key and performs no read repair — it is the orphan reconciler's view of
+// "the latest allocated epoch".
+func (kv *KV) Head(key string) (uint64, error) {
+	reads, err := kv.readPhase(key)
+	if err != nil {
+		return 0, err
+	}
+	var maxVer uint64
+	for _, r := range reads {
+		if r.exists && r.version > maxVer {
+			maxVer = r.version
+		}
+	}
+	return maxVer, nil
 }
 
 // Delete removes the key from every reachable replica (best effort beyond

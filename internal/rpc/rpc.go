@@ -35,6 +35,20 @@ const (
 	// the chunk rows selected by a bitmap, returning only the accumulator —
 	// the aggregate-pushdown extension the paper lists as future work (§5).
 	KindAggregate
+	// KindPrepareBlock is phase one of the crash-consistent write protocol:
+	// it stores a named block like KindPutBlock but tags it pending under
+	// (Object, Epoch) and records its CRC32C, rejecting payloads whose bytes
+	// do not match Crc. Pending blocks are readable (a committed metadata
+	// record may reference them before the commit fan-out lands) but are
+	// garbage unless the object's metadata commits their epoch.
+	KindPrepareBlock
+	// KindCommitObject is phase two: it flips every pending block of
+	// (Object, Epoch) on the node to committed. Idempotent.
+	KindCommitObject
+	// KindListBlocks returns the node's block inventory with each block's
+	// pending/committed state and CRC — the substrate for orphan
+	// reconciliation and repair catch-up.
+	KindListBlocks
 )
 
 func (k Kind) String() string {
@@ -55,6 +69,12 @@ func (k Kind) String() string {
 		return "Project"
 	case KindAggregate:
 		return "Aggregate"
+	case KindPrepareBlock:
+		return "PrepareBlock"
+	case KindCommitObject:
+		return "CommitObject"
+	case KindListBlocks:
+		return "ListBlocks"
 	default:
 		return "Unknown"
 	}
@@ -76,9 +96,24 @@ type Request struct {
 
 	// Block operations.
 	BlockID string
-	Data    []byte // PutBlock payload
+	Data    []byte // PutBlock/PrepareBlock payload
 	Offset  uint64 // GetBlock range start
 	Length  uint64 // GetBlock range length (0 = rest of block)
+	// CallerVerifies tells a GetBlock that the caller will verify the
+	// returned bytes against a checksum recorded in its own metadata (which
+	// covers bit rot and in-flight corruption in one pass), so the node may
+	// skip its redundant at-rest verification for this read. Callers without
+	// an independent checksum must leave it unset.
+	CallerVerifies bool
+
+	// Durability fields (PrepareBlock, CommitObject; optional on PutBlock).
+	// Object and Epoch tie a block to the object version being written, so
+	// commit and orphan reconciliation can reason per attempt; Crc is the
+	// CRC32C of Data, letting the node reject corrupted writes and verify
+	// the block at rest on later reads.
+	Object string
+	Epoch  uint64
+	Crc    uint32
 
 	// Pushdown operations.
 	Chunk  ChunkRef
@@ -102,6 +137,22 @@ func (c *Cost) Add(o Cost) {
 	c.ProcBytes += o.ProcBytes
 }
 
+// BlockInfo is one block's inventory entry in a ListBlocks reply.
+type BlockInfo struct {
+	// ID is the block's name on the node.
+	ID string
+	// Object and Epoch identify the write attempt that produced the block
+	// (empty/zero when the node has no durability record for it, e.g. a
+	// metadata register block or a block written before the node restarted).
+	Object string
+	Epoch  uint64
+	// Pending reports a prepared-but-uncommitted block.
+	Pending bool
+	// HasCrc reports whether Crc is a recorded CRC32C of the block.
+	HasCrc bool
+	Crc    uint32
+}
+
 // Response is the single message type returned by nodes.
 type Response struct {
 	// Err is a non-empty error description on failure.
@@ -111,6 +162,12 @@ type Response struct {
 	Data []byte
 	// Size is the block size for BlockSize.
 	Size uint64
+	// Crc is the CRC32C of Data on GetBlock replies — the end-to-end
+	// checksum that catches in-flight corruption of a ranged read, where
+	// the caller cannot check the whole-block checksum itself.
+	Crc uint32
+	// Blocks is the node's inventory (ListBlocks).
+	Blocks []BlockInfo
 	// Matches is the number of selected rows (Filter/Project).
 	Matches int
 	// Agg is the partial aggregate accumulator (Aggregate).
@@ -126,11 +183,15 @@ const fixedOverhead = 64
 // WireSize estimates the serialized size of the request.
 func (r *Request) WireSize() uint64 {
 	n := uint64(fixedOverhead + len(r.BlockID) + len(r.Data) + len(r.Bitmap))
-	n += uint64(len(r.Chunk.BlockID) + len(r.Value.S))
+	n += uint64(len(r.Chunk.BlockID) + len(r.Value.S) + len(r.Object))
 	return n
 }
 
 // WireSize estimates the serialized size of the response.
 func (r *Response) WireSize() uint64 {
-	return uint64(fixedOverhead + len(r.Err) + len(r.Data))
+	n := uint64(fixedOverhead + len(r.Err) + len(r.Data))
+	for i := range r.Blocks {
+		n += uint64(len(r.Blocks[i].ID) + len(r.Blocks[i].Object) + 16)
+	}
+	return n
 }

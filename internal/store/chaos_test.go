@@ -227,9 +227,9 @@ func TestHedgedReadBeatsSlowNode(t *testing.T) {
 }
 
 // TestScrubDetectsInFlightCorruption drives faultnet's corruption fault
-// through Scrub: a flipped byte in one shard's response must show up as a
-// parity-inconsistent stripe, and a clean pass must follow once the fault
-// schedule is exhausted.
+// through Scrub: a flipped byte in one shard's response must fail the
+// checksum recorded in the stripe metadata, and a clean pass must follow
+// once the fault schedule is exhausted.
 func TestScrubDetectsInFlightCorruption(t *testing.T) {
 	seed := faultSeed(t)
 	s, inj := newFaultStore(t, 9, seed, fusionTestOptions())
@@ -242,11 +242,11 @@ func TestScrubDetectsInFlightCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatalf("seed %d: scrub: %v", seed, err)
 	}
-	if rep.CorruptStripes == 0 {
+	if rep.ChecksumFailures == 0 {
 		t.Fatalf("seed %d: scrub missed the corrupted shard: %+v", seed, rep)
 	}
 	rep, err = s.Scrub("obj", ScrubOptions{})
-	if err != nil || rep.CorruptStripes != 0 || rep.MissingBlocks != 0 {
+	if err != nil || rep.CorruptStripes != 0 || rep.MissingBlocks != 0 || rep.ChecksumFailures != 0 {
 		t.Fatalf("seed %d: clean scrub after fault exhausted: %+v %v", seed, rep, err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/rpc"
 	"github.com/fusionstore/fusion/internal/trace"
 )
@@ -64,9 +65,18 @@ func (s *Store) GetContext(ctx context.Context, name string, offset, length uint
 	return s.getFixed(sp, meta, offset, length)
 }
 
+// segment is one contiguous piece of a Get: a byte range of one stripe's
+// data bin, destined for out[outStart:outStart+length].
+type segment struct {
+	stripe, bin int
+	off, length uint64
+	outStart    uint64
+}
+
 // getFAC gathers the range from the items covering it.
 func (s *Store) getFAC(sp *trace.Span, meta *ObjectMeta, offset, length uint64) ([]byte, error) {
-	out := make([]byte, 0, length)
+	segs := make([]segment, 0, len(meta.Items))
+	var pos uint64
 	end := offset + length
 	for i, it := range meta.Items {
 		itEnd := it.Offset + it.Size
@@ -76,21 +86,21 @@ func (s *Store) getFAC(sp *trace.Span, meta *ObjectMeta, offset, length uint64) 
 		a := max(offset, it.Offset) - it.Offset // start within item
 		b := min(end, itEnd) - it.Offset        // end within item
 		loc := meta.ItemLocs[i]
-		data, err := s.readStripeRange(sp, meta, loc.Stripe, loc.Bin, loc.BinOffset+a, b-a)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, data...)
+		segs = append(segs, segment{
+			stripe: loc.Stripe, bin: loc.Bin,
+			off: loc.BinOffset + a, length: b - a, outStart: pos,
+		})
+		pos += b - a
 	}
-	if uint64(len(out)) != length {
-		return nil, fmt.Errorf("store: assembled %d bytes, want %d", len(out), length)
+	if pos != length {
+		return nil, fmt.Errorf("store: assembled %d bytes, want %d", pos, length)
 	}
-	return out, nil
+	return s.readSegments(sp, meta, segs, length)
 }
 
 // getFixed gathers the range from fixed blocks.
 func (s *Store) getFixed(sp *trace.Span, meta *ObjectMeta, offset, length uint64) ([]byte, error) {
-	out := make([]byte, 0, length)
+	var segs []segment
 	bs := meta.BlockSize
 	k := uint64(s.opts.Params.K)
 	end := offset + length
@@ -100,14 +110,104 @@ func (s *Store) getFixed(sp *trace.Span, meta *ObjectMeta, offset, length uint64
 		bin := int(blockIdx % k)
 		within := pos - blockIdx*bs
 		n := min(bs-within, end-pos)
-		data, err := s.readStripeRange(sp, meta, stripe, bin, within, n)
+		segs = append(segs, segment{
+			stripe: stripe, bin: bin, off: within, length: n, outStart: pos - offset,
+		})
+		pos += n
+	}
+	return s.readSegments(sp, meta, segs, length)
+}
+
+// readSegments assembles a Get's segments into one buffer. Segments that
+// together cover their whole block — the common case for full-object and
+// row-group reads, where the items of a block tile it exactly — are served
+// by a single whole-block read, fetched and verified once no matter how
+// many items it holds; the rest fall back to per-range reads. Coalescing is
+// what keeps verified reads at one checksum pass per block end to end: the
+// coordinator checks the received block against the stripe checksum in its
+// own metadata (covering both bit rot and transit corruption), so the node
+// is told to skip its redundant at-rest pass.
+func (s *Store) readSegments(sp *trace.Span, meta *ObjectMeta, segs []segment, length uint64) ([]byte, error) {
+	out := make([]byte, length)
+	// Bytes requested per block; ranges never overlap (items are disjoint),
+	// so covering DataLens bytes means tiling the whole block.
+	type blockKey struct{ stripe, bin int }
+	covered := make(map[blockKey]uint64, len(segs))
+	for _, g := range segs {
+		covered[blockKey{g.stripe, g.bin}] += g.length
+	}
+	whole := make(map[blockKey][]byte)
+	for _, g := range segs {
+		key := blockKey{g.stripe, g.bin}
+		st := meta.Stripes[g.stripe]
+		if s.opts.HedgeAfter > 0 || g.bin >= len(st.DataLens) || covered[key] != st.DataLens[g.bin] {
+			data, err := s.readStripeRange(sp, meta, g.stripe, g.bin, g.off, g.length)
+			if err != nil {
+				return nil, err
+			}
+			copy(out[g.outStart:], data)
+			continue
+		}
+		block, ok := whole[key]
+		if !ok {
+			var err error
+			block, err = s.readWholeBlock(sp, meta, g.stripe, g.bin)
+			if err != nil {
+				return nil, err
+			}
+			whole[key] = block
+		}
+		data, err := sliceBlock(block, g.off, g.length)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, data...)
-		pos += n
+		copy(out[g.outStart:], data)
 	}
 	return out, nil
+}
+
+// readWholeBlock reads one entire data block. When verification is on and
+// the stripe metadata records the block's checksum, the received bytes are
+// verified against that record — one pass at the coordinator catching both
+// a rotted block and a reply corrupted in flight — and the node is told to
+// skip its own at-rest pass. A failed read or a checksum mismatch enqueues
+// a repair and serves the block from the stripe's redundancy instead.
+func (s *Store) readWholeBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
+	bsp := sp.Child("block")
+	defer bsp.End()
+	st := meta.Stripes[stripe]
+	verify := !s.opts.SkipChecksumVerify && bin < len(st.Checksums)
+	resp, err := s.call(bsp, st.Nodes[bin], &rpc.Request{
+		Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[bin], CallerVerifies: verify,
+	})
+	var fail error
+	switch {
+	case err != nil:
+		fail = err
+	case resp.Err != "":
+		if cluster.IsChecksumErr(resp.Err) {
+			bsp.Count(trace.ChecksumFailures, 1)
+			s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: bin})
+		}
+		fail = errors.New(resp.Err)
+	case verify && cluster.Checksum(resp.Data) != st.Checksums[bin]:
+		bsp.Count(trace.ChecksumFailures, 1)
+		s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: bin})
+		fail = fmt.Errorf("store: block %s failed verification against stripe checksum", st.BlockIDs[bin])
+	case !verify && !s.opts.SkipChecksumVerify && cluster.Checksum(resp.Data) != resp.Crc:
+		// Legacy stripe without recorded checksums: end-to-end check
+		// against the CRC the node claims, as checkDirectRead does.
+		bsp.Count(trace.ChecksumFailures, 1)
+		s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: bin})
+		fail = fmt.Errorf("store: block %s: reply failed end-to-end checksum", st.BlockIDs[bin])
+	default:
+		return resp.Data, nil
+	}
+	block, derr := s.reconstructBlock(bsp, meta, stripe, bin)
+	if derr != nil {
+		return nil, fmt.Errorf("store: degraded read failed (direct: %v): %w", fail, derr)
+	}
+	return block, nil
 }
 
 // readStripeRange reads [off, off+length) of data block bin in a stripe,
@@ -126,18 +226,45 @@ func (s *Store) readStripeRange(sp *trace.Span, meta *ObjectMeta, stripe, bin in
 		return s.readStripeRangeHedged(bsp, meta, stripe, bin, off, length, req)
 	}
 	resp, err := s.call(bsp, st.Nodes[bin], req)
-	if err == nil && resp.Err == "" {
-		return resp.Data, nil
-	}
+	data, err := s.checkDirectRead(bsp, meta, stripe, bin, resp, err)
 	if err == nil {
-		err = errors.New(resp.Err)
+		return data, nil
 	}
-	// Degraded read: rebuild the whole block, then slice.
+	// Degraded read: rebuild the whole block, then slice. A checksum
+	// failure lands here too — the rotted block is an erasure, the read is
+	// served from the stripe's redundancy, and the repair queue already has
+	// the block.
 	block, derr := s.reconstructBlock(bsp, meta, stripe, bin)
 	if derr != nil {
 		return nil, fmt.Errorf("store: degraded read failed (direct: %v): %w", err, derr)
 	}
 	return sliceBlock(block, off, length)
+}
+
+// checkDirectRead validates one direct block read. Transport errors pass
+// through; application errors become errors, and both flavors of checksum
+// failure — the node refusing a rotted block at rest, or the reply failing
+// its end-to-end CRC in flight — additionally count a ChecksumFailure and
+// enqueue the block for repair before the caller falls into the
+// reconstruct-and-serve path.
+func (s *Store) checkDirectRead(sp *trace.Span, meta *ObjectMeta, stripe, bin int, resp *rpc.Response, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		if cluster.IsChecksumErr(resp.Err) {
+			sp.Count(trace.ChecksumFailures, 1)
+			s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: bin})
+		}
+		return nil, errors.New(resp.Err)
+	}
+	if !s.opts.SkipChecksumVerify && cluster.Checksum(resp.Data) != resp.Crc {
+		sp.Count(trace.ChecksumFailures, 1)
+		s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: bin})
+		return nil, fmt.Errorf("store: block %s: reply failed end-to-end checksum",
+			meta.Stripes[stripe].BlockIDs[bin])
+	}
+	return resp.Data, nil
 }
 
 // readStripeRangeHedged races the direct read against a reconstruction
@@ -152,14 +279,8 @@ func (s *Store) readStripeRangeHedged(sp *trace.Span, meta *ObjectMeta, stripe, 
 	results := make(chan result, 2) // buffered: late finishers never block
 	go func() {
 		resp, err := s.call(sp, node, req)
-		if err == nil && resp.Err != "" {
-			err = errors.New(resp.Err)
-		}
-		if err != nil {
-			results <- result{err: err}
-			return
-		}
-		results <- result{data: resp.Data}
+		data, err := s.checkDirectRead(sp, meta, stripe, bin, resp, err)
+		results <- result{data: data, err: err}
 	}()
 	launchHedge := func() {
 		go func() {
@@ -250,6 +371,20 @@ func (s *Store) gatherSurvivors(sp *trace.Span, meta *ObjectMeta, stripe, skip i
 				Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
 			})
 			if err != nil || resp.Err != "" {
+				if err == nil && cluster.IsChecksumErr(resp.Err) {
+					sp.Count(trace.ChecksumFailures, 1)
+					s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: j})
+				}
+				results <- result{bin: j}
+				return
+			}
+			// Survivors feed RS decode, so a silently rotted shard would
+			// corrupt every block rebuilt from it: verify each full-block
+			// read against the checksum recorded at write time.
+			if !s.opts.SkipChecksumVerify && j < len(st.Checksums) &&
+				cluster.Checksum(resp.Data) != st.Checksums[j] {
+				sp.Count(trace.ChecksumFailures, 1)
+				s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: j})
 				results <- result{bin: j}
 				return
 			}
@@ -344,6 +479,15 @@ func (s *Store) RepairNodeContext(ctx context.Context, name string, node int) (i
 			if blkNode != node {
 				continue
 			}
+			// Fast path for rejoin catch-up: a block the node still holds
+			// with verifying bytes needs no reconstruction.
+			if j < len(st.Checksums) {
+				if resp, err := s.call(sp, node, &rpc.Request{
+					Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
+				}); err == nil && resp.Err == "" && cluster.Checksum(resp.Data) == st.Checksums[j] {
+					continue
+				}
+			}
 			var block []byte
 			if j < p.K {
 				block, err = s.reconstructBlock(sp, meta, si, j)
@@ -353,13 +497,28 @@ func (s *Store) RepairNodeContext(ctx context.Context, name string, node int) (i
 			if err != nil {
 				return repaired, fmt.Errorf("store: repairing stripe %d block %d: %w", si, j, err)
 			}
-			if _, err := s.callChecked(sp, node, &rpc.Request{
-				Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: block,
-			}); err != nil {
+			if err := s.rewriteBlock(sp, meta, si, j, block); err != nil {
 				return repaired, err
 			}
 			repaired++
 		}
 	}
 	return repaired, nil
+}
+
+// rewriteBlock writes a rebuilt block back to its home node as a committed,
+// checksummed write, verifying the rebuilt bytes against the stripe
+// metadata first — a repair must never replace a rotted block with
+// different garbage.
+func (s *Store) rewriteBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int, block []byte) error {
+	st := meta.Stripes[stripe]
+	crc := cluster.Checksum(block)
+	if bin < len(st.Checksums) && crc != st.Checksums[bin] {
+		return fmt.Errorf("store: rebuilt block %s failed checksum verification", st.BlockIDs[bin])
+	}
+	_, err := s.callChecked(sp, st.Nodes[bin], &rpc.Request{
+		Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[bin], Data: block,
+		Object: meta.Name, Epoch: meta.Epoch, Crc: crc,
+	})
+	return err
 }

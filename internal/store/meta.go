@@ -77,6 +77,11 @@ type StripeMeta struct {
 	// DataLens[j] is the stored length of data bin j (j < k); bins are
 	// stored unpadded and zero-extended to Capacity for decoding.
 	DataLens []uint64
+	// Checksums[j] is the CRC32C of block j's stored (unpadded) bytes,
+	// recorded at write time. Readers verify survivors against these before
+	// feeding them to RS decode, so a rotted block is treated as an erasure
+	// instead of silently corrupting the reconstruction.
+	Checksums []uint32
 }
 
 // ObjectMeta is the per-object metadata Fusion keeps: the parsed footer,
@@ -86,10 +91,14 @@ type ObjectMeta struct {
 	Name string
 	Size uint64
 	Mode LayoutMode
-	// Version increments on each overwrite; block names embed it so an
-	// overwrite never mutates the previous version's blocks in place
-	// (updates are fresh inserts, §5).
+	// Version increments on each overwrite; updates are fresh inserts (§5).
 	Version uint64
+	// Epoch is the write attempt that produced this metadata's blocks.
+	// Epochs are allocated from a per-object quorum counter before any block
+	// is written, so two attempts — even either side of a coordinator crash —
+	// never share block names; block IDs embed the epoch, and only the
+	// metadata publish (the commit point) makes an epoch's blocks reachable.
+	Epoch uint64
 
 	// Footer is the object's parsed lpq footer (schema, chunk metadata).
 	Footer *lpq.Footer

@@ -74,16 +74,17 @@ func TestOverwriteSurvivesRepeat(t *testing.T) {
 	if meta.Version != 4 {
 		t.Fatalf("version = %d, want 4", meta.Version)
 	}
-	// Exactly one version's blocks remain.
-	versions := map[string]bool{}
+	// Exactly one write epoch's blocks remain (five Puts burned epochs
+	// 1..5; only the last survives GC).
+	epochs := map[uint64]bool{}
 	for i := 0; i < cl.NumNodes(); i++ {
 		for _, id := range cl.Node(i).Blocks.IDs() {
-			if len(id) > 4 && id[:4] == "obj/" {
-				versions[id[:7]] = true
+			if object, epoch, _, _, ok := parseBlockID(id); ok && object == "obj" {
+				epochs[epoch] = true
 			}
 		}
 	}
-	if len(versions) != 1 || !versions["obj/v4/"] {
-		t.Fatalf("versions on disk: %v", versions)
+	if len(epochs) != 1 || !epochs[5] {
+		t.Fatalf("epochs on disk: %v", epochs)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/fac"
 	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/rpc"
@@ -65,14 +66,22 @@ func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutS
 		Footer: footer,
 		Items:  items,
 	}
-	// Overwrites are fresh inserts (§5): new blocks are written under the
-	// next version, the metadata swap publishes them, and only then is the
+	// Overwrites are fresh inserts (§5): new blocks are written under a
+	// fresh epoch, the metadata swap publishes them, and only then is the
 	// previous version garbage-collected.
 	var prev *ObjectMeta
 	if old, err := s.Meta(name); err == nil {
 		prev = old
 		meta.Version = old.Version + 1
 	}
+	// Reserve the write epoch on a quorum before any block exists. If this
+	// attempt dies, the epoch is burned — a retry allocates a higher one, so
+	// its blocks never collide with this attempt's debris.
+	epoch, err := s.allocEpoch(name)
+	if err != nil {
+		return nil, err
+	}
+	meta.Epoch = epoch
 	stats := &PutStats{}
 
 	mode := s.opts.Layout
@@ -95,12 +104,18 @@ func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutS
 	}
 
 	meta.Mode = mode
+	// Every block this attempt scatters is recorded so a failure anywhere
+	// before the commit point can roll the whole attempt back instead of
+	// stranding blocks on the nodes that did accept the write.
+	var placed []placedBlock
 	if mode == LayoutFAC {
-		if err := s.putFAC(sp, meta, data, layout, stats); err != nil {
+		if err := s.putFAC(sp, meta, data, layout, stats, &placed); err != nil {
+			s.undoPlacement(placed)
 			return nil, err
 		}
 	} else {
-		if err := s.putFixed(sp, meta, data, stats); err != nil {
+		if err := s.putFixed(sp, meta, data, stats, &placed); err != nil {
+			s.undoPlacement(placed)
 			return nil, err
 		}
 	}
@@ -114,12 +129,20 @@ func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutS
 	stats.Mode = mode
 	stats.Stripes = len(meta.Stripes)
 
+	// The metadata publish is the commit point: once the new metadata lands
+	// on a replica majority, every subsequent read observes this epoch's
+	// blocks. Before it, the attempt is invisible and fully rolled back on
+	// failure; after it, the attempt is durable and the remaining steps
+	// (commit fan-out, previous-version GC) are best-effort — orphan
+	// reconciliation finishes either if the coordinator dies here.
 	rsp := sp.Child("replicate-meta")
 	err = s.replicateMeta(meta)
 	rsp.End()
 	if err != nil {
+		s.undoPlacement(placed)
 		return nil, err
 	}
+	s.commitBlocks(sp, meta)
 	s.cacheMeta(meta)
 	if prev != nil {
 		s.deleteBlocks(prev)
@@ -128,16 +151,53 @@ func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutS
 	return stats, nil
 }
 
+// placedBlock records one block this Put attempt wrote, for rollback.
+type placedBlock struct {
+	node int
+	id   string
+}
+
+// undoPlacement rolls back a failed attempt's scattered blocks, best
+// effort: a node that is down keeps its debris, which the orphan
+// reconciler garbage-collects later (the attempt's epoch can never commit,
+// so the debris is unreachable either way).
+func (s *Store) undoPlacement(placed []placedBlock) {
+	for _, pb := range placed {
+		_, _ = s.call(nil, pb.node, &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: pb.id})
+	}
+}
+
+// commitBlocks fans KindCommitObject out to every node holding one of the
+// object's blocks, flipping them pending→committed. Best effort and
+// idempotent: the metadata publish already made the write durable, and the
+// reconciler re-commits any node this fan-out misses.
+func (s *Store) commitBlocks(sp *trace.Span, meta *ObjectMeta) {
+	nodes := map[int]bool{}
+	for _, st := range meta.Stripes {
+		for _, n := range st.Nodes {
+			nodes[n] = true
+		}
+	}
+	csp := sp.Child("commit-blocks")
+	defer csp.End()
+	for n := range nodes {
+		_, _ = s.call(csp, n, &rpc.Request{
+			Kind: rpc.KindCommitObject, Object: meta.Name, Epoch: meta.Epoch,
+		})
+	}
+}
+
 // putFAC encodes and stores the object under a FAC layout.
-func (s *Store) putFAC(sp *trace.Span, meta *ObjectMeta, data []byte, layout fac.Layout, stats *PutStats) error {
+func (s *Store) putFAC(sp *trace.Span, meta *ObjectMeta, data []byte, layout fac.Layout, stats *PutStats, placed *[]placedBlock) error {
 	p := s.opts.Params
 	meta.ItemLocs = facLayoutToMeta(layout, meta.Items)
 	for si, st := range layout.Stripes {
 		sm := StripeMeta{
-			Capacity: st.Capacity,
-			Nodes:    make([]int, p.N),
-			BlockIDs: make([]string, p.N),
-			DataLens: make([]uint64, p.K),
+			Capacity:  st.Capacity,
+			Nodes:     make([]int, p.N),
+			BlockIDs:  make([]string, p.N),
+			DataLens:  make([]uint64, p.K),
+			Checksums: make([]uint32, p.N),
 		}
 		// Materialize the k data bins (concatenated chunk bytes, unpadded).
 		bins := make([][]byte, p.N)
@@ -171,7 +231,7 @@ func (s *Store) putFAC(sp *trace.Span, meta *ObjectMeta, data []byte, layout fac
 				bins[j] = []byte{}
 			}
 		}
-		if err := s.placeStripe(sp, meta, si, bins, &sm, stats); err != nil {
+		if err := s.placeStripe(sp, meta, si, bins, &sm, stats, placed); err != nil {
 			return err
 		}
 		meta.Stripes = append(meta.Stripes, sm)
@@ -181,7 +241,7 @@ func (s *Store) putFAC(sp *trace.Span, meta *ObjectMeta, data []byte, layout fac
 
 // putFixed encodes and stores the object as fixed-size blocks (the
 // conventional layout; also the FAC budget fallback).
-func (s *Store) putFixed(sp *trace.Span, meta *ObjectMeta, data []byte, stats *PutStats) error {
+func (s *Store) putFixed(sp *trace.Span, meta *ObjectMeta, data []byte, stats *PutStats, placed *[]placedBlock) error {
 	p := s.opts.Params
 	bs := s.opts.FixedBlockSize
 	// Objects smaller than one full stripe shrink the block size so the
@@ -197,10 +257,11 @@ func (s *Store) putFixed(sp *trace.Span, meta *ObjectMeta, data []byte, stats *P
 	fb := fac.NewFixedBlockLayout(uint64(len(data)), bs, p.K)
 	for si := 0; si < fb.NumStripes; si++ {
 		sm := StripeMeta{
-			Capacity: bs,
-			Nodes:    make([]int, p.N),
-			BlockIDs: make([]string, p.N),
-			DataLens: make([]uint64, p.K),
+			Capacity:  bs,
+			Nodes:     make([]int, p.N),
+			BlockIDs:  make([]string, p.N),
+			DataLens:  make([]uint64, p.K),
+			Checksums: make([]uint32, p.N),
 		}
 		// Data blocks are stored unpadded (the tail block is short); parity
 		// is computed over blocks zero-extended to the fixed size.
@@ -226,7 +287,7 @@ func (s *Store) putFixed(sp *trace.Span, meta *ObjectMeta, data []byte, stats *P
 		if err := s.coder.Encode(padded); err != nil {
 			return fmt.Errorf("store: encoding stripe %d: %w", si, err)
 		}
-		if err := s.placeStripe(sp, meta, si, blocks, &sm, stats); err != nil {
+		if err := s.placeStripe(sp, meta, si, blocks, &sm, stats, placed); err != nil {
 			return err
 		}
 		meta.Stripes = append(meta.Stripes, sm)
@@ -236,25 +297,33 @@ func (s *Store) putFixed(sp *trace.Span, meta *ObjectMeta, data []byte, stats *P
 
 // placeStripe writes a stripe's n blocks to n distinct nodes, trying
 // candidates in random order and skipping nodes that refuse the write
-// (down or full) — Put succeeds as long as n healthy nodes exist.
-func (s *Store) placeStripe(sp *trace.Span, meta *ObjectMeta, si int, blocks [][]byte, sm *StripeMeta, stats *PutStats) error {
+// (down or full) — Put succeeds as long as n healthy nodes exist. Blocks go
+// out as PrepareBlock (phase one): the node verifies the payload CRC,
+// stores the block tagged pending under (object, epoch), and serves it like
+// any other block; the epoch only becomes reachable at the metadata commit
+// point. Every accepted write is appended to tracker for rollback.
+func (s *Store) placeStripe(sp *trace.Span, meta *ObjectMeta, si int, blocks [][]byte, sm *StripeMeta, stats *PutStats, tracker *[]placedBlock) error {
 	ssp := sp.Child("place-stripe")
 	defer ssp.End()
 	p := s.opts.Params
 	candidates := s.nodeOrder()
 	next := 0
 	for j := 0; j < p.N; j++ {
-		id := blockID(meta.Name, meta.Version, si, j)
+		id := blockID(meta.Name, meta.Epoch, si, j)
+		crc := cluster.Checksum(blocks[j])
 		placed := false
 		for ; next < len(candidates); next++ {
 			node := candidates[next]
 			if _, err := s.callChecked(ssp, node, &rpc.Request{
-				Kind: rpc.KindPutBlock, BlockID: id, Data: blocks[j],
+				Kind: rpc.KindPrepareBlock, BlockID: id, Data: blocks[j],
+				Object: meta.Name, Epoch: meta.Epoch, Crc: crc,
 			}); err != nil {
 				continue // unhealthy candidate: try the next
 			}
 			sm.Nodes[j] = node
 			sm.BlockIDs[j] = id
+			sm.Checksums[j] = crc
+			*tracker = append(*tracker, placedBlock{node: node, id: id})
 			stats.StoredBytes += uint64(len(blocks[j]))
 			next++
 			placed = true

@@ -1,0 +1,663 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/trace"
+)
+
+// RepairConfig bounds the repair queue and the background repair manager.
+type RepairConfig struct {
+	// QueueLimit caps the repair queue; further enqueues are dropped (and
+	// counted) until the queue drains. <= 0 applies the default (1024).
+	QueueLimit int
+	// Rate is the minimum spacing between queued repairs the manager
+	// processes, bounding the disk/network bandwidth recovery steals from
+	// foreground traffic. <= 0 applies the default (10ms).
+	Rate time.Duration
+	// HeartbeatEvery is the node health probe period; heartbeats feed the
+	// circuit breaker and detect node rejoins. <= 0 applies the default
+	// (250ms).
+	HeartbeatEvery time.Duration
+	// ScrubEvery is the continuous background scrub period (a full
+	// ScrubAll pass per tick). 0 disables the scrub loop.
+	ScrubEvery time.Duration
+	// ReconcileEvery is the orphan reconciliation period. 0 disables the
+	// reconcile loop.
+	ReconcileEvery time.Duration
+}
+
+func (c RepairConfig) withDefaults() RepairConfig {
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 1024
+	}
+	if c.Rate <= 0 {
+		c.Rate = 10 * time.Millisecond
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	return c
+}
+
+// RepairItem identifies one block needing repair.
+type RepairItem struct {
+	Object string
+	Stripe int
+	Block  int
+}
+
+// RepairStats is a snapshot of the repair queue's counters.
+type RepairStats struct {
+	// QueueDepth is the number of items currently queued.
+	QueueDepth int
+	// Enqueued counts accepted enqueues (deduplicated re-enqueues of a
+	// queued item are not counted again).
+	Enqueued uint64
+	// Dropped counts enqueues rejected by the queue bound.
+	Dropped uint64
+	// Processed counts repairs completed successfully.
+	Processed uint64
+	// Failed counts repairs that errored (the item is re-queued unless the
+	// queue is full).
+	Failed uint64
+}
+
+// repairQueue is a bounded FIFO of blocks to repair, deduplicating items
+// already queued: the read path enqueues on every checksum failure, and a
+// hot corrupted block would otherwise flood the queue before the first
+// repair lands.
+type repairQueue struct {
+	mu     sync.Mutex
+	limit  int
+	items  []RepairItem
+	queued map[RepairItem]bool
+	stats  RepairStats
+}
+
+func newRepairQueue(limit int) *repairQueue {
+	if limit <= 0 {
+		limit = 1024
+	}
+	return &repairQueue{limit: limit, queued: make(map[RepairItem]bool)}
+}
+
+// push enqueues an item, reporting whether it was accepted (false for both
+// duplicates and a full queue; only the latter counts as a drop).
+func (q *repairQueue) push(it RepairItem) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.queued[it] {
+		return false
+	}
+	if len(q.items) >= q.limit {
+		q.stats.Dropped++
+		return false
+	}
+	q.items = append(q.items, it)
+	q.queued[it] = true
+	q.stats.Enqueued++
+	return true
+}
+
+// pop dequeues the oldest item.
+func (q *repairQueue) pop() (RepairItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return RepairItem{}, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	delete(q.queued, it)
+	return it, true
+}
+
+func (q *repairQueue) done(ok bool) {
+	q.mu.Lock()
+	if ok {
+		q.stats.Processed++
+	} else {
+		q.stats.Failed++
+	}
+	q.mu.Unlock()
+}
+
+func (q *repairQueue) snapshot() RepairStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.stats
+	s.QueueDepth = len(q.items)
+	return s
+}
+
+// enqueueRepair queues a block for background repair. Safe from any
+// goroutine; duplicates of an already-queued block are absorbed.
+func (s *Store) enqueueRepair(it RepairItem) { s.repairs.push(it) }
+
+// RepairStats returns the repair queue's counters.
+func (s *Store) RepairStats() RepairStats { return s.repairs.snapshot() }
+
+// ProcessRepairs synchronously drains up to max queued repairs (max <= 0
+// means the whole queue) and returns how many blocks were rewritten. A
+// failed repair is re-queued for a later pass. This is the deterministic
+// entry the repair manager's worker loop — and the tests — drive.
+func (s *Store) ProcessRepairs(max int) (int, error) {
+	if max <= 0 {
+		max = s.repairs.snapshot().QueueDepth
+	}
+	processed := 0
+	var firstErr error
+	for i := 0; i < max; i++ {
+		it, ok := s.repairs.pop()
+		if !ok {
+			break
+		}
+		if err := s.repairBlock(it); err != nil {
+			s.repairs.done(false)
+			s.repairs.push(it)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("store: repairing %s stripe %d block %d: %w",
+					it.Object, it.Stripe, it.Block, err)
+			}
+			continue
+		}
+		s.repairs.done(true)
+		processed++
+	}
+	return processed, firstErr
+}
+
+// repairBlock rebuilds one block from its stripe's survivors, verifies the
+// rebuilt bytes against the stripe metadata checksum, and rewrites it to
+// its home node as a committed checksummed block.
+func (s *Store) repairBlock(it RepairItem) error {
+	sp := trace.FromContext(context.Background()).Child("store.RepairBlock")
+	defer sp.End()
+	if s.hist != nil {
+		defer func(start time.Time) {
+			s.hist.Observe(opKey("repair.block"), time.Since(start))
+		}(time.Now())
+	}
+	meta, err := s.Meta(it.Object)
+	if err != nil {
+		return err
+	}
+	if it.Stripe < 0 || it.Stripe >= len(meta.Stripes) {
+		return fmt.Errorf("store: stripe %d out of range", it.Stripe)
+	}
+	p := s.opts.Params
+	if it.Block < 0 || it.Block >= p.N {
+		return fmt.Errorf("store: block %d out of range", it.Block)
+	}
+	var block []byte
+	if it.Block < p.K {
+		block, err = s.reconstructBlock(sp, meta, it.Stripe, it.Block)
+	} else {
+		block, err = s.reconstructParity(sp, meta, it.Stripe, it.Block)
+	}
+	if err != nil {
+		return err
+	}
+	return s.rewriteBlock(sp, meta, it.Stripe, it.Block, block)
+}
+
+// DiscoverObjects returns every object name any reachable node holds
+// metadata for, by scanning node inventories for metadata-register blocks.
+// Unlike Objects (this coordinator's cache), discovery sees objects written
+// through other coordinators — a freshly started repair tool has an empty
+// cache but still must find everything.
+func (s *Store) DiscoverObjects() ([]string, error) {
+	names := map[string]bool{}
+	answered := 0
+	for node := 0; node < s.client.NumNodes(); node++ {
+		resp, err := s.call(nil, node, &rpc.Request{Kind: rpc.KindListBlocks})
+		if err != nil || resp.Err != "" {
+			continue
+		}
+		answered++
+		for _, b := range resp.Blocks {
+			if name, ok := strings.CutPrefix(b.ID, "kv/meta/"); ok && name != "" {
+				names[name] = true
+			}
+		}
+	}
+	if answered == 0 {
+		return nil, fmt.Errorf("store: no node answered inventory scan")
+	}
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ScrubAllReport aggregates a cluster-wide scrub pass.
+type ScrubAllReport struct {
+	// Objects is the number of objects scrubbed.
+	Objects int
+	// Reports holds each object's scrub report.
+	Reports map[string]*ScrubReport
+	// Errors holds per-object scrub failures; the pass continues past them.
+	Errors map[string]string
+}
+
+// Totals sums the per-object reports.
+func (r *ScrubAllReport) Totals() ScrubReport {
+	var t ScrubReport
+	for _, rep := range r.Reports {
+		t.Stripes += rep.Stripes
+		t.MissingBlocks += rep.MissingBlocks
+		t.CorruptStripes += rep.CorruptStripes
+		t.ChecksumFailures += rep.ChecksumFailures
+		t.Repaired += rep.Repaired
+	}
+	return t
+}
+
+// ScrubAll scrubs every discoverable object in the cluster — the
+// continuous-verification pass the repair manager runs in the background.
+// Per-object failures are reported, not fatal.
+func (s *Store) ScrubAll(opts ScrubOptions) (*ScrubAllReport, error) {
+	if s.hist != nil {
+		defer func(start time.Time) {
+			s.hist.Observe(opKey("repair.scruball"), time.Since(start))
+		}(time.Now())
+	}
+	names, err := s.DiscoverObjects()
+	if err != nil {
+		return nil, err
+	}
+	report := &ScrubAllReport{
+		Reports: make(map[string]*ScrubReport),
+		Errors:  make(map[string]string),
+	}
+	for _, name := range names {
+		rep, err := s.Scrub(name, opts)
+		if rep != nil {
+			report.Reports[name] = rep
+		}
+		if err != nil {
+			report.Errors[name] = err.Error()
+			continue
+		}
+		report.Objects++
+	}
+	return report, nil
+}
+
+// RepairNodeAll sweeps RepairNode across every discoverable object — the
+// catch-up a node gets after rejoining the cluster, restoring each block
+// and metadata replica it missed while down. Returns total blocks/replicas
+// repaired.
+func (s *Store) RepairNodeAll(node int) (int, error) {
+	if s.hist != nil {
+		defer func(start time.Time) {
+			s.hist.Observe(opKey("repair.node"), time.Since(start))
+		}(time.Now())
+	}
+	names, err := s.DiscoverObjects()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	var firstErr error
+	for _, name := range names {
+		n, err := s.RepairNode(name, node)
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("store: repairing node %d for %q: %w", node, name, err)
+		}
+	}
+	return total, firstErr
+}
+
+// ReconcileReport summarizes an orphan reconciliation pass.
+type ReconcileReport struct {
+	// Scanned is the number of non-register blocks examined.
+	Scanned int
+	// Live is the number of blocks belonging to their object's committed
+	// epoch.
+	Live int
+	// Committed is the number of half-committed blocks (pending at the
+	// committed epoch) this pass flipped to committed.
+	Committed int
+	// Deleted is the number of orphaned blocks garbage-collected (debris of
+	// failed or superseded write attempts).
+	Deleted int
+	// Skipped is the number of pending blocks left alone because they may
+	// belong to an in-flight Put (latest allocated epoch, non-force mode).
+	Skipped int
+	// Unknown is the number of blocks whose name didn't parse; they are
+	// never touched.
+	Unknown int
+}
+
+// ReconcileOrphans scans every node's block inventory and resolves the
+// debris a crashed coordinator can leave behind:
+//
+//   - A pending block of an object's committed epoch is a half-commit (the
+//     coordinator died between the metadata publish and the commit
+//     fan-out): finish the commit.
+//   - A block of any other epoch is unreachable garbage — a failed
+//     attempt, a crashed attempt that never committed, or a superseded
+//     version whose GC was cut short: delete it. Exception: pending blocks
+//     at the object's latest *allocated* epoch may be a Put in flight
+//     right now, so they are skipped unless force is set (force is for
+//     quiesced clusters — admin tools and tests).
+//
+// Blocks that don't parse as object blocks (including the metadata
+// register's kv/ blocks) are never touched.
+func (s *Store) ReconcileOrphans(force bool) (*ReconcileReport, error) {
+	if s.hist != nil {
+		defer func(start time.Time) {
+			s.hist.Observe(opKey("repair.reconcile"), time.Since(start))
+		}(time.Now())
+	}
+	report := &ReconcileReport{}
+	// Committed epoch per object, resolved lazily; ok=false means the
+	// object has no committed metadata at all.
+	type objState struct {
+		epoch     uint64
+		committed bool
+		head      uint64 // latest allocated epoch (non-force guard)
+	}
+	states := map[string]*objState{}
+	stateFor := func(object string) *objState {
+		if st, ok := states[object]; ok {
+			return st
+		}
+		st := &objState{}
+		if meta, err := s.metaQuorum(object); err == nil {
+			st.epoch, st.committed = meta.Epoch, true
+		}
+		if !force {
+			if kv, err := s.metaKV(object); err == nil {
+				if head, err := kv.Head(epochKey(object)); err == nil {
+					st.head = head
+				}
+			}
+		}
+		states[object] = st
+		return st
+	}
+	answered := 0
+	for node := 0; node < s.client.NumNodes(); node++ {
+		resp, err := s.call(nil, node, &rpc.Request{Kind: rpc.KindListBlocks})
+		if err != nil || resp.Err != "" {
+			continue
+		}
+		answered++
+		for _, b := range resp.Blocks {
+			if strings.HasPrefix(b.ID, "kv/") {
+				continue // metadata/epoch register blocks
+			}
+			object, epoch, _, _, ok := parseBlockID(b.ID)
+			if !ok {
+				report.Unknown++
+				continue
+			}
+			report.Scanned++
+			st := stateFor(object)
+			if st.committed && epoch == st.epoch {
+				report.Live++
+				if b.Pending {
+					// Half-commit: the metadata publish made this epoch
+					// durable, the per-node commit never arrived.
+					_, _ = s.call(nil, node, &rpc.Request{
+						Kind: rpc.KindCommitObject, Object: object, Epoch: epoch,
+					})
+					report.Committed++
+				}
+				continue
+			}
+			if !force && b.Pending && epoch >= st.head && st.head > 0 {
+				// Possibly a Put scattering blocks right now: its epoch is
+				// the newest allocated and nothing newer exists. Leave it
+				// for a later pass (or force).
+				report.Skipped++
+				continue
+			}
+			if !force && !st.committed && st.head == 0 {
+				// No metadata and no epoch register answered — too little
+				// information to distinguish debris from an unreachable
+				// object; touch nothing.
+				report.Skipped++
+				continue
+			}
+			_, _ = s.call(nil, node, &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: b.ID})
+			report.Deleted++
+		}
+	}
+	if answered == 0 {
+		return report, fmt.Errorf("store: no node answered inventory scan")
+	}
+	return report, nil
+}
+
+// metaQuorum reads an object's metadata from the quorum register without
+// consulting or filling the coordinator cache — reconciliation must see the
+// committed truth, not a stale cached epoch.
+func (s *Store) metaQuorum(name string) (*ObjectMeta, error) {
+	kv, err := s.metaKV(name)
+	if err != nil {
+		return nil, err
+	}
+	enc, _, err := kv.Get(metaKey(name))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMeta(enc)
+}
+
+// NodeState is the repair manager's view of one node's health.
+type NodeState struct {
+	// Up is the last heartbeat's outcome.
+	Up bool
+	// Breaker is the node's circuit state ("closed"/"open"/"half-open"),
+	// when the store has a breaker.
+	Breaker string
+	// DownSince is when the node was last observed transitioning down.
+	DownSince time.Time
+}
+
+// RepairManagerStats snapshots the manager's activity counters.
+type RepairManagerStats struct {
+	// Heartbeats counts completed heartbeat sweeps.
+	Heartbeats uint64
+	// Rejoins counts node down→up transitions that triggered catch-up.
+	Rejoins uint64
+	// RejoinRepairs counts blocks/replicas restored by rejoin catch-up.
+	RejoinRepairs uint64
+	// RepairsProcessed counts queue items the worker loop completed.
+	RepairsProcessed uint64
+	// ScrubPasses counts completed background ScrubAll passes.
+	ScrubPasses uint64
+	// ReconcilePasses counts completed reconciliation passes.
+	ReconcilePasses uint64
+}
+
+// RepairManager is the store's self-healing background service: a
+// heartbeat loop tracking per-node health (feeding the circuit breaker and
+// detecting rejoins, which trigger a catch-up sweep), a rate-limited worker
+// draining the repair queue the read path and scrubber feed, and optional
+// continuous scrub and orphan-reconciliation loops.
+type RepairManager struct {
+	store *Store
+	cfg   RepairConfig
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	nodes map[int]*NodeState
+	stats RepairManagerStats
+}
+
+// StartRepairManager launches the background repair service and returns
+// its handle. Stop it before discarding the store.
+func (s *Store) StartRepairManager(cfg RepairConfig) *RepairManager {
+	m := &RepairManager{
+		store: s,
+		cfg:   cfg.withDefaults(),
+		stop:  make(chan struct{}),
+		nodes: make(map[int]*NodeState),
+	}
+	m.wg.Add(2)
+	go m.heartbeatLoop()
+	go m.repairLoop()
+	if m.cfg.ScrubEvery > 0 {
+		m.wg.Add(1)
+		go m.scrubLoop()
+	}
+	if m.cfg.ReconcileEvery > 0 {
+		m.wg.Add(1)
+		go m.reconcileLoop()
+	}
+	return m
+}
+
+// Stop terminates the manager's loops and waits for them. Idempotent.
+func (m *RepairManager) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+// Stats returns the manager's activity counters.
+func (m *RepairManager) Stats() RepairManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Nodes returns the manager's per-node health view.
+func (m *RepairManager) Nodes() map[int]NodeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]NodeState, len(m.nodes))
+	for id, st := range m.nodes {
+		out[id] = *st
+	}
+	return out
+}
+
+// sleep waits d or until Stop, reporting whether the manager should keep
+// running.
+func (m *RepairManager) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-m.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// heartbeatLoop pings every node each period. Outcomes feed the circuit
+// breaker (when configured) so foreground calls fail fast on a node the
+// heartbeats already know is down, and a down→up transition triggers the
+// rejoin catch-up sweep.
+func (m *RepairManager) heartbeatLoop() {
+	defer m.wg.Done()
+	s := m.store
+	for {
+		if !m.sleep(m.cfg.HeartbeatEvery) {
+			return
+		}
+		var rejoined []int
+		for node := 0; node < s.client.NumNodes(); node++ {
+			// One unretried probe with a bounded deadline; the breaker's
+			// threshold absorbs isolated blips.
+			resp, err := cluster.CallTimeout(s.client, node, &rpc.Request{Kind: rpc.KindPing}, m.cfg.HeartbeatEvery)
+			up := err == nil && resp.Err == ""
+			if up {
+				s.retry.Breaker.Success(node)
+			} else {
+				s.retry.Breaker.Failure(node)
+			}
+			m.mu.Lock()
+			st := m.nodes[node]
+			if st == nil {
+				st = &NodeState{Up: true}
+				m.nodes[node] = st
+			}
+			if up && !st.Up {
+				rejoined = append(rejoined, node)
+			}
+			if !up && st.Up {
+				st.DownSince = time.Now()
+			}
+			st.Up = up
+			st.Breaker = s.retry.Breaker.State(node).String()
+			m.mu.Unlock()
+		}
+		m.mu.Lock()
+		m.stats.Heartbeats++
+		m.mu.Unlock()
+		for _, node := range rejoined {
+			n, _ := s.RepairNodeAll(node)
+			m.mu.Lock()
+			m.stats.Rejoins++
+			m.stats.RejoinRepairs += uint64(n)
+			m.mu.Unlock()
+		}
+	}
+}
+
+// repairLoop drains the repair queue one item per Rate tick — the
+// bandwidth governor between recovery and foreground traffic.
+func (m *RepairManager) repairLoop() {
+	defer m.wg.Done()
+	for {
+		if !m.sleep(m.cfg.Rate) {
+			return
+		}
+		n, _ := m.store.ProcessRepairs(1)
+		if n > 0 {
+			m.mu.Lock()
+			m.stats.RepairsProcessed += uint64(n)
+			m.mu.Unlock()
+		}
+	}
+}
+
+// scrubLoop runs a full verification pass per period; what it finds flows
+// into the repair queue (and, with Repair set on the pass itself, is fixed
+// inline).
+func (m *RepairManager) scrubLoop() {
+	defer m.wg.Done()
+	for {
+		if !m.sleep(m.cfg.ScrubEvery) {
+			return
+		}
+		_, _ = m.store.ScrubAll(ScrubOptions{Repair: true})
+		m.mu.Lock()
+		m.stats.ScrubPasses++
+		m.mu.Unlock()
+	}
+}
+
+// reconcileLoop garbage-collects crash debris per period (non-force: an
+// in-flight Put's pending blocks are left alone).
+func (m *RepairManager) reconcileLoop() {
+	defer m.wg.Done()
+	for {
+		if !m.sleep(m.cfg.ReconcileEvery) {
+			return
+		}
+		_, _ = m.store.ReconcileOrphans(false)
+		m.mu.Lock()
+		m.stats.ReconcilePasses++
+		m.mu.Unlock()
+	}
+}

@@ -1,0 +1,342 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/simnet"
+)
+
+// nonRegisterBlocks inventories every non-kv block ID across the cluster.
+func nonRegisterBlocks(t *testing.T, cl *simnet.Cluster) []string {
+	t.Helper()
+	var out []string
+	for node := 0; node < cl.NumNodes(); node++ {
+		resp := cl.Node(node).Handle(&rpc.Request{Kind: rpc.KindListBlocks})
+		if resp.Err != "" {
+			t.Fatalf("node %d inventory: %s", node, resp.Err)
+		}
+		for _, b := range resp.Blocks {
+			if !strings.HasPrefix(b.ID, "kv/") {
+				out = append(out, fmt.Sprintf("n%d:%s", node, b.ID))
+			}
+		}
+	}
+	return out
+}
+
+// TestPutFailureRollsBackPlacedBlocks: a Put that cannot finish its scatter
+// (fewer than n healthy nodes) must fail AND undo the blocks it already
+// placed — no stranded debris, only the burned epoch register remains.
+func TestPutFailureRollsBackPlacedBlocks(t *testing.T) {
+	seed := faultSeed(t)
+	s, inj := newFaultStore(t, 9, seed, fusionTestOptions())
+	data, _, _ := makeObject(t, 2, 200, seed)
+	// One node down: stripes need 9 distinct healthy nodes, so placement
+	// runs out of candidates after writing up to 8 blocks of a stripe.
+	inj.SetDown(0, true)
+	if _, err := s.Put("obj", data); !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("want ErrTooManyFailures with 8 healthy nodes, got %v", err)
+	}
+	inj.ReviveAll()
+	cl := inj.Inner().(*simnet.Cluster)
+	if left := nonRegisterBlocks(t, cl); len(left) != 0 {
+		t.Fatalf("failed Put stranded %d blocks: %v", len(left), left)
+	}
+	// The burned epoch must not be reused: a successful retry writes epoch 2+.
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Meta("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Epoch < 2 {
+		t.Fatalf("retry must burn a fresh epoch, got %d", meta.Epoch)
+	}
+	if got, err := s.Get("obj", 0, 0); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after retry: %v", err)
+	}
+}
+
+func TestRepairQueueDedupAndBound(t *testing.T) {
+	q := newRepairQueue(2)
+	a := RepairItem{Object: "o", Stripe: 0, Block: 1}
+	b := RepairItem{Object: "o", Stripe: 0, Block: 2}
+	c := RepairItem{Object: "o", Stripe: 1, Block: 0}
+	if !q.push(a) || !q.push(b) {
+		t.Fatal("pushes under the bound must be accepted")
+	}
+	if q.push(a) {
+		t.Fatal("duplicate of a queued item must be absorbed")
+	}
+	if q.push(c) {
+		t.Fatal("push over the bound must be rejected")
+	}
+	st := q.snapshot()
+	if st.QueueDepth != 2 || st.Enqueued != 2 || st.Dropped != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// FIFO order, and a popped item may be re-queued.
+	if it, ok := q.pop(); !ok || it != a {
+		t.Fatalf("pop = %+v, %v", it, ok)
+	}
+	if !q.push(a) {
+		t.Fatal("popped item must be enqueueable again")
+	}
+	if it, _ := q.pop(); it != b {
+		t.Fatalf("FIFO violated: got %+v", it)
+	}
+}
+
+// TestDiscoverObjectsSeesOtherCoordinatorsWrites: discovery scans node
+// inventories, so a fresh coordinator with an empty cache still finds every
+// object in the cluster.
+func TestDiscoverObjectsSeesOtherCoordinatorsWrites(t *testing.T) {
+	s1, cl := newSimStore(t, fusionTestOptions())
+	for i := 0; i < 3; i++ {
+		data, _, _ := makeObject(t, 1, 100, int64(80+i))
+		if _, err := s1.Put(fmt.Sprintf("obj-%d", i), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := New(cl, fusionTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Objects()) != 0 {
+		t.Fatal("fresh coordinator must start with an empty cache")
+	}
+	names, err := s2.DiscoverObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"obj-0", "obj-1", "obj-2"}
+	if len(names) != len(want) {
+		t.Fatalf("DiscoverObjects = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("DiscoverObjects = %v, want %v (sorted)", names, want)
+		}
+	}
+}
+
+// TestScrubAllRepairsEveryObject: one lost block per object, one cluster-wide
+// repair pass, everything clean after.
+func TestScrubAllRepairsEveryObject(t *testing.T) {
+	s, cl := newSimStore(t, fusionTestOptions())
+	var datas [][]byte
+	for i := 0; i < 2; i++ {
+		data, _, _ := makeObject(t, 1, 150, int64(90+i))
+		datas = append(datas, data)
+		if _, err := s.Put(fmt.Sprintf("obj-%d", i), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		meta, _ := s.Meta(fmt.Sprintf("obj-%d", i))
+		st := meta.Stripes[0]
+		if err := cl.Node(st.Nodes[1]).Blocks.Delete(st.BlockIDs[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.ScrubAll(ScrubOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Objects != 2 || len(rep.Errors) != 0 {
+		t.Fatalf("ScrubAll: %+v errors %v", rep, rep.Errors)
+	}
+	tot := rep.Totals()
+	if tot.MissingBlocks != 2 || tot.Repaired != 2 {
+		t.Fatalf("totals: %+v", tot)
+	}
+	rep, err = s.ScrubAll(ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot := rep.Totals(); tot.MissingBlocks != 0 || tot.CorruptStripes != 0 || tot.ChecksumFailures != 0 {
+		t.Fatalf("post-repair totals: %+v", tot)
+	}
+	for i, data := range datas {
+		if got, err := s.Get(fmt.Sprintf("obj-%d", i), 0, 0); err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("obj-%d post-repair read: %v", i, err)
+		}
+	}
+}
+
+// TestRepairNodeAllRestoresWipedNode simulates a node returning with an
+// empty disk: every object's blocks and metadata replicas on it must come
+// back in one catch-up sweep.
+func TestRepairNodeAllRestoresWipedNode(t *testing.T) {
+	s, cl := newSimStore(t, fusionTestOptions())
+	for i := 0; i < 2; i++ {
+		data, _, _ := makeObject(t, 1, 150, int64(95+i))
+		if _, err := s.Put(fmt.Sprintf("obj-%d", i), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wipe node 3 completely (blocks and register replicas).
+	const victim = 3
+	resp := cl.Node(victim).Handle(&rpc.Request{Kind: rpc.KindListBlocks})
+	wiped := 0
+	for _, b := range resp.Blocks {
+		if err := cl.Node(victim).Blocks.Delete(b.ID); err != nil {
+			t.Fatal(err)
+		}
+		wiped++
+	}
+	if wiped == 0 {
+		t.Fatal("node 3 held nothing; placement changed?")
+	}
+	n, err := s.RepairNodeAll(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("catch-up repaired nothing")
+	}
+	rep, err := s.ScrubAll(ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot := rep.Totals(); tot.MissingBlocks != 0 {
+		t.Fatalf("blocks still missing after catch-up: %+v", tot)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRepairManagerHeartbeatBreakerAndRejoin drives the background service
+// end to end: heartbeats mark a crashed node down and open its breaker
+// (foreground calls fail fast), and the node's revival triggers a catch-up
+// sweep that restores the block its disk lost while it was away.
+func TestRepairManagerHeartbeatBreakerAndRejoin(t *testing.T) {
+	seed := faultSeed(t)
+	opts := fusionTestOptions()
+	opts.Breaker = cluster.NewBreaker(cluster.BreakerConfig{Threshold: 2, Cooldown: 5 * time.Millisecond})
+	s, inj := newFaultStore(t, 9, seed, opts)
+	data, _, _ := makeObject(t, 1, 150, seed)
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := s.Meta("obj")
+	victim := meta.Stripes[0].Nodes[0]
+	victimID := meta.Stripes[0].BlockIDs[0]
+	cl := inj.Inner().(*simnet.Cluster)
+
+	m := s.StartRepairManager(RepairConfig{
+		HeartbeatEvery: 3 * time.Millisecond,
+		Rate:           time.Millisecond,
+	})
+	defer m.Stop()
+
+	waitFor(t, 2*time.Second, "first heartbeat sweep", func() bool {
+		return m.Stats().Heartbeats > 0
+	})
+	// Crash the node; while it is "away" its disk loses a block.
+	inj.SetDown(victim, true)
+	if err := cl.Node(victim).Blocks.Delete(victimID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "heartbeats to mark the node down", func() bool {
+		st, ok := m.Nodes()[victim]
+		return ok && !st.Up
+	})
+	waitFor(t, 2*time.Second, "the breaker to open", func() bool {
+		return s.Breaker().State(victim) != cluster.BreakerClosed
+	})
+	// Revive: the rejoin sweep must restore the lost block.
+	inj.SetDown(victim, false)
+	waitFor(t, 2*time.Second, "rejoin catch-up", func() bool {
+		st := m.Stats()
+		return st.Rejoins > 0
+	})
+	waitFor(t, 2*time.Second, "node marked up again", func() bool {
+		st, ok := m.Nodes()[victim]
+		return ok && st.Up
+	})
+	m.Stop()
+
+	if _, err := cl.Node(victim).Blocks.Get(victimID, 0, 0); err != nil {
+		t.Fatalf("rejoin sweep must restore the lost block: %v", err)
+	}
+	rep, err := s.Scrub("obj", ScrubOptions{})
+	if err != nil || rep.MissingBlocks != 0 || rep.CorruptStripes != 0 || rep.ChecksumFailures != 0 {
+		t.Fatalf("post-rejoin scrub: %+v, %v", rep, err)
+	}
+	if got, err := s.Get("obj", 0, 0); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-rejoin read: %v", err)
+	}
+}
+
+// TestRepairManagerDrainsQueue: the worker loop processes read-path
+// checksum-failure enqueues without any explicit ProcessRepairs call.
+func TestRepairManagerDrainsQueue(t *testing.T) {
+	data, _, _ := makeObject(t, 2, 300, 72)
+	s, cl := newSimStore(t, fusionTestOptions())
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	rotDataBlock(t, s, cl, "obj")
+	if got, err := s.Get("obj", 0, 0); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("degraded read: %v", err)
+	}
+	if rs := s.RepairStats(); rs.QueueDepth == 0 {
+		t.Fatalf("rot must be queued: %+v", rs)
+	}
+	m := s.StartRepairManager(RepairConfig{Rate: time.Millisecond})
+	defer m.Stop()
+	waitFor(t, 2*time.Second, "the worker to drain the queue", func() bool {
+		rs := s.RepairStats()
+		return rs.QueueDepth == 0 && rs.Processed > 0
+	})
+	waitFor(t, 2*time.Second, "manager counters to record the repair", func() bool {
+		return m.Stats().RepairsProcessed > 0
+	})
+	rep, err := s.Scrub("obj", ScrubOptions{})
+	if err != nil || rep.ChecksumFailures != 0 || rep.CorruptStripes != 0 {
+		t.Fatalf("post-drain scrub: %+v, %v", rep, err)
+	}
+}
+
+// TestRepairManagerScrubLoop: the periodic scrub finds and fixes rot with no
+// reads ever touching the object.
+func TestRepairManagerScrubLoop(t *testing.T) {
+	data, _, _ := makeObject(t, 2, 300, 73)
+	s, cl := newSimStore(t, fusionTestOptions())
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	rotDataBlock(t, s, cl, "obj")
+	m := s.StartRepairManager(RepairConfig{ScrubEvery: 3 * time.Millisecond})
+	defer m.Stop()
+	waitFor(t, 2*time.Second, "a scrub pass to repair the rot", func() bool {
+		return m.Stats().ScrubPasses > 0
+	})
+	waitFor(t, 2*time.Second, "the object to scrub clean", func() bool {
+		rep, err := s.Scrub("obj", ScrubOptions{})
+		return err == nil && rep.ChecksumFailures == 0 && rep.CorruptStripes == 0 && rep.MissingBlocks == 0
+	})
+	if got, err := s.Get("obj", 0, 0); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-scrub read: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/rpc"
 	"github.com/fusionstore/fusion/internal/trace"
@@ -17,6 +18,11 @@ type ScrubReport struct {
 	// MissingBlocks counts blocks that were unreadable (node down or
 	// block gone).
 	MissingBlocks int
+	// ChecksumFailures counts blocks that failed CRC verification — the
+	// node refusing a rotted block at rest, a reply corrupted in flight, or
+	// bytes not matching the checksum recorded in the stripe metadata. Such
+	// blocks are treated like missing ones for repair purposes.
+	ChecksumFailures int
 	// CorruptStripes counts stripes whose parity did not verify.
 	CorruptStripes int
 	// Repaired counts blocks rewritten by the scrub (with Repair set).
@@ -69,6 +75,20 @@ func (s *Store) ScrubContext(ctx context.Context, name string, opts ScrubOptions
 				Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
 			})
 			if err != nil || resp.Err != "" {
+				if err == nil && cluster.IsChecksumErr(resp.Err) {
+					report.ChecksumFailures++
+					ssp.Count(trace.ChecksumFailures, 1)
+					s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: si, Block: j})
+				}
+				missing = append(missing, j)
+				continue
+			}
+			// The CRC recorded at write time localizes a bad copy exactly;
+			// a block failing it is an erasure, not a parity puzzle.
+			if j < len(st.Checksums) && cluster.Checksum(resp.Data) != st.Checksums[j] {
+				report.ChecksumFailures++
+				ssp.Count(trace.ChecksumFailures, 1)
+				s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: si, Block: j})
 				missing = append(missing, j)
 				continue
 			}
@@ -97,9 +117,7 @@ func (s *Store) ScrubContext(ctx context.Context, name string, opts ScrubOptions
 				if j < p.K {
 					data = data[:st.DataLens[j]]
 				}
-				if _, err := s.callChecked(sp, st.Nodes[j], &rpc.Request{
-					Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: data,
-				}); err != nil {
+				if err := s.rewriteBlock(sp, meta, si, j, data); err != nil {
 					return report, err
 				}
 				shards[j] = work[j]
@@ -163,9 +181,7 @@ func (s *Store) repairCorruptStripe(sp *trace.Span, meta *ObjectMeta, si int, sh
 		}
 		n := 0
 		for j := p.K; j < p.N; j++ {
-			if _, err := s.callChecked(sp, st.Nodes[j], &rpc.Request{
-				Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: work[j],
-			}); err != nil {
+			if err := s.rewriteBlock(sp, meta, si, j, work[j]); err != nil {
 				return n, err
 			}
 			n++
@@ -190,9 +206,7 @@ func (s *Store) repairCorruptStripe(sp *trace.Span, meta *ObjectMeta, si int, sh
 		if j < p.K {
 			data = data[:st.DataLens[j]]
 		}
-		if _, err := s.callChecked(sp, st.Nodes[j], &rpc.Request{
-			Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[j], Data: data,
-		}); err != nil {
+		if err := s.rewriteBlock(sp, meta, si, j, data); err != nil {
 			return n, err
 		}
 		n++

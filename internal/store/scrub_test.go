@@ -92,12 +92,15 @@ func TestScrubDetectsAndRepairsCorruptDataBlock(t *testing.T) {
 	if err := node.Blocks.Put(st.BlockIDs[bin], block); err != nil {
 		t.Fatal(err)
 	}
+	// The node's at-rest verification refuses the rotted block, so the
+	// scrub sees a checksum failure (treated as an erasure), not a parity
+	// puzzle.
 	rep, err := s.Scrub("obj", ScrubOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.CorruptStripes != 1 {
-		t.Fatalf("scrub must flag the corrupt stripe: %+v", rep)
+	if rep.ChecksumFailures != 1 {
+		t.Fatalf("scrub must flag the corrupt block: %+v", rep)
 	}
 	rep, err = s.Scrub("obj", ScrubOptions{Repair: true})
 	if err != nil {
@@ -107,7 +110,7 @@ func TestScrubDetectsAndRepairsCorruptDataBlock(t *testing.T) {
 		t.Fatalf("scrub must rewrite the corrupt block: %+v", rep)
 	}
 	rep, err = s.Scrub("obj", ScrubOptions{})
-	if err != nil || rep.CorruptStripes != 0 {
+	if err != nil || rep.CorruptStripes != 0 || rep.ChecksumFailures != 0 {
 		t.Fatalf("post-repair scrub: %+v, %v", rep, err)
 	}
 	got, err := s.Get("obj", 0, 0)
@@ -141,11 +144,11 @@ func TestScrubRepairsCorruptParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.CorruptStripes != 1 || rep.Repaired == 0 {
-		t.Fatalf("scrub must re-encode parity: %+v", rep)
+	if rep.ChecksumFailures != 1 || rep.Repaired == 0 {
+		t.Fatalf("scrub must rewrite parity: %+v", rep)
 	}
 	rep, err = s.Scrub("obj", ScrubOptions{})
-	if err != nil || rep.CorruptStripes != 0 {
+	if err != nil || rep.CorruptStripes != 0 || rep.ChecksumFailures != 0 {
 		t.Fatalf("post-repair scrub: %+v, %v", rep, err)
 	}
 }

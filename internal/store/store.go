@@ -5,6 +5,8 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -100,6 +102,19 @@ type Options struct {
 	// behind /debug/fusionz and fusion-bench's percentile tables. Nil (the
 	// default) disables all timing.
 	Metrics *metrics.HistogramSet
+	// SkipChecksumVerify disables the coordinator-side end-to-end checksum
+	// checks on reads (node replies and pre-decode survivor verification).
+	// Node-side at-rest verification still runs. Intended for benchmarking
+	// the verification cost, not for production use.
+	SkipChecksumVerify bool
+	// Breaker, when set, is the per-node circuit breaker consulted by every
+	// coordinator→node call: a node whose circuit is open fails fast with
+	// ErrNodeDown instead of burning a transport attempt. Nil disables
+	// circuit breaking.
+	Breaker *cluster.Breaker
+	// Repair bounds the repair queue and the background repair manager.
+	// Zero values apply defaults (see RepairConfig).
+	Repair RepairConfig
 	// Seed drives stripe placement.
 	Seed int64
 	// Model, when set, computes simulated query latencies from the
@@ -140,9 +155,10 @@ type Store struct {
 	client cluster.Client
 	opts   Options
 	coder  *erasure.Coder
-	retry  cluster.Policy
-	health *metrics.Health
-	hist   *metrics.HistogramSet
+	retry   cluster.Policy
+	health  *metrics.Health
+	hist    *metrics.HistogramSet
+	repairs *repairQueue
 
 	mu      sync.RWMutex
 	objects map[string]*ObjectMeta // coordinator-side metadata cache
@@ -174,6 +190,9 @@ func New(client cluster.Client, opts Options) (*Store, error) {
 	}
 	retry := opts.Retry
 	retry.Health = health
+	if retry.Breaker == nil {
+		retry.Breaker = opts.Breaker
+	}
 	return &Store{
 		client:  client,
 		opts:    opts,
@@ -181,6 +200,7 @@ func New(client cluster.Client, opts Options) (*Store, error) {
 		retry:   retry,
 		health:  health,
 		hist:    opts.Metrics,
+		repairs: newRepairQueue(opts.Repair.QueueLimit),
 		objects: make(map[string]*ObjectMeta),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 	}, nil
@@ -188,6 +208,10 @@ func New(client cluster.Client, opts Options) (*Store, error) {
 
 // Health returns the store's per-node failure/retry/hedge counters.
 func (s *Store) Health() *metrics.Health { return s.health }
+
+// Breaker returns the circuit breaker guarding coordinator→node calls
+// (nil when none is configured).
+func (s *Store) Breaker() *cluster.Breaker { return s.retry.Breaker }
 
 // Metrics returns the store's latency histogram set (nil unless
 // Options.Metrics was set).
@@ -260,14 +284,69 @@ func (s *Store) nodeOrder() []int {
 	return s.rng.Perm(s.client.NumNodes())
 }
 
-// blockID names a stored block; the version makes overwrites write-aside
-// rather than in-place.
-func blockID(object string, version uint64, stripe, block int) string {
-	return fmt.Sprintf("%s/v%d/s%d/b%d", object, version, stripe, block)
+// blockID names a stored block. The epoch makes every write attempt
+// write-aside: a failed or crashed Put's blocks can never collide with (or
+// be mistaken for) a later attempt's, because epochs are never reused.
+func blockID(object string, epoch uint64, stripe, block int) string {
+	return fmt.Sprintf("%s/e%d/s%d/b%d", object, epoch, stripe, block)
+}
+
+// parseBlockID inverts blockID. Object names may themselves contain "/", so
+// the fixed-shape suffix is parsed from the right.
+func parseBlockID(id string) (object string, epoch uint64, stripe, block int, ok bool) {
+	rest := id
+	for i := 0; i < 3; i++ {
+		slash := strings.LastIndexByte(rest, '/')
+		if slash < 0 {
+			return "", 0, 0, 0, false
+		}
+		seg := rest[slash+1:]
+		rest = rest[:slash]
+		var n uint64
+		var err error
+		switch {
+		case i == 0 && strings.HasPrefix(seg, "b"):
+			n, err = strconv.ParseUint(seg[1:], 10, 32)
+			block = int(n)
+		case i == 1 && strings.HasPrefix(seg, "s"):
+			n, err = strconv.ParseUint(seg[1:], 10, 32)
+			stripe = int(n)
+		case i == 2 && strings.HasPrefix(seg, "e"):
+			epoch, err = strconv.ParseUint(seg[1:], 10, 64)
+		default:
+			return "", 0, 0, 0, false
+		}
+		if err != nil {
+			return "", 0, 0, 0, false
+		}
+	}
+	if rest == "" {
+		return "", 0, 0, 0, false
+	}
+	return rest, epoch, stripe, block, true
 }
 
 // metaKey is the quorum-register key holding an object's metadata.
 func metaKey(object string) string { return "meta/" + object }
+
+// epochKey is the quorum-register key of an object's epoch allocator; the
+// register's version is the counter, its value stays empty.
+func epochKey(object string) string { return "epoch/" + object }
+
+// allocEpoch reserves the object's next write epoch on a metadata-replica
+// majority. The reservation is durable before any block carries the epoch,
+// so a crashed attempt's epoch is burned, never recycled.
+func (s *Store) allocEpoch(name string) (uint64, error) {
+	kv, err := s.metaKV(name)
+	if err != nil {
+		return 0, err
+	}
+	epoch, err := kv.Incr(epochKey(name))
+	if err != nil {
+		return 0, fmt.Errorf("store: allocating epoch for %q: %w", name, err)
+	}
+	return epoch, nil
+}
 
 // metaBlockID names the node-side block backing an object's metadata
 // replica (for storage audits and tests).

@@ -9,6 +9,7 @@ import (
 
 	"github.com/fusionstore/fusion/internal/erasure"
 	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/metakv"
 	"github.com/fusionstore/fusion/internal/simnet"
 	"github.com/fusionstore/fusion/internal/sql"
 )
@@ -301,8 +302,15 @@ func TestDelete(t *testing.T) {
 	if err := s.Delete("obj"); err != nil {
 		t.Fatal(err)
 	}
-	if cl.TotalStoredBytes() != 0 {
-		t.Fatalf("%d bytes remain after delete", cl.TotalStoredBytes())
+	// Only the object's epoch-allocator register may remain: it is kept as
+	// a tombstone so a re-created object can never reuse an epoch whose
+	// debris might survive on a down node.
+	for i := 0; i < cl.NumNodes(); i++ {
+		for _, id := range cl.Node(i).Blocks.IDs() {
+			if id != metakv.BlockID(epochKey("obj")) {
+				t.Fatalf("block %q remains after delete", id)
+			}
+		}
 	}
 	if _, err := s.Meta("obj"); err == nil {
 		t.Fatal("Meta after delete must fail")
@@ -659,7 +667,8 @@ func TestStorageOverheadAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The cluster's stored bytes must equal PutStats (plus metadata).
+	// The cluster's stored bytes must equal PutStats (plus metadata: the
+	// location-map register and the epoch-allocator register).
 	metaBytes := uint64(0)
 	for _, n := range s.metaReplicaNodes("obj") {
 		sz, err := cl.Node(n).Blocks.Size(metaBlockID("obj"))
@@ -667,6 +676,9 @@ func TestStorageOverheadAudit(t *testing.T) {
 			t.Fatal(err)
 		}
 		metaBytes += sz
+		if esz, err := cl.Node(n).Blocks.Size(metakv.BlockID(epochKey("obj"))); err == nil {
+			metaBytes += esz
+		}
 	}
 	if cl.TotalStoredBytes() != stats.StoredBytes+metaBytes {
 		t.Fatalf("stored %d, stats %d + meta %d", cl.TotalStoredBytes(), stats.StoredBytes, metaBytes)

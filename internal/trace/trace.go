@@ -45,12 +45,15 @@ const (
 	HedgeWins
 	// DegradedReads counts block reads served via RS reconstruction.
 	DegradedReads
+	// ChecksumFailures counts blocks whose bytes failed CRC verification
+	// (at rest on the node, in flight, or against the stripe metadata).
+	ChecksumFailures
 	numCounters
 )
 
 var counterNames = [numCounters]string{
 	"bytes_requested", "bytes_from_nodes", "rpcs", "retries",
-	"hedges", "hedge_wins", "degraded_reads",
+	"hedges", "hedge_wins", "degraded_reads", "checksum_failures",
 }
 
 func (c Counter) String() string {
