@@ -26,6 +26,7 @@ func main() {
 		queries    = flag.Int("queries", workload.QueriesPerCell, "queries per measured cell")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		hist       = flag.Bool("hist", true, "print per-phase latency histograms after each experiment")
+		cacheBytes = flag.Int64("cachebytes", 0, "coordinator read-cache budget in bytes (0 = disabled, the paper's cold-path configuration)")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 		return
 	}
 	workload.QueriesPerCell = *queries
+	workload.CacheBytes = *cacheBytes
 	if *hist {
 		workload.Hist = metrics.NewHistogramSet()
 	}

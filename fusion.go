@@ -196,6 +196,18 @@ type HistogramSet = metrics.HistogramSet
 // NewHistogramSet returns an empty histogram set.
 func NewHistogramSet() *HistogramSet { return metrics.NewHistogramSet() }
 
+// CacheStats snapshots the coordinator read cache (DESIGN.md §10): per-tier
+// hit/miss counters for the metadata, block-bytes and decoded-chunk tiers,
+// data-tier residency against Options.CacheBytes, and the singleflight
+// dedup/decode counters. Read it with Store.CacheStats; CacheTier.HitRate
+// gives a tier's hit fraction. Enable the data tiers by setting
+// Options.CacheBytes > 0 (Options.MetaCacheEntries bounds the always-on
+// metadata tier).
+type (
+	CacheStats = metrics.CacheStats
+	CacheTier  = metrics.CacheTier
+)
+
 //
 // Columnar object building (the lpq format).
 //

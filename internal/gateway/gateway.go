@@ -319,13 +319,25 @@ func (h *Handler) reconcile(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) debugFusionz(w http.ResponseWriter, r *http.Request) {
 	hist := h.store.Metrics()
 	repair := h.store.RepairStats()
+	cstats := h.store.CacheStats()
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "== histograms ==\n")
 		hist.WriteText(w)
 		fmt.Fprintf(w, "\n== node health ==\n%s", h.store.Health())
-		fmt.Fprintf(w, "\n== repair queue ==\ndepth %d  enqueued %d  processed %d  failed %d  dropped %d\n",
-			repair.QueueDepth, repair.Enqueued, repair.Processed, repair.Failed, repair.Dropped)
+		fmt.Fprintf(w, "\n== repair queue ==\ndepth %d  enqueued %d  processed %d  failed %d  dropped %d  stale %d\n",
+			repair.QueueDepth, repair.Enqueued, repair.Processed, repair.Failed, repair.Dropped, repair.Stale)
+		fmt.Fprintf(w, "\n== cache ==\n")
+		fmt.Fprintf(w, "meta:  hits %d  misses %d  rate %.2f  entries %d\n",
+			cstats.Meta.Hits, cstats.Meta.Misses, cstats.Meta.HitRate(), cstats.Meta.Entries)
+		fmt.Fprintf(w, "block: hits %d  misses %d  rate %.2f\n",
+			cstats.Block.Hits, cstats.Block.Misses, cstats.Block.HitRate())
+		fmt.Fprintf(w, "chunk: hits %d  misses %d  rate %.2f\n",
+			cstats.Chunk.Hits, cstats.Chunk.Misses, cstats.Chunk.HitRate())
+		fmt.Fprintf(w, "data:  %d entries  %d bytes  fills %d  evictions %d  invalidations %d  rejected %d\n",
+			cstats.DataEntries, cstats.DataBytes, cstats.Fills, cstats.Evictions, cstats.Invalidations, cstats.Rejected)
+		fmt.Fprintf(w, "flight: leaders %d  dedups %d  decodes %d\n",
+			cstats.FlightLeaders, cstats.FlightDedups, cstats.Decodes)
 		if b := h.store.Breaker(); b != nil {
 			fmt.Fprintf(w, "\n== circuit breakers ==\n")
 			for node, state := range b.Snapshot() {
@@ -342,6 +354,7 @@ func (h *Handler) debugFusionz(w http.ResponseWriter, r *http.Request) {
 		"histograms":  hist.Snapshot(),
 		"health":      h.store.Health().Snapshot(),
 		"repair":      repair,
+		"cache":       cstats,
 		"traces":      h.ring.Snapshot(),
 		"traces_seen": h.ring.Seen(),
 	}

@@ -1,0 +1,44 @@
+package metrics
+
+// CacheTier holds one cache tier's hit/miss accounting.
+type CacheTier struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions,omitempty"`
+	Entries   uint64 `json:"entries,omitempty"`
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 when the tier saw no lookups.
+func (t CacheTier) HitRate() float64 {
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(total)
+}
+
+// CacheStats snapshots the coordinator cache: per-tier lookup counters plus
+// the shared data-tier budget accounting and the singleflight/decode
+// counters used by the thundering-herd gate.
+type CacheStats struct {
+	Meta  CacheTier `json:"meta"`
+	Block CacheTier `json:"block"`
+	Chunk CacheTier `json:"chunk"`
+
+	// Data-tier residency (blocks + chunks share one byte budget).
+	DataEntries uint64 `json:"data_entries"`
+	DataBytes   uint64 `json:"data_bytes"`
+
+	Fills         uint64 `json:"fills"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	Rejected      uint64 `json:"rejected"`
+
+	// FlightLeaders counts singleflight executions; FlightDedups counts
+	// callers that joined an in-flight leader instead of fetching.
+	FlightLeaders uint64 `json:"flight_leaders"`
+	FlightDedups  uint64 `json:"flight_dedups"`
+	// Decodes counts RS reconstructions actually executed on the read
+	// path (singleflight makes this decode work, not decode demand).
+	Decodes uint64 `json:"decodes"`
+}

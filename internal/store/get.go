@@ -44,6 +44,21 @@ func (s *Store) GetContext(ctx context.Context, name string, offset, length uint
 	if err != nil {
 		return nil, err
 	}
+	data, err := s.getWithMeta(sp, meta, offset, length)
+	if err != nil {
+		// The metadata may have been captured before a concurrent
+		// overwrite committed: the blocks it points at can be
+		// garbage-collected mid-read. Re-resolve against the quorum and
+		// retry once iff the object really moved to a newer epoch.
+		if fresh := s.refreshedMeta(name, meta); fresh != nil {
+			return s.getWithMeta(sp, fresh, offset, length)
+		}
+	}
+	return data, err
+}
+
+// getWithMeta runs a Get against one specific metadata snapshot.
+func (s *Store) getWithMeta(sp *trace.Span, meta *ObjectMeta, offset, length uint64) ([]byte, error) {
 	if offset > meta.Size {
 		return nil, fmt.Errorf("store: offset %d beyond object of %d bytes", offset, meta.Size)
 	}
@@ -63,6 +78,21 @@ func (s *Store) GetContext(ctx context.Context, name string, offset, length uint
 		return s.getFAC(sp, meta, offset, length)
 	}
 	return s.getFixed(sp, meta, offset, length)
+}
+
+// refreshedMeta re-resolves an object's metadata against the quorum after a
+// failed read, returning it only when the object has actually moved to a
+// different epoch (the stale-snapshot case worth retrying). The fresh
+// metadata replaces the cached entry and every data-tier entry of older
+// epochs is dropped.
+func (s *Store) refreshedMeta(name string, old *ObjectMeta) *ObjectMeta {
+	fresh, err := s.metaQuorum(name)
+	if err != nil || fresh.Epoch == old.Epoch {
+		return nil
+	}
+	s.cacheMeta(fresh)
+	s.cache.InvalidateObject(name, fresh.Epoch)
+	return fresh
 }
 
 // segment is one contiguous piece of a Get: a byte range of one stripe's
@@ -166,13 +196,57 @@ func (s *Store) readSegments(sp *trace.Span, meta *ObjectMeta, segs []segment, l
 	return out, nil
 }
 
-// readWholeBlock reads one entire data block. When verification is on and
-// the stripe metadata records the block's checksum, the received bytes are
-// verified against that record — one pass at the coordinator catching both
-// a rotted block and a reply corrupted in flight — and the node is told to
-// skip its own at-rest pass. A failed read or a checksum mismatch enqueues
-// a repair and serves the block from the stripe's redundancy instead.
+// readWholeBlock reads one entire data block, serving it from the
+// coordinator cache when possible. Cached bytes were CRC-verified on fill
+// (cacheFillBlock admits nothing else), so a hit skips verification
+// entirely and — because it never touches s.call — contributes zero
+// bytes-from-nodes to read amplification. Misses are deduplicated by the
+// singleflight layer: N concurrent readers of one block trigger one fetch.
 func (s *Store) readWholeBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
+	if !s.cacheOn() {
+		return s.fetchWholeBlock(sp, meta, stripe, bin)
+	}
+	if v, ok := s.cache.Get(blockKeyOf(meta, stripe, bin)); ok {
+		sp.Count(trace.CacheHits, 1)
+		return v.([]byte), nil
+	}
+	v, err, _ := s.cache.Do("b/"+meta.Stripes[stripe].BlockIDs[bin], func() (any, error) {
+		block, err := s.fetchWholeBlock(sp, meta, stripe, bin)
+		if err != nil {
+			return nil, err
+		}
+		s.cacheFillBlock(meta, stripe, bin, block)
+		return block, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// cacheFillBlock admits one block's bytes to the cache. Admission requires
+// a successful CRC check against the stripe metadata — that verification is
+// what lets hits skip the read path's own pass — so nothing is cached when
+// verification is off or the stripe predates recorded checksums.
+func (s *Store) cacheFillBlock(meta *ObjectMeta, stripe, bin int, block []byte) {
+	if !s.cacheOn() || s.opts.SkipChecksumVerify {
+		return
+	}
+	st := meta.Stripes[stripe]
+	if bin >= len(st.Checksums) || cluster.Checksum(block) != st.Checksums[bin] {
+		return
+	}
+	s.cache.Put(blockKeyOf(meta, stripe, bin), block, uint64(len(block)))
+}
+
+// fetchWholeBlock reads one entire data block from its node. When
+// verification is on and the stripe metadata records the block's checksum,
+// the received bytes are verified against that record — one pass at the
+// coordinator catching both a rotted block and a reply corrupted in flight
+// — and the node is told to skip its own at-rest pass. A failed read or a
+// checksum mismatch enqueues a repair and serves the block from the
+// stripe's redundancy instead.
+func (s *Store) fetchWholeBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
 	bsp := sp.Child("block")
 	defer bsp.End()
 	st := meta.Stripes[stripe]
@@ -187,18 +261,18 @@ func (s *Store) readWholeBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int
 	case resp.Err != "":
 		if cluster.IsChecksumErr(resp.Err) {
 			bsp.Count(trace.ChecksumFailures, 1)
-			s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: bin})
+			s.enqueueRepair(RepairItem{Object: meta.Name, Epoch: meta.Epoch, Stripe: stripe, Block: bin})
 		}
 		fail = errors.New(resp.Err)
 	case verify && cluster.Checksum(resp.Data) != st.Checksums[bin]:
 		bsp.Count(trace.ChecksumFailures, 1)
-		s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: bin})
+		s.enqueueRepair(RepairItem{Object: meta.Name, Epoch: meta.Epoch, Stripe: stripe, Block: bin})
 		fail = fmt.Errorf("store: block %s failed verification against stripe checksum", st.BlockIDs[bin])
 	case !verify && !s.opts.SkipChecksumVerify && cluster.Checksum(resp.Data) != resp.Crc:
 		// Legacy stripe without recorded checksums: end-to-end check
 		// against the CRC the node claims, as checkDirectRead does.
 		bsp.Count(trace.ChecksumFailures, 1)
-		s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: bin})
+		s.enqueueRepair(RepairItem{Object: meta.Name, Epoch: meta.Epoch, Stripe: stripe, Block: bin})
 		fail = fmt.Errorf("store: block %s: reply failed end-to-end checksum", st.BlockIDs[bin])
 	default:
 		return resp.Data, nil
@@ -216,6 +290,24 @@ func (s *Store) readWholeBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int
 // direct read that is merely slow also races a reconstruction fan-out and
 // the first result wins.
 func (s *Store) readStripeRange(sp *trace.Span, meta *ObjectMeta, stripe, bin int, off, length uint64) ([]byte, error) {
+	// With the cache enabled, partial reads are served at block
+	// granularity: a hit slices resident verified bytes, a miss fetches
+	// (and caches) the whole block so the next range of the same block is
+	// a hit. The hedged path keeps its range reads but still checks for a
+	// resident block first.
+	if s.cacheOn() {
+		if v, ok := s.cache.Get(blockKeyOf(meta, stripe, bin)); ok {
+			sp.Count(trace.CacheHits, 1)
+			return sliceBlock(v.([]byte), off, length)
+		}
+		if s.opts.HedgeAfter <= 0 && bin < len(meta.Stripes[stripe].DataLens) {
+			block, err := s.readWholeBlock(sp, meta, stripe, bin)
+			if err != nil {
+				return nil, err
+			}
+			return sliceBlock(block, off, length)
+		}
+	}
 	bsp := sp.Child("block")
 	defer bsp.End()
 	st := meta.Stripes[stripe]
@@ -254,13 +346,13 @@ func (s *Store) checkDirectRead(sp *trace.Span, meta *ObjectMeta, stripe, bin in
 	if resp.Err != "" {
 		if cluster.IsChecksumErr(resp.Err) {
 			sp.Count(trace.ChecksumFailures, 1)
-			s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: bin})
+			s.enqueueRepair(RepairItem{Object: meta.Name, Epoch: meta.Epoch, Stripe: stripe, Block: bin})
 		}
 		return nil, errors.New(resp.Err)
 	}
 	if !s.opts.SkipChecksumVerify && cluster.Checksum(resp.Data) != resp.Crc {
 		sp.Count(trace.ChecksumFailures, 1)
-		s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: bin})
+		s.enqueueRepair(RepairItem{Object: meta.Name, Epoch: meta.Epoch, Stripe: stripe, Block: bin})
 		return nil, fmt.Errorf("store: block %s: reply failed end-to-end checksum",
 			meta.Stripes[stripe].BlockIDs[bin])
 	}
@@ -373,7 +465,7 @@ func (s *Store) gatherSurvivors(sp *trace.Span, meta *ObjectMeta, stripe, skip i
 			if err != nil || resp.Err != "" {
 				if err == nil && cluster.IsChecksumErr(resp.Err) {
 					sp.Count(trace.ChecksumFailures, 1)
-					s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: j})
+					s.enqueueRepair(RepairItem{Object: meta.Name, Epoch: meta.Epoch, Stripe: stripe, Block: j})
 				}
 				results <- result{bin: j}
 				return
@@ -384,7 +476,7 @@ func (s *Store) gatherSurvivors(sp *trace.Span, meta *ObjectMeta, stripe, skip i
 			if !s.opts.SkipChecksumVerify && j < len(st.Checksums) &&
 				cluster.Checksum(resp.Data) != st.Checksums[j] {
 				sp.Count(trace.ChecksumFailures, 1)
-				s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: stripe, Block: j})
+				s.enqueueRepair(RepairItem{Object: meta.Name, Epoch: meta.Epoch, Stripe: stripe, Block: j})
 				results <- result{bin: j}
 				return
 			}
@@ -407,8 +499,32 @@ func (s *Store) gatherSurvivors(sp *trace.Span, meta *ObjectMeta, stripe, skip i
 }
 
 // reconstructBlock rebuilds one data block of a stripe from any k surviving
-// blocks and returns its unpadded bytes.
+// blocks and returns its unpadded bytes. With the cache enabled the rebuild
+// runs under singleflight: a thundering herd of readers hitting the same
+// lost block triggers exactly one survivor fan-out and one RS decode, and
+// every reader shares the result (which is also admitted to the cache, so
+// later readers hit without any decode at all).
 func (s *Store) reconstructBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
+	if !s.cacheOn() {
+		return s.reconstructDataBlock(sp, meta, stripe, bin)
+	}
+	v, err, _ := s.cache.Do("r/"+meta.Stripes[stripe].BlockIDs[bin], func() (any, error) {
+		block, err := s.reconstructDataBlock(sp, meta, stripe, bin)
+		if err != nil {
+			return nil, err
+		}
+		s.cacheFillBlock(meta, stripe, bin, block)
+		return block, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// reconstructDataBlock is the actual survivor-gathering RS rebuild of a
+// data block.
+func (s *Store) reconstructDataBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
 	rsp := sp.Child("reconstruct")
 	defer rsp.End()
 	rsp.Count(trace.DegradedReads, 1)
@@ -417,6 +533,7 @@ func (s *Store) reconstructBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin i
 	if err != nil {
 		return nil, err
 	}
+	s.cache.CountDecode()
 	if err := s.coder.ReconstructData(shards); err != nil {
 		return nil, err
 	}
@@ -432,6 +549,7 @@ func (s *Store) reconstructParity(sp *trace.Span, meta *ObjectMeta, stripe, idx 
 	if err != nil {
 		return nil, err
 	}
+	s.cache.CountDecode()
 	if err := s.coder.Reconstruct(shards); err != nil {
 		return nil, err
 	}
@@ -520,5 +638,10 @@ func (s *Store) rewriteBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int, 
 		Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[bin], Data: block,
 		Object: meta.Name, Epoch: meta.Epoch, Crc: crc,
 	})
+	if err == nil {
+		// The rewrite replaced the block on its node; drop any cached
+		// copy so readers go back to the (now healthy) source of truth.
+		s.cache.Invalidate(blockKeyOf(meta, stripe, bin))
+	}
 	return err
 }

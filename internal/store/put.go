@@ -9,6 +9,7 @@ import (
 	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/fac"
 	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/metakv"
 	"github.com/fusionstore/fusion/internal/rpc"
 	"github.com/fusionstore/fusion/internal/trace"
 )
@@ -142,8 +143,15 @@ func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutS
 		s.undoPlacement(placed)
 		return nil, err
 	}
-	s.commitBlocks(sp, meta)
+	// Refresh the coordinator cache at the commit point, before the GC of
+	// the previous version can run: the meta tier flips to the new epoch
+	// and every data entry of older epochs is dropped, so a cached reader
+	// can never be handed pre-overwrite bytes after this line. (Entries
+	// are epoch-keyed anyway — this ordering makes the invalidation
+	// prompt, the keying makes it safe.)
 	s.cacheMeta(meta)
+	s.cache.InvalidateObject(meta.Name, meta.Epoch)
+	s.commitBlocks(sp, meta)
 	if prev != nil {
 		s.deleteBlocks(prev)
 	}
@@ -398,18 +406,25 @@ func (s *Store) deleteBlocks(meta *ObjectMeta) {
 	}
 }
 
-// Delete removes an object's blocks and metadata replicas.
+// Delete removes an object's blocks and metadata replicas. The quorum is
+// consulted directly — deleting from a cached (possibly superseded) view
+// would miss the blocks of a newer epoch written through another
+// coordinator, stranding them as orphans.
 func (s *Store) Delete(name string) error {
-	meta, err := s.Meta(name)
+	meta, err := s.metaQuorum(name)
 	if err != nil {
+		if errors.Is(err, metakv.ErrNotFound) {
+			return fmt.Errorf("store: object %q not found: %w", name, err)
+		}
 		return err
 	}
 	s.deleteBlocks(meta)
 	if kv, kerr := s.metaKV(name); kerr == nil {
 		_ = kv.Delete(metaKey(name)) // best effort; blocks are already gone
 	}
-	s.mu.Lock()
-	delete(s.objects, name)
-	s.mu.Unlock()
+	// Tombstone the cache: drop the meta entry and every data entry of
+	// every epoch, so no reader can be served bytes of a deleted object.
+	s.cache.DeleteMeta(name)
+	s.cache.InvalidateObject(name, 0)
 	return nil
 }

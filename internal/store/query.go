@@ -156,6 +156,26 @@ func (s *Store) QueryContext(ctx context.Context, query string) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	res, err := s.runQuery(qsp, q, meta, start)
+	if err != nil {
+		// A concurrent overwrite can garbage-collect the blocks this
+		// metadata snapshot points at mid-query. Re-resolve against the
+		// quorum and retry once iff the object moved to a newer epoch.
+		if fresh := s.refreshedMeta(q.Table, meta); fresh != nil {
+			return s.runQuery(qsp, q, fresh, start)
+		}
+	}
+	return res, err
+}
+
+// runQuery executes a parsed query against one specific metadata snapshot.
+// The parsed query is copied first: star expansion appends to Projections,
+// and a retry against fresh metadata must start from the original SELECT
+// list, not one already expanded.
+func (s *Store) runQuery(qsp *trace.Span, orig *sql.Query, meta *ObjectMeta, start time.Time) (*Result, error) {
+	qc := *orig
+	qc.Projections = append([]sql.Projection(nil), orig.Projections...)
+	q := &qc
 	st := &execState{store: s, meta: meta, coord: s.CoordinatorFor(q.Table), sp: qsp}
 
 	// Resolve the SELECT list.
@@ -198,10 +218,7 @@ func (s *Store) QueryContext(ctx context.Context, query string) (*Result, error)
 		}
 	}
 	// Pruned row groups still count toward total rows.
-	total := meta.Footer.NumRows()
-	if total > 0 {
-		st.stats.Selectivity = float64(selected) / float64(total)
-	}
+	st.stats.Selectivity = measuredSelectivity(selected, meta.Footer.NumRows())
 
 	// Stage 2: projection.
 	st.nowSt = 1
@@ -230,6 +247,17 @@ func (s *Store) QueryContext(ctx context.Context, query string) (*Result, error)
 	}
 	res.Stats = st.stats
 	return res, nil
+}
+
+// measuredSelectivity is the fraction of an object's rows a query's filter
+// selected. A zero-row object (or a fully-pruned query over one) reports 0
+// — never NaN — so downstream consumers (the adaptive pushdown cost model,
+// stats JSON, dashboards averaging selectivities) see a well-defined value.
+func measuredSelectivity(selected, total int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(selected) / float64(total)
 }
 
 // rgVerdict folds chunk statistics through the predicate tree, yielding a
@@ -407,7 +435,41 @@ func (s *Store) pushdownFilter(st *execState, c *sql.Compare, colType lpq.Type, 
 // baseline's only path and Fusion's fallback when the cost model disables
 // pushdown. A checksum failure (bit rot on the hosting node) triggers a
 // second fetch that reconstructs the chunk's blocks from stripe parity.
+//
+// With the cache enabled, decoded chunks are cached keyed by (object,
+// epoch, row group, column): a repeated scan serves its columns straight
+// from memory — no RPC, no decompression — and records zero
+// bytes-from-nodes. DecodeChunk verifies the chunk's CRC, so only verified
+// decodes are admitted. Concurrent fetches of one chunk are deduplicated
+// by singleflight. Cached ColumnData is shared — callers must not mutate.
 func (s *Store) fetchChunkColumn(st *execState, rg, ci int) (lpq.ColumnData, error) {
+	if !s.cacheOn() {
+		return s.fetchChunkColumnUncached(st, rg, ci)
+	}
+	key := chunkKeyOf(st.meta, rg, ci)
+	ch := st.meta.Footer.RowGroups[rg].Chunks[ci]
+	if v, ok := s.cache.Get(key); ok {
+		st.sp.Count(trace.BytesRequested, ch.Size)
+		st.sp.Count(trace.CacheHits, 1)
+		return v.(lpq.ColumnData), nil
+	}
+	flightKey := fmt.Sprintf("c/%s/e%d/%d/%d", st.meta.Name, st.meta.Epoch, rg, ci)
+	v, err, _ := s.cache.Do(flightKey, func() (any, error) {
+		col, err := s.fetchChunkColumnUncached(st, rg, ci)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, col, ch.RawSize)
+		return col, nil
+	})
+	if err != nil {
+		return lpq.ColumnData{}, err
+	}
+	return v.(lpq.ColumnData), nil
+}
+
+// fetchChunkColumnUncached is the actual fetch+decode of one chunk.
+func (s *Store) fetchChunkColumnUncached(st *execState, rg, ci int) (lpq.ColumnData, error) {
 	raw, err := s.fetchChunkBytes(st, rg, ci)
 	if err != nil {
 		return lpq.ColumnData{}, err

@@ -2,6 +2,7 @@ package store
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/metakv"
 	"github.com/fusionstore/fusion/internal/rpc"
 	"github.com/fusionstore/fusion/internal/trace"
 )
@@ -47,9 +49,14 @@ func (c RepairConfig) withDefaults() RepairConfig {
 	return c
 }
 
-// RepairItem identifies one block needing repair.
+// RepairItem identifies one block needing repair. Epoch pins the object
+// version the failure was observed at: if the object is overwritten (or
+// deleted) between enqueue and processing, the item is stale — its blocks
+// are garbage-collected or about to be — and is dropped rather than
+// retried. 0 (items enqueued by pre-epoch tooling) skips the check.
 type RepairItem struct {
 	Object string
+	Epoch  uint64
 	Stripe int
 	Block  int
 }
@@ -68,6 +75,10 @@ type RepairStats struct {
 	// Failed counts repairs that errored (the item is re-queued unless the
 	// queue is full).
 	Failed uint64
+	// Stale counts items dropped because their object was deleted or
+	// superseded by a newer epoch between enqueue and processing. Stale
+	// items are discarded, never re-queued.
+	Stale uint64
 }
 
 // repairQueue is a bounded FIFO of blocks to repair, deduplicating items
@@ -130,6 +141,12 @@ func (q *repairQueue) done(ok bool) {
 	q.mu.Unlock()
 }
 
+func (q *repairQueue) stale() {
+	q.mu.Lock()
+	q.stats.Stale++
+	q.mu.Unlock()
+}
+
 func (q *repairQueue) snapshot() RepairStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -145,10 +162,18 @@ func (s *Store) enqueueRepair(it RepairItem) { s.repairs.push(it) }
 // RepairStats returns the repair queue's counters.
 func (s *Store) RepairStats() RepairStats { return s.repairs.snapshot() }
 
+// errStaleRepair marks a repair item whose object was deleted or
+// overwritten after the item was enqueued: its blocks are (or are about to
+// be) garbage, so the repair is dropped, not retried.
+var errStaleRepair = errors.New("store: repair item superseded or deleted")
+
 // ProcessRepairs synchronously drains up to max queued repairs (max <= 0
 // means the whole queue) and returns how many blocks were rewritten. A
-// failed repair is re-queued for a later pass. This is the deterministic
-// entry the repair manager's worker loop — and the tests — drive.
+// failed repair is re-queued for a later pass; a stale one (object deleted
+// or superseded since enqueue) is dropped and counted, never re-queued —
+// re-queuing it would retry forever against blocks that no longer exist.
+// This is the deterministic entry the repair manager's worker loop — and
+// the tests — drive.
 func (s *Store) ProcessRepairs(max int) (int, error) {
 	if max <= 0 {
 		max = s.repairs.snapshot().QueueDepth
@@ -161,6 +186,10 @@ func (s *Store) ProcessRepairs(max int) (int, error) {
 			break
 		}
 		if err := s.repairBlock(it); err != nil {
+			if errors.Is(err, errStaleRepair) {
+				s.repairs.stale()
+				continue
+			}
 			s.repairs.done(false)
 			s.repairs.push(it)
 			if firstErr == nil {
@@ -186,9 +215,19 @@ func (s *Store) repairBlock(it RepairItem) error {
 			s.hist.Observe(opKey("repair.block"), time.Since(start))
 		}(time.Now())
 	}
-	meta, err := s.Meta(it.Object)
+	// Resolve against the quorum, not the coordinator cache: a repair
+	// must target the committed version, and a stale cached epoch would
+	// make it rewrite garbage-collected blocks.
+	meta, err := s.metaQuorum(it.Object)
 	if err != nil {
+		if errors.Is(err, metakv.ErrNotFound) {
+			return fmt.Errorf("%w: object %q deleted", errStaleRepair, it.Object)
+		}
 		return err
+	}
+	if it.Epoch != 0 && meta.Epoch != it.Epoch {
+		return fmt.Errorf("%w: object %q now at epoch %d, item enqueued at %d",
+			errStaleRepair, it.Object, meta.Epoch, it.Epoch)
 	}
 	if it.Stripe < 0 || it.Stripe >= len(meta.Stripes) {
 		return fmt.Errorf("store: stripe %d out of range", it.Stripe)

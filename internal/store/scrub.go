@@ -78,7 +78,7 @@ func (s *Store) ScrubContext(ctx context.Context, name string, opts ScrubOptions
 				if err == nil && cluster.IsChecksumErr(resp.Err) {
 					report.ChecksumFailures++
 					ssp.Count(trace.ChecksumFailures, 1)
-					s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: si, Block: j})
+					s.enqueueRepair(RepairItem{Object: meta.Name, Epoch: meta.Epoch, Stripe: si, Block: j})
 				}
 				missing = append(missing, j)
 				continue
@@ -88,7 +88,7 @@ func (s *Store) ScrubContext(ctx context.Context, name string, opts ScrubOptions
 			if j < len(st.Checksums) && cluster.Checksum(resp.Data) != st.Checksums[j] {
 				report.ChecksumFailures++
 				ssp.Count(trace.ChecksumFailures, 1)
-				s.enqueueRepair(RepairItem{Object: meta.Name, Stripe: si, Block: j})
+				s.enqueueRepair(RepairItem{Object: meta.Name, Epoch: meta.Epoch, Stripe: si, Block: j})
 				missing = append(missing, j)
 				continue
 			}

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSelectivityMeasured is the table test for the QueryStats.Selectivity
+// guard: a zero-row denominator (empty table, fully-pruned footer) must
+// report 0, never NaN.
+func TestSelectivityMeasured(t *testing.T) {
+	cases := []struct {
+		name     string
+		selected int
+		total    int
+		want     float64
+	}{
+		{"empty-table", 0, 0, 0},
+		{"all-pruned-zero-total", 0, 0, 0},
+		{"negative-total-guard", 3, -1, 0},
+		{"nothing-selected", 0, 1000, 0},
+		{"half", 500, 1000, 0.5},
+		{"everything", 1000, 1000, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := measuredSelectivity(c.selected, c.total)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("measuredSelectivity(%d, %d) = %v, not finite", c.selected, c.total, got)
+			}
+			if got != c.want {
+				t.Fatalf("measuredSelectivity(%d, %d) = %v, want %v", c.selected, c.total, got, c.want)
+			}
+		})
+	}
+}
+
+// TestSelectivityAllPrunedQuery runs real queries whose predicates prune or
+// reject every row and asserts the reported stats stay finite.
+func TestSelectivityAllPrunedQuery(t *testing.T) {
+	data, _, _ := makeObject(t, 3, 400, 1)
+	s, _ := newSimStore(t, fusionTestOptions())
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		// id is sequential from 0: every row group's zone map excludes this.
+		"SELECT COUNT(id) FROM obj WHERE id > 100000000",
+		// Contradictory range: survives pruning shortcuts but selects nothing.
+		"SELECT SUM(qty) FROM obj WHERE id > 500 AND id < 100",
+	}
+	for _, q := range queries {
+		res, err := s.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		sel := res.Stats.Selectivity
+		if math.IsNaN(sel) || math.IsInf(sel, 0) {
+			t.Fatalf("%s: Selectivity = %v, want finite", q, sel)
+		}
+		if sel != 0 {
+			t.Fatalf("%s: Selectivity = %v, want 0 for a zero-row result", q, sel)
+		}
+	}
+}

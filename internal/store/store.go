@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/fusionstore/fusion/internal/cache"
 	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/erasure"
 	"github.com/fusionstore/fusion/internal/metakv"
@@ -115,6 +116,19 @@ type Options struct {
 	// Repair bounds the repair queue and the background repair manager.
 	// Zero values apply defaults (see RepairConfig).
 	Repair RepairConfig
+	// CacheBytes is the byte budget of the coordinator's read cache for
+	// verified block bytes and decoded column chunks, shared across both
+	// data tiers. It also arms the singleflight layer that dedups
+	// concurrent identical block fetches and RS reconstructions. 0 (the
+	// default) disables the data tiers and singleflight; the metadata
+	// cache below stays on regardless.
+	CacheBytes int64
+	// MetaCacheEntries bounds the coordinator's ObjectMeta cache (hot
+	// objects skip the metakv quorum read). 0 applies the default (4096
+	// objects). The tier is epoch-safe: an overwrite or delete refreshes
+	// or drops the entry at its commit point, and every stale-suspicious
+	// read re-resolves against the quorum.
+	MetaCacheEntries int
 	// Seed drives stripe placement.
 	Seed int64
 	// Model, when set, computes simulated query latencies from the
@@ -159,10 +173,10 @@ type Store struct {
 	health  *metrics.Health
 	hist    *metrics.HistogramSet
 	repairs *repairQueue
+	cache   *cache.Cache
 
-	mu      sync.RWMutex
-	objects map[string]*ObjectMeta // coordinator-side metadata cache
-	rng     *rand.Rand
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // New builds a Store over the given cluster client.
@@ -201,8 +215,11 @@ func New(client cluster.Client, opts Options) (*Store, error) {
 		health:  health,
 		hist:    opts.Metrics,
 		repairs: newRepairQueue(opts.Repair.QueueLimit),
-		objects: make(map[string]*ObjectMeta),
-		rng:     rand.New(rand.NewSource(opts.Seed)),
+		cache: cache.New(cache.Config{
+			Bytes:       opts.CacheBytes,
+			MetaEntries: opts.MetaCacheEntries,
+		}),
+		rng: rand.New(rand.NewSource(opts.Seed)),
 	}, nil
 }
 
@@ -378,27 +395,38 @@ func (s *Store) metaReplicaNodes(name string) []int {
 	return nodes
 }
 
+// cacheOn reports whether the data tiers (block bytes, decoded chunks) and
+// the singleflight layer are enabled.
+func (s *Store) cacheOn() bool { return s.opts.CacheBytes > 0 }
+
 // cacheMeta stores metadata in the coordinator cache.
 func (s *Store) cacheMeta(m *ObjectMeta) {
-	s.mu.Lock()
-	s.objects[m.Name] = m
-	s.mu.Unlock()
+	s.cache.PutMeta(m.Name, m)
 }
 
 // cachedMeta returns cached metadata, if any.
 func (s *Store) cachedMeta(name string) *ObjectMeta {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.objects[name]
+	if v, ok := s.cache.GetMeta(name); ok {
+		return v.(*ObjectMeta)
+	}
+	return nil
+}
+
+// CacheStats snapshots the coordinator cache counters (tier hit rates,
+// residency, singleflight dedups, executed RS decodes).
+func (s *Store) CacheStats() metrics.CacheStats { return s.cache.Stats() }
+
+// blockKeyOf is the cache key of one stored block's verified bytes.
+func blockKeyOf(meta *ObjectMeta, stripe, bin int) cache.Key {
+	return cache.Key{Object: meta.Name, Epoch: meta.Epoch, Kind: cache.KindBlock, A: stripe, B: bin}
+}
+
+// chunkKeyOf is the cache key of one decoded column chunk.
+func chunkKeyOf(meta *ObjectMeta, rowGroup, col int) cache.Key {
+	return cache.Key{Object: meta.Name, Epoch: meta.Epoch, Kind: cache.KindChunk, A: rowGroup, B: col}
 }
 
 // Objects lists the names of objects known to this coordinator.
 func (s *Store) Objects() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.objects))
-	for n := range s.objects {
-		names = append(names, n)
-	}
-	return names
+	return s.cache.MetaNames()
 }

@@ -48,12 +48,17 @@ const (
 	// ChecksumFailures counts blocks whose bytes failed CRC verification
 	// (at rest on the node, in flight, or against the stripe metadata).
 	ChecksumFailures
+	// CacheHits counts block/chunk reads served from the coordinator
+	// cache. Hits bypass the RPC layer entirely, so BytesFromNodes stays
+	// untouched and read amplification reflects true node traffic.
+	CacheHits
 	numCounters
 )
 
 var counterNames = [numCounters]string{
 	"bytes_requested", "bytes_from_nodes", "rpcs", "retries",
 	"hedges", "hedge_wins", "degraded_reads", "checksum_failures",
+	"cache_hits",
 }
 
 func (c Counter) String() string {

@@ -206,6 +206,12 @@ func (l *Lab) ScaledBlockSize(d DatasetName) uint64 {
 // latency experiments is to measure FAC's layout, not the fallback.
 const ExperimentBudget = 0.10
 
+// CacheBytes, when set (fusion-bench -cachebytes), enables the coordinator
+// read cache on every deployment the lab builds — for measuring hot-query
+// speedup and hit rates over the experiment workloads. 0 (the default)
+// keeps the experiments cold-path, matching the paper's measurements.
+var CacheBytes int64
+
 // systemFor builds (or returns cached) a System with the dataset loaded.
 func (l *Lab) systemFor(key string, d DatasetName, opts store.Options, netBandwidth float64) *System {
 	l.mu.Lock()
@@ -223,6 +229,7 @@ func (l *Lab) systemFor(key string, d DatasetName, opts store.Options, netBandwi
 	cl := simnet.New(cfg)
 	model := simnet.NewLatencyModel(cfg)
 	opts.Model = model
+	opts.CacheBytes = CacheBytes
 	s, err := store.New(cl, opts)
 	if err != nil {
 		panic(fmt.Sprintf("workload: %v", err))
