@@ -95,7 +95,7 @@ func BenchmarkAblRS1410(b *testing.B)      { benchExperiment(b, "abl-rs1410") }
 // cluster.
 //
 
-func benchStore(b *testing.B, opts store.Options) (*store.Store, []byte) {
+func benchStore(b testing.TB, opts store.Options) (*store.Store, []byte) {
 	b.Helper()
 	cfg := tpch.DefaultConfig()
 	cfg.RowsPerGroup = 5000

@@ -27,6 +27,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		hist       = flag.Bool("hist", true, "print per-phase latency histograms after each experiment")
 		cacheBytes = flag.Int64("cachebytes", 0, "coordinator read-cache budget in bytes (0 = disabled, the paper's cold-path configuration)")
+		jsonPath   = flag.String("json", "", "write the hotpath experiment's machine-readable stats to this file (e.g. BENCH_hotpath.json)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,23 @@ func main() {
 		workload.Hist = metrics.NewHistogramSet()
 	}
 	lab := workload.NewLab(*scale)
+
+	if *jsonPath != "" {
+		stats := workload.MeasureHotpath(lab)
+		b, err := stats.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+		if *experiment == "" {
+			return
+		}
+	}
 
 	run := func(e workload.Experiment) {
 		start := time.Now()

@@ -1,0 +1,212 @@
+package fusion_test
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"github.com/fusionstore/fusion/internal/erasure"
+	"github.com/fusionstore/fusion/internal/gf256"
+	"github.com/fusionstore/fusion/internal/store"
+	"github.com/fusionstore/fusion/internal/trace"
+)
+
+// gateFloat reads a float gate parameter from the environment, falling back
+// to def when unset.
+func gateFloat(t *testing.T, name string, def float64) float64 {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		t.Fatalf("%s=%q: %v", name, v, err)
+	}
+	return f
+}
+
+// benchEncodeKernel measures RS(9,6) encode throughput on 1 MiB shards with
+// the given multiply-kernel generation.
+func benchEncodeKernel(b *testing.B, kernel func(byte) gf256.Kernel) {
+	p := erasure.RS96
+	c, err := erasure.NewCoderKernel(p, kernel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := make([][]byte, p.N)
+	rng := rand.New(rand.NewSource(47))
+	for i := range shards {
+		shards[i] = make([]byte, 1<<20)
+		if i < p.K {
+			rng.Read(shards[i])
+		}
+	}
+	b.SetBytes(int64(p.K * 1 << 20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeKernelNibble is the shipping nibble split-table kernel;
+// BenchmarkEncodeKernelTable pins the previous product-table generation.
+func BenchmarkEncodeKernelNibble(b *testing.B) { benchEncodeKernel(b, gf256.NewKernel) }
+
+func BenchmarkEncodeKernelTable(b *testing.B) {
+	benchEncodeKernel(b, func(c byte) gf256.Kernel { return gf256.NewMulTable(c) })
+}
+
+// TestKernelEncodeGate is the CI floor for the GF(2^8) kernel ladder: the
+// nibble split-table kernel must encode at least FUSION_KERNEL_GATE_X
+// (default 1.5) times faster than the product-table kernel it replaced, so
+// a regression that silently falls back to a slow multiply path fails CI.
+// It only runs when FUSION_KERNEL_GATE=1 so ordinary `go test ./...` runs
+// stay timing-independent.
+func TestKernelEncodeGate(t *testing.T) {
+	if os.Getenv("FUSION_KERNEL_GATE") == "" {
+		t.Skip("set FUSION_KERNEL_GATE=1 to run the kernel encode gate")
+	}
+	floor := gateFloat(t, "FUSION_KERNEL_GATE_X", 1.5)
+	table := testing.Benchmark(BenchmarkEncodeKernelTable)
+	nibble := testing.Benchmark(BenchmarkEncodeKernelNibble)
+	if table.NsPerOp() <= 0 || nibble.NsPerOp() <= 0 {
+		t.Fatalf("degenerate benchmark results: nibble %v, table %v", nibble, table)
+	}
+	speedup := float64(table.NsPerOp()) / float64(nibble.NsPerOp())
+	mbps := func(r testing.BenchmarkResult) float64 {
+		return float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	t.Logf("RS(9,6) encode: nibble %.0f MB/s, product table %.0f MB/s, speedup %.2fx (floor %.2fx)",
+		mbps(nibble), mbps(table), speedup, floor)
+	if speedup < floor {
+		t.Fatalf("nibble kernel is only %.2fx the product-table kernel, floor %.2fx", speedup, floor)
+	}
+}
+
+// batchGateQuery is a selective pushdown scan — a multi-leaf predicate and
+// pushed aggregates over several columns, the shape the scatter-gather batch
+// protocol exists to serve in few frames.
+const batchGateQuery = "SELECT SUM(l_extendedprice), AVG(l_quantity) FROM lineitem" +
+	" WHERE l_quantity > 10 AND l_extendedprice < 50000 AND l_discount < 0.05"
+
+// tracedQueryRoundTrips runs one traced query and returns the number of
+// data-plane round trips (batch frames plus lone data RPCs) it took.
+func tracedQueryRoundTrips(t *testing.T, s *store.Store, query string) uint64 {
+	t.Helper()
+	ctx, sp := trace.Start(context.Background(), "gate.query")
+	if _, err := s.QueryContext(ctx, query); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	return sp.Total(trace.RoundTrips)
+}
+
+// TestBatchedQueryRoundTripGate is the CI ceiling on coordinator chattiness:
+// a pushdown scan over the benchmark lineitem object must finish within
+// FUSION_BATCH_GATE_MAX (default 40) data round trips, and must use at least
+// 1.3x fewer round trips than per-op dispatch. (The filter stage still pays
+// one frame per node a row group's predicate chunks land on, so the total
+// reduction is bounded by chunk placement, not by the batch protocol.)
+// Unlike the timing gates this one is deterministic, but it shares the
+// env-gate convention so the CI recipe stays uniform. Runs when
+// FUSION_BATCH_GATE=1.
+func TestBatchedQueryRoundTripGate(t *testing.T) {
+	if os.Getenv("FUSION_BATCH_GATE") == "" {
+		t.Skip("set FUSION_BATCH_GATE=1 to run the batched round-trip gate")
+	}
+	ceiling := uint64(gateFloat(t, "FUSION_BATCH_GATE_MAX", 40))
+
+	run := func(disable bool) uint64 {
+		opts := store.FusionOptions()
+		opts.Pushdown = store.PushdownAlways
+		opts.AggregatePushdown = true
+		opts.DisableBatch = disable
+		s, data := benchStore(t, opts)
+		if _, err := s.Put("lineitem", data); err != nil {
+			t.Fatal(err)
+		}
+		return tracedQueryRoundTrips(t, s, batchGateQuery)
+	}
+	batched := run(false)
+	unbatched := run(true)
+	t.Logf("round trips per query: batched %d, per-op %d (ceiling %d)", batched, unbatched, ceiling)
+	if batched > ceiling {
+		t.Fatalf("batched query took %d data round trips, ceiling %d", batched, ceiling)
+	}
+	if batched*13 > unbatched*10 {
+		t.Fatalf("batched query took %d round trips vs %d per-op: want ≥1.3x reduction", batched, unbatched)
+	}
+}
+
+// BenchmarkSteadyGet measures the warm full-object Get path: the object's blocks
+// are cache-resident, so each iteration exercises only reassembly and the
+// pooled buffer discipline.
+func BenchmarkSteadyGet(b *testing.B) {
+	opts := store.FusionOptions()
+	opts.CacheBytes = 256 << 20
+	s, data := benchStore(b, opts)
+	if _, err := s.Put("lineitem", data); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Get("lineitem", 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("lineitem", 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyQuery measures the warm aggregate-scan path with the
+// decoded-chunk cache holding the working set.
+func BenchmarkSteadyQuery(b *testing.B) {
+	opts := store.FusionOptions()
+	opts.CacheBytes = 256 << 20
+	s, data := benchStore(b, opts)
+	if _, err := s.Put("lineitem", data); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Query(batchGateQuery); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(batchGateQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAllocCeilingGate is the CI guard for the pooled read path: allocations
+// per steady-state Get and per steady-state Query must stay under fixed
+// ceilings (FUSION_ALLOC_GATE_GET / FUSION_ALLOC_GATE_QUERY), so an
+// accidental per-block or per-chunk allocation regression — the thing the
+// buffer pool exists to prevent — fails CI rather than silently eroding the
+// hot path. Runs when FUSION_ALLOC_GATE=1.
+func TestAllocCeilingGate(t *testing.T) {
+	if os.Getenv("FUSION_ALLOC_GATE") == "" {
+		t.Skip("set FUSION_ALLOC_GATE=1 to run the alloc ceiling gate")
+	}
+	getCeil := int64(gateFloat(t, "FUSION_ALLOC_GATE_GET", 100))
+	queryCeil := int64(gateFloat(t, "FUSION_ALLOC_GATE_QUERY", 2000))
+
+	get := testing.Benchmark(BenchmarkSteadyGet)
+	query := testing.Benchmark(BenchmarkSteadyQuery)
+	t.Logf("steady-state allocs/op: Get %d (ceiling %d), Query %d (ceiling %d)",
+		get.AllocsPerOp(), getCeil, query.AllocsPerOp(), queryCeil)
+	if get.AllocsPerOp() > getCeil {
+		t.Fatalf("steady-state Get allocates %d times/op, ceiling %d", get.AllocsPerOp(), getCeil)
+	}
+	if query.AllocsPerOp() > queryCeil {
+		t.Fatalf("steady-state Query allocates %d times/op, ceiling %d", query.AllocsPerOp(), queryCeil)
+	}
+}

@@ -1,0 +1,107 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n, cls int
+	}{
+		{0, -1},
+		{-1, -1},
+		{1, 0},
+		{512, 0},
+		{513, 1},
+		{1024, 1},
+		{1025, 2},
+		{1 << 24, numClasses - 1},
+		{1<<24 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.cls {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.cls)
+		}
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 100, 512, 513, 4096, 1 << 20} {
+		b := GetLen(n)
+		if len(b) != n {
+			t.Fatalf("GetLen(%d): len %d", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("GetLen(%d): cap %d", n, cap(b))
+		}
+		Put(b)
+	}
+	// Out-of-range sizes still work, just unpooled.
+	big := GetLen(1<<24 + 1)
+	if len(big) != 1<<24+1 {
+		t.Fatalf("oversize GetLen: len %d", len(big))
+	}
+	Put(big) // dropped (non-power-of-two cap), must not panic
+}
+
+func TestPutForeignBufferDropped(t *testing.T) {
+	// A foreign buffer with a non-class capacity must not enter a pool: a
+	// later Get of its class could otherwise return less capacity than the
+	// class promises.
+	Put(make([]byte, 700))
+	b := Get(1024)
+	if cap(b) < 1024 {
+		t.Fatalf("Get(1024) returned cap %d after foreign Put", cap(b))
+	}
+}
+
+func TestPoison(t *testing.T) {
+	prev := SetPoison(true)
+	defer SetPoison(prev)
+	b := GetLen(512)
+	for i := range b {
+		b[i] = 0x42
+	}
+	alias := b
+	Put(b)
+	if !Poisoned(alias) {
+		t.Fatal("buffer not poisoned after Put")
+	}
+	live := []byte{0x42, 0x42}
+	if Poisoned(live) {
+		t.Fatal("live buffer misreported as poisoned")
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := GetLen(1 << (9 + i%8))
+				for j := range b {
+					b[j] = seed
+				}
+				for j := range b {
+					if b[j] != seed {
+						t.Errorf("buffer mutated while owned")
+						return
+					}
+				}
+				Put(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := GetLen(64 << 10)
+		Put(buf)
+	}
+}

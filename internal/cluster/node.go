@@ -113,6 +113,8 @@ func (n *Node) handle(req *rpc.Request) *rpc.Response {
 		return n.handleProject(req)
 	case rpc.KindAggregate:
 		return n.handleAggregate(req)
+	case rpc.KindBatch:
+		return n.handleBatch(req)
 	default:
 		return errResp(fmt.Errorf("cluster: unknown request kind %d", req.Kind))
 	}
@@ -298,6 +300,26 @@ func (n *Node) handleAggregate(req *rpc.Request) *rpc.Response {
 	state := sql.NewAggState(sql.AggCount)
 	state.AddColumn(col, bm)
 	return &rpc.Response{Matches: bm.Count(), Agg: state, Cost: cost}
+}
+
+// handleBatch executes a scatter-gather frame: each sub-request runs through
+// the regular dispatch and its result lands in the index-aligned
+// sub-response. Failures stay per-op (a missing block fails only its slot);
+// only a malformed batch — over the op cap, nested, or carrying a
+// non-batchable kind — fails the frame as a whole. The outer Cost aggregates
+// the sub-ops' so transports and the latency model account the frame as one
+// round trip of combined work.
+func (n *Node) handleBatch(req *rpc.Request) *rpc.Response {
+	if msg := rpc.ValidateBatch(req); msg != "" {
+		return errResp(fmt.Errorf("cluster: %s", msg))
+	}
+	out := &rpc.Response{Subs: make([]rpc.Response, len(req.Subs))}
+	for i := range req.Subs {
+		sub := n.handle(&req.Subs[i])
+		out.Subs[i] = *sub
+		out.Cost.Add(sub.Cost)
+	}
+	return out
 }
 
 func errResp(err error) *rpc.Response { return &rpc.Response{Err: err.Error()} }

@@ -61,17 +61,22 @@ type Coder struct {
 	// matrix is the n×k systematic code matrix: the top k rows are the
 	// identity, the bottom n−k rows generate parity.
 	matrix *gf256.Matrix
-	// tables[r][c] is the precomputed multiplication table for matrix
-	// entry (r, c). The matrix is fixed at construction, so the tables are
+	// tables[r][c] is the precomputed multiply kernel for matrix entry
+	// (r, c). The matrix is fixed at construction, so the kernels are
 	// built once and shared by every Encode/Verify/Reconstruct; distinct
-	// entries with equal coefficients share one table.
-	tables [][]*gf256.MulTable
+	// entries with equal coefficients share one kernel.
+	tables [][]gf256.Kernel
+	// newKernel builds the kernel for one coefficient — the selection seam.
+	// NewCoder installs gf256.NewKernel (the nibble split-table kernel);
+	// NewCoderKernel pins a specific implementation for benchmarking one
+	// kernel generation against another.
+	newKernel func(byte) gf256.Kernel
 
-	// mu guards the coefficient-table dedup map and the decode-plan cache
+	// mu guards the coefficient-kernel dedup map and the decode-plan cache
 	// (decode matrices depend on which shards survive, so they are built
 	// lazily and memoized per erasure pattern).
 	mu       sync.RWMutex
-	byCoeff  map[byte]*gf256.MulTable
+	byCoeff  map[byte]gf256.Kernel
 	decCache map[string]*decodePlan
 }
 
@@ -80,34 +85,44 @@ type Coder struct {
 // guards against adversarial churn.
 const maxDecodePlans = 256
 
-// NewCoder builds a Coder for the given parameters.
+// NewCoder builds a Coder for the given parameters, running the fastest
+// multiply kernel (the nibble split-table kernel).
 func NewCoder(p Params) (*Coder, error) {
+	return NewCoderKernel(p, gf256.NewKernel)
+}
+
+// NewCoderKernel builds a Coder whose bulk multiplies run the given kernel
+// constructor — the selection seam the kernel benchmarks and the
+// FUSION_KERNEL_GATE use to race one kernel generation against another
+// (e.g. gf256.NewMulTable vs gf256.NewNibbleTable).
+func NewCoderKernel(p Params, kernel func(byte) gf256.Kernel) (*Coder, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	c := &Coder{
-		params:   p,
-		matrix:   buildMatrix(p.N, p.K),
-		byCoeff:  make(map[byte]*gf256.MulTable),
-		decCache: make(map[string]*decodePlan),
+		params:    p,
+		matrix:    buildMatrix(p.N, p.K),
+		newKernel: kernel,
+		byCoeff:   make(map[byte]gf256.Kernel),
+		decCache:  make(map[string]*decodePlan),
 	}
-	c.tables = make([][]*gf256.MulTable, p.N)
+	c.tables = make([][]gf256.Kernel, p.N)
 	for r := 0; r < p.N; r++ {
 		c.tables[r] = c.rowTables(c.matrix.Row(r))
 	}
 	return c, nil
 }
 
-// rowTables returns one multiplication table per coefficient of row,
+// rowTables returns one multiply kernel per coefficient of row,
 // deduplicated through the coder's coefficient map.
-func (c *Coder) rowTables(row []byte) []*gf256.MulTable {
-	tabs := make([]*gf256.MulTable, len(row))
+func (c *Coder) rowTables(row []byte) []gf256.Kernel {
+	tabs := make([]gf256.Kernel, len(row))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i, coeff := range row {
 		t := c.byCoeff[coeff]
 		if t == nil {
-			t = gf256.NewMulTable(coeff)
+			t = c.newKernel(coeff)
 			c.byCoeff[coeff] = t
 		}
 		tabs[i] = t
@@ -315,9 +330,9 @@ func (c *Coder) Verify(shards [][]byte) (bool, error) {
 // repair loops, degraded-read storms) skip the matrix inversion and table
 // builds entirely.
 type decodePlan struct {
-	rows    []int               // the k present shard indices the plan reads
-	missing []int               // data shard indices the plan rebuilds
-	tables  [][]*gf256.MulTable // tables[i][j] multiplies shards[rows[j]] into missing[i]
+	rows    []int            // the k present shard indices the plan reads
+	missing []int            // data shard indices the plan rebuilds
+	tables  [][]gf256.Kernel // tables[i][j] multiplies shards[rows[j]] into missing[i]
 }
 
 // decodePlanFor returns the (cached) plan that rebuilds the data shards

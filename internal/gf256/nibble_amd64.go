@@ -1,0 +1,25 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// useSSSE3 gates the PSHUFB bulk path. SSSE3 shipped in 2006 and is present
+// on effectively every amd64 CPU, but the baseline amd64 ISA does not
+// guarantee it, so it is probed once at startup.
+var useSSSE3 = hasSSSE3()
+
+// hasSSSE3 reports whether the CPU supports SSSE3 (CPUID.1:ECX bit 9).
+//
+//go:noescape
+func hasSSSE3() bool
+
+// gfMulAddSSSE3 sets dst[i] ^= c·src[i] for i < n using the split tables as
+// PSHUFB shuffle operands. n must be a positive multiple of 16.
+//
+//go:noescape
+func gfMulAddSSSE3(lo, hi *[16]byte, src, dst *byte, n int)
+
+// gfMulSSSE3 sets dst[i] = c·src[i] for i < n. n must be a positive
+// multiple of 16.
+//
+//go:noescape
+func gfMulSSSE3(lo, hi *[16]byte, src, dst *byte, n int)

@@ -1,0 +1,154 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func hasSSSE3() bool
+TEXT ·hasSSSE3(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	SHRL $9, CX
+	ANDL $1, CX
+	MOVB CX, ret+0(FP)
+	RET
+
+// The two kernels below implement nibble split-table GF(2^8) multiplication:
+// X0 holds the 16-entry low-nibble product table, X1 the high-nibble table,
+// X2 the 0x0f byte mask. Each 16-byte block is split into nibbles and each
+// PSHUFB performs sixteen table lookups at once; XORing the two shuffle
+// results yields c·src for all 16 lanes.
+
+// func gfMulAddSSSE3(lo, hi *[16]byte, src, dst *byte, n int)
+TEXT ·gfMulAddSSSE3(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	MOVOU (AX), X0
+	MOVOU (BX), X1
+	MOVQ  $0x0f0f0f0f0f0f0f0f, AX
+	MOVQ  AX, X2
+	PUNPCKLQDQ X2, X2
+
+addloop32:
+	CMPQ CX, $32
+	JL   addloop16
+	MOVOU (SI), X3
+	MOVOU 16(SI), X8
+	MOVOA X3, X4
+	MOVOA X8, X9
+	PSRLW $4, X4
+	PSRLW $4, X9
+	PAND  X2, X3
+	PAND  X2, X4
+	PAND  X2, X8
+	PAND  X2, X9
+	MOVOA X0, X5
+	MOVOA X1, X6
+	MOVOA X0, X10
+	MOVOA X1, X11
+	PSHUFB X3, X5
+	PSHUFB X4, X6
+	PSHUFB X8, X10
+	PSHUFB X9, X11
+	PXOR  X6, X5
+	PXOR  X11, X10
+	MOVOU (DI), X7
+	MOVOU 16(DI), X12
+	PXOR  X5, X7
+	PXOR  X10, X12
+	MOVOU X7, (DI)
+	MOVOU X12, 16(DI)
+	ADDQ  $32, SI
+	ADDQ  $32, DI
+	SUBQ  $32, CX
+	JMP   addloop32
+
+addloop16:
+	CMPQ CX, $16
+	JL   adddone
+	MOVOU (SI), X3
+	MOVOA X3, X4
+	PSRLW $4, X4
+	PAND  X2, X3
+	PAND  X2, X4
+	MOVOA X0, X5
+	MOVOA X1, X6
+	PSHUFB X3, X5
+	PSHUFB X4, X6
+	PXOR  X6, X5
+	MOVOU (DI), X7
+	PXOR  X5, X7
+	MOVOU X7, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JMP   addloop16
+
+adddone:
+	RET
+
+// func gfMulSSSE3(lo, hi *[16]byte, src, dst *byte, n int)
+TEXT ·gfMulSSSE3(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	MOVOU (AX), X0
+	MOVOU (BX), X1
+	MOVQ  $0x0f0f0f0f0f0f0f0f, AX
+	MOVQ  AX, X2
+	PUNPCKLQDQ X2, X2
+
+mulloop32:
+	CMPQ CX, $32
+	JL   mulloop16
+	MOVOU (SI), X3
+	MOVOU 16(SI), X8
+	MOVOA X3, X4
+	MOVOA X8, X9
+	PSRLW $4, X4
+	PSRLW $4, X9
+	PAND  X2, X3
+	PAND  X2, X4
+	PAND  X2, X8
+	PAND  X2, X9
+	MOVOA X0, X5
+	MOVOA X1, X6
+	MOVOA X0, X10
+	MOVOA X1, X11
+	PSHUFB X3, X5
+	PSHUFB X4, X6
+	PSHUFB X8, X10
+	PSHUFB X9, X11
+	PXOR  X6, X5
+	PXOR  X11, X10
+	MOVOU X5, (DI)
+	MOVOU X10, 16(DI)
+	ADDQ  $32, SI
+	ADDQ  $32, DI
+	SUBQ  $32, CX
+	JMP   mulloop32
+
+mulloop16:
+	CMPQ CX, $16
+	JL   muldone
+	MOVOU (SI), X3
+	MOVOA X3, X4
+	PSRLW $4, X4
+	PAND  X2, X3
+	PAND  X2, X4
+	MOVOA X0, X5
+	MOVOA X1, X6
+	PSHUFB X3, X5
+	PSHUFB X4, X6
+	PXOR  X6, X5
+	MOVOU X5, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JMP   mulloop16
+
+muldone:
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64 || purego
+
+package gf256
+
+// useSSSE3 is false off amd64 (and under the purego tag): the bulk paths
+// run the portable SWAR bitplane loop instead.
+const useSSSE3 = false
+
+func gfMulAddSSSE3(lo, hi *[16]byte, src, dst *byte, n int) {
+	panic("gf256: SSSE3 kernel called without SSSE3")
+}
+
+func gfMulSSSE3(lo, hi *[16]byte, src, dst *byte, n int) {
+	panic("gf256: SSSE3 kernel called without SSSE3")
+}

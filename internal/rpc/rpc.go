@@ -49,6 +49,12 @@ const (
 	// pending/committed state and CRC — the substrate for orphan
 	// reconciliation and repair catch-up.
 	KindListBlocks
+	// KindBatch carries many sub-requests for the same node in one frame
+	// (scatter-gather). The node executes each sub-request independently and
+	// returns a sub-response per sub-request in order, so one slow or failed
+	// op never poisons its siblings. Only data-plane kinds may be batched
+	// (GetBlock, Filter, Project, Aggregate); nesting batches is an error.
+	KindBatch
 )
 
 func (k Kind) String() string {
@@ -75,6 +81,8 @@ func (k Kind) String() string {
 		return "CommitObject"
 	case KindListBlocks:
 		return "ListBlocks"
+	case KindBatch:
+		return "Batch"
 	default:
 		return "Unknown"
 	}
@@ -120,6 +128,49 @@ type Request struct {
 	Op     sql.CmpOp   // Filter comparison operator
 	Value  sql.Literal // Filter literal
 	Bitmap []byte      // Project row selection (compressed bitmap)
+
+	// Subs carries the sub-requests of a KindBatch frame, at most
+	// MaxBatchOps, none itself a batch.
+	Subs []Request
+}
+
+// MaxBatchOps bounds a batch frame's sub-request count. A row-group scan
+// batches one op per chunk per node, so the cap comfortably exceeds any
+// planner fan-out while keeping a malicious frame from declaring an
+// unbounded amount of work.
+const MaxBatchOps = 1024
+
+// batchable reports whether a kind may appear inside a batch. Only
+// data-plane reads may: mutations keep their own frames so the two-phase
+// write protocol's error handling stays per-block.
+func batchable(k Kind) bool {
+	switch k {
+	case KindGetBlock, KindFilter, KindProject, KindAggregate:
+		return true
+	}
+	return false
+}
+
+// ValidateBatch checks a KindBatch request's shape: a positive sub-request
+// count within MaxBatchOps and every sub-request of a batchable data-plane
+// kind (in particular, no nested batches). It returns a description of the
+// first violation, or "" when the batch is well-formed.
+func ValidateBatch(r *Request) string {
+	if r.Kind != KindBatch {
+		return "not a batch request"
+	}
+	if len(r.Subs) == 0 {
+		return "empty batch"
+	}
+	if len(r.Subs) > MaxBatchOps {
+		return "batch exceeds MaxBatchOps"
+	}
+	for i := range r.Subs {
+		if !batchable(r.Subs[i].Kind) {
+			return "sub-request " + r.Subs[i].Kind.String() + " not batchable"
+		}
+	}
+	return ""
 }
 
 // Cost reports the node-local work a request incurred, used by the
@@ -174,6 +225,10 @@ type Response struct {
 	Agg *sql.AggState
 	// Cost is the node-local work performed.
 	Cost Cost
+	// Subs carries the per-op sub-responses of a batch reply, index-aligned
+	// with the request's Subs. A sub-op failure sets that sub-response's Err;
+	// the outer Err stays empty unless the batch itself was malformed.
+	Subs []Response
 }
 
 // reqFixedOverhead approximates per-message framing/header bytes on the
@@ -184,6 +239,9 @@ const fixedOverhead = 64
 func (r *Request) WireSize() uint64 {
 	n := uint64(fixedOverhead + len(r.BlockID) + len(r.Data) + len(r.Bitmap))
 	n += uint64(len(r.Chunk.BlockID) + len(r.Value.S) + len(r.Object))
+	for i := range r.Subs {
+		n += r.Subs[i].WireSize()
+	}
 	return n
 }
 
@@ -192,6 +250,9 @@ func (r *Response) WireSize() uint64 {
 	n := uint64(fixedOverhead + len(r.Err) + len(r.Data))
 	for i := range r.Blocks {
 		n += uint64(len(r.Blocks[i].ID) + len(r.Blocks[i].Object) + 16)
+	}
+	for i := range r.Subs {
+		n += r.Subs[i].WireSize()
 	}
 	return n
 }

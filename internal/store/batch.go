@@ -1,0 +1,365 @@
+package store
+
+import (
+	"fmt"
+
+	"github.com/fusionstore/fusion/internal/bitmap"
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/simnet"
+	"github.com/fusionstore/fusion/internal/sql"
+	"github.com/fusionstore/fusion/internal/trace"
+)
+
+// This file is the coordinator side of scatter-gather batching: the query
+// stages and multi-segment Gets plan their per-node sub-requests first, ship
+// one KindBatch frame per node, and fall back per-op only for the
+// sub-requests whose batched attempt failed. On a small-chunk scan this
+// collapses one round trip per chunk into one per node per stage.
+
+// batchCall dispatches subs to one node as scatter-gather frames (chunked at
+// rpc.MaxBatchOps) and returns index-aligned sub-responses. A transport or
+// outer application error fails the whole call — callers treat that as "all
+// subs failed" and fall back per-op. When st is non-nil the call accounts
+// one simulated operation per frame (the whole point: one RPC overhead and
+// one round trip amortized over every sub-request in the frame).
+func (s *Store) batchCall(st *execState, sp *trace.Span, node int, subs []rpc.Request) ([]rpc.Response, error) {
+	out := make([]rpc.Response, 0, len(subs))
+	for start := 0; start < len(subs); start += rpc.MaxBatchOps {
+		end := min(start+rpc.MaxBatchOps, len(subs))
+		req := &rpc.Request{Kind: rpc.KindBatch, Subs: subs[start:end]}
+		resp, err := s.callChecked(sp, node, req)
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Subs) != end-start {
+			return nil, fmt.Errorf("store: batch to node %d returned %d sub-responses, want %d",
+				node, len(resp.Subs), end-start)
+		}
+		if st != nil {
+			st.mu.Lock()
+			st.stats.BatchRPCs++
+			st.mu.Unlock()
+			st.addOp(simnet.OpCost{
+				Node:      node,
+				ReqBytes:  req.WireSize(),
+				RespBytes: resp.WireSize(),
+				DiskBytes: resp.Cost.DiskBytes,
+				ProcBytes: resp.Cost.ProcBytes,
+			})
+		}
+		out = append(out, resp.Subs...)
+	}
+	return out, nil
+}
+
+// chunkLocation resolves the node hosting chunk (rg, ci) under FAC layout
+// and builds its wire reference. ok is false when the chunk has no item
+// (non-FAC objects, or footer regions).
+func chunkLocation(meta *ObjectMeta, rg, ci int, ch lpq.ChunkMeta) (node int, ref rpc.ChunkRef, ok bool) {
+	itemIdx := meta.ChunkItemIndex(rg, ci)
+	if itemIdx < 0 {
+		return 0, rpc.ChunkRef{}, false
+	}
+	loc := meta.ItemLocs[itemIdx]
+	stripe := meta.Stripes[loc.Stripe]
+	return stripe.Nodes[loc.Bin], rpc.ChunkRef{
+		BlockID: stripe.BlockIDs[loc.Bin],
+		Offset:  loc.BinOffset,
+		Type:    meta.Footer.Columns[ci].Type,
+		Meta:    ch,
+	}, true
+}
+
+// pushProjection applies the projection pushdown policy (the Cost Equation
+// under PushdownAdaptive, §4.3) to one chunk.
+func (s *Store) pushProjection(meta *ObjectMeta, ch lpq.ChunkMeta, sel float64) bool {
+	if s.opts.Exec != ExecPushdown || meta.Mode != LayoutFAC {
+		return false
+	}
+	switch s.opts.Pushdown {
+	case PushdownAlways:
+		return true
+	case PushdownNever:
+		return false
+	default:
+		return sel*ch.Compressibility() < 1
+	}
+}
+
+// exprLeaves collects a predicate tree's comparison leaves in evaluation
+// order. EvalExpr visits every leaf unconditionally (no short-circuiting),
+// so pre-dispatching all of them never does speculative work.
+func exprLeaves(e sql.Expr, out []*sql.Compare) []*sql.Compare {
+	switch node := e.(type) {
+	case *sql.Compare:
+		return append(out, node)
+	case *sql.Binary:
+		return exprLeaves(node.R, exprLeaves(node.L, out))
+	case *sql.Not:
+		return exprLeaves(node.E, out)
+	}
+	return out
+}
+
+// rowGroupFilterBatched evaluates one row group's WHERE tree with the leaf
+// pushdowns grouped into one scatter-gather frame per node. Stats-pruned
+// leaves never touch the network; leaves whose batched filter failed (node
+// down, corrupt chunk) fall back to fetching the chunk, exactly like the
+// per-op path.
+func (s *Store) rowGroupFilterBatched(st *execState, q *sql.Query, colIdx map[string]int, rg int) (*bitmap.Bitmap, error) {
+	meta := st.meta
+	rgMeta := meta.Footer.RowGroups[rg]
+	nRows := rgMeta.NumRows
+	leaves := exprLeaves(q.Where, nil)
+	pre := make(map[*sql.Compare]*bitmap.Bitmap, len(leaves))
+
+	type leafRef struct {
+		cmp *sql.Compare
+		ch  lpq.ChunkMeta
+	}
+	type nodeGroup struct {
+		subs  []rpc.Request
+		leafs []leafRef
+	}
+	groups := make(map[int]*nodeGroup)
+	var order []int
+	for _, c := range leaves {
+		ci := colIdx[c.Column]
+		ch := rgMeta.Chunks[ci]
+		colType := meta.Footer.Columns[ci].Type
+		// Chunk-level stats shortcut (no I/O at all), same as the per-op path.
+		switch sql.CheckStats(c, colType, ch.Stats) {
+		case sql.StatsNone:
+			pre[c] = bitmap.New(nRows)
+			continue
+		case sql.StatsAll:
+			pre[c] = bitmap.NewFull(nRows)
+			continue
+		}
+		node, ref, ok := chunkLocation(meta, rg, ci, ch)
+		if !ok {
+			continue // no item: the fallback closure fetches locally
+		}
+		g := groups[node]
+		if g == nil {
+			g = &nodeGroup{}
+			groups[node] = g
+			order = append(order, node)
+		}
+		g.subs = append(g.subs, rpc.Request{Kind: rpc.KindFilter, Chunk: ref, Op: c.Op, Value: c.Value})
+		g.leafs = append(g.leafs, leafRef{cmp: c, ch: ch})
+	}
+	for _, node := range order {
+		g := groups[node]
+		resps, err := s.batchCall(st, st.sp, node, g.subs)
+		if err != nil {
+			continue // whole frame lost: every leaf on this node falls back
+		}
+		for j, lr := range g.leafs {
+			if resps[j].Err != "" {
+				continue
+			}
+			bm, err := bitmap.Unmarshal(resps[j].Data)
+			if err != nil || bm.Len() != nRows {
+				continue
+			}
+			// The filter logically touched the chunk but only the bitmap
+			// crossed the network.
+			st.sp.Count(trace.BytesRequested, lr.ch.Size)
+			st.stats.FilterRPCs++
+			pre[lr.cmp] = bm
+		}
+	}
+	leaf := func(c *sql.Compare) (*bitmap.Bitmap, error) {
+		if bm, ok := pre[c]; ok {
+			return bm, nil
+		}
+		ci := colIdx[c.Column]
+		col, err := s.fetchChunkColumn(st, rg, ci)
+		if err != nil {
+			return nil, err
+		}
+		st.chargeCoordCPU(rgMeta.Chunks[ci].RawSize)
+		return sql.EvalCompare(c, col)
+	}
+	return sql.EvalExpr(q.Where, nRows, leaf)
+}
+
+// chunkTask is one unit of projection-stage work: materializing (or in-situ
+// aggregating) the selected rows of one chunk. pre carries the chunk's
+// sub-response from the scatter-gather pre-dispatch; nil means the task runs
+// (or falls back) per-op.
+type chunkTask struct {
+	rg      int
+	name    string
+	agg     bool
+	sub     *execState
+	vals    lpq.ColumnData
+	partial *sql.AggState
+	err     error
+	pre     *rpc.Response
+}
+
+// predispatchChunkTasks ships the projection stage's pushdown work as one
+// scatter-gather frame per node (concurrently across nodes) and attaches
+// each successful sub-response to its task. Tasks whose chunk is not pushed
+// down — or whose sub-request failed — are left for the per-op workers.
+// Group accounting is forked per node and joined in node-first-appearance
+// order, keeping the cost sheets deterministic.
+func (s *Store) predispatchChunkTasks(st *execState, colIdx map[string]int, rgBitmaps map[int]*bitmap.Bitmap, tasks []*chunkTask) {
+	meta := st.meta
+	type nodeGroup struct {
+		node  int
+		subs  []rpc.Request
+		tasks []*chunkTask
+		chs   []lpq.ChunkMeta
+	}
+	groups := make(map[int]*nodeGroup)
+	var order []*nodeGroup
+	for _, t := range tasks {
+		ci := colIdx[t.name]
+		ch := meta.Footer.RowGroups[t.rg].Chunks[ci]
+		bm := rgBitmaps[t.rg]
+		node, ref, ok := chunkLocation(meta, t.rg, ci, ch)
+		if !ok {
+			continue
+		}
+		var req rpc.Request
+		if t.agg {
+			// Aggregate-only tasks exist only when aggregate pushdown is on.
+			req = rpc.Request{Kind: rpc.KindAggregate, Chunk: ref, Bitmap: bm.Marshal()}
+		} else {
+			if !s.pushProjection(meta, ch, bm.Selectivity()) {
+				continue
+			}
+			req = rpc.Request{Kind: rpc.KindProject, Chunk: ref, Bitmap: bm.Marshal()}
+		}
+		g := groups[node]
+		if g == nil {
+			g = &nodeGroup{node: node}
+			groups[node] = g
+			order = append(order, g)
+		}
+		g.subs = append(g.subs, req)
+		g.tasks = append(g.tasks, t)
+		g.chs = append(g.chs, ch)
+	}
+	forks := make([]*execState, len(order))
+	runTasks(s.queryWorkers(), len(order), func(i int) {
+		g := order[i]
+		sub := st.fork()
+		forks[i] = sub
+		resps, err := s.batchCall(sub, sub.sp, g.node, g.subs)
+		if err != nil {
+			return // every task in the group falls back per-op
+		}
+		for j, t := range g.tasks {
+			if resps[j].Err != "" {
+				continue
+			}
+			t.pre = &resps[j]
+			sub.sp.Count(trace.BytesRequested, g.chs[j].Size)
+			if t.agg {
+				sub.stats.AggregateRPCs++
+			} else {
+				sub.stats.ProjectRPCs++
+			}
+		}
+	})
+	for _, sub := range forks {
+		if sub != nil {
+			st.join(sub)
+		}
+	}
+}
+
+// blockKey identifies one data block of an object: (stripe, bin).
+type blockKey struct{ stripe, bin int }
+
+// prefetchWholeBlocks batch-fetches the whole blocks a Get needs, one
+// scatter-gather frame per node holding two or more of them. Cached blocks
+// are served directly; fetched blocks are verified against the stripe
+// checksums exactly like a direct read and admitted to the cache. A block
+// absent from the returned map (failed frame, failed sub-read, checksum
+// mismatch) is left to readSegments' per-op path, which retries and falls
+// into RS reconstruction.
+func (s *Store) prefetchWholeBlocks(sp *trace.Span, meta *ObjectMeta, need []blockKey) map[blockKey][]byte {
+	whole := make(map[blockKey][]byte, len(need))
+	type nodeGroup struct {
+		subs []rpc.Request
+		keys []blockKey
+	}
+	groups := make(map[int]*nodeGroup)
+	var order []int
+	for _, key := range need {
+		if s.cacheOn() {
+			if v, ok := s.cache.Get(blockKeyOf(meta, key.stripe, key.bin)); ok {
+				sp.Count(trace.CacheHits, 1)
+				whole[key] = v.([]byte)
+				continue
+			}
+		}
+		st := meta.Stripes[key.stripe]
+		verify := !s.opts.SkipChecksumVerify && key.bin < len(st.Checksums)
+		node := st.Nodes[key.bin]
+		g := groups[node]
+		if g == nil {
+			g = &nodeGroup{}
+			groups[node] = g
+			order = append(order, node)
+		}
+		g.subs = append(g.subs, rpc.Request{
+			Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[key.bin], CallerVerifies: verify,
+		})
+		g.keys = append(g.keys, key)
+	}
+	for _, node := range order {
+		g := groups[node]
+		if len(g.subs) < 2 {
+			continue // a lone read gains nothing from batch framing
+		}
+		resps, err := s.batchCall(nil, sp, node, g.subs)
+		if err != nil {
+			continue
+		}
+		for j, key := range g.keys {
+			data, ok := s.verifyBlockReply(sp, meta, key.stripe, key.bin, &resps[j])
+			if !ok {
+				continue
+			}
+			whole[key] = data
+			s.cacheFillBlock(meta, key.stripe, key.bin, data)
+		}
+	}
+	return whole
+}
+
+// verifyBlockReply applies the whole-block end-to-end verification (see
+// fetchWholeBlock) to one batched sub-response: a node-side error, a stripe
+// checksum mismatch, or — for legacy stripes without recorded checksums — a
+// reply CRC mismatch each count a checksum failure where applicable, enqueue
+// the block for repair, and reject the reply.
+func (s *Store) verifyBlockReply(sp *trace.Span, meta *ObjectMeta, stripe, bin int, resp *rpc.Response) ([]byte, bool) {
+	st := meta.Stripes[stripe]
+	verify := !s.opts.SkipChecksumVerify && bin < len(st.Checksums)
+	repair := func() {
+		sp.Count(trace.ChecksumFailures, 1)
+		s.enqueueRepair(RepairItem{Object: meta.Name, Epoch: meta.Epoch, Stripe: stripe, Block: bin})
+	}
+	switch {
+	case resp.Err != "":
+		if cluster.IsChecksumErr(resp.Err) {
+			repair()
+		}
+		return nil, false
+	case verify && cluster.Checksum(resp.Data) != st.Checksums[bin]:
+		repair()
+		return nil, false
+	case !verify && !s.opts.SkipChecksumVerify && cluster.Checksum(resp.Data) != resp.Crc:
+		repair()
+		return nil, false
+	}
+	return resp.Data, true
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/fusionstore/fusion/internal/bufpool"
+	"github.com/fusionstore/fusion/internal/trace"
+)
+
+// queryRoundTrips runs one traced query and returns the result plus the
+// data-plane round trips the trace recorded.
+func queryRoundTrips(t *testing.T, s *Store, query string) (*Result, uint64) {
+	t.Helper()
+	ctx, sp := trace.Start(context.Background(), "test.query")
+	res, err := s.QueryContext(ctx, query)
+	sp.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sp.Total(trace.RoundTrips)
+}
+
+// batchedAndUnbatchedStores builds two identical simnet deployments of the
+// same object, one with scatter-gather batching and one without.
+func batchedAndUnbatchedStores(t *testing.T, opts Options, data []byte) (batched, unbatched *Store) {
+	t.Helper()
+	mk := func(disable bool) *Store {
+		o := opts
+		o.DisableBatch = disable
+		s, _ := newSimStore(t, o)
+		if _, err := s.Put("obj", data); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return mk(false), mk(true)
+}
+
+// TestBatchedQueryEquivalence checks that batching is invisible to query
+// results across pushdown policies and aggregate pushdown.
+func TestBatchedQueryEquivalence(t *testing.T) {
+	data, _, _ := makeObject(t, 6, 300, 11)
+	queries := []string{
+		"SELECT * FROM obj WHERE qty < 25",
+		"SELECT id, price FROM obj WHERE qty < 10 AND price > 20.0",
+		"SELECT count(*), sum(price) FROM obj WHERE flag = 'A'",
+		"SELECT min(qty), max(price), avg(price) FROM obj WHERE qty >= 40 OR flag = 'R'",
+	}
+	for _, policy := range []PushdownPolicy{PushdownAdaptive, PushdownAlways, PushdownNever} {
+		for _, aggPush := range []bool{false, true} {
+			opts := fusionTestOptions()
+			opts.Pushdown = policy
+			opts.AggregatePushdown = aggPush
+			b, u := batchedAndUnbatchedStores(t, opts, data)
+			for _, q := range queries {
+				got, err := b.Query(q)
+				if err != nil {
+					t.Fatalf("%v/agg=%v %q: %v", policy, aggPush, q, err)
+				}
+				want, err := u.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.Data, want.Data) ||
+					!reflect.DeepEqual(got.AggValues, want.AggValues) ||
+					got.Rows != want.Rows {
+					t.Fatalf("%v/agg=%v %q: batched and unbatched results differ", policy, aggPush, q)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedQueryRoundTrips is the deterministic batching assertion: a
+// small-chunk pushdown scan must reach each node in at most one data round
+// trip per stage per row-group scan — filter frames bounded by the row
+// groups (times the nodes its chunks touch), projection frames bounded by
+// the node count — and far fewer round trips than per-op dispatch.
+func TestBatchedQueryRoundTrips(t *testing.T) {
+	const rowGroups = 10
+	data, _, _ := makeObject(t, rowGroups, 200, 7)
+	opts := fusionTestOptions()
+	opts.Pushdown = PushdownAlways
+	b, u := batchedAndUnbatchedStores(t, opts, data)
+
+	const query = "SELECT * FROM obj WHERE qty < 25"
+	resB, rtB := queryRoundTrips(t, b, query)
+	resU, rtU := queryRoundTrips(t, u, query)
+	if !reflect.DeepEqual(resB.Data, resU.Data) || resB.Rows != resU.Rows {
+		t.Fatal("batched and unbatched results differ")
+	}
+
+	nodes := b.client.NumNodes()
+	// Filter: one WHERE leaf per row group, so ≤1 frame per row group.
+	// Projection: one frame per node holding pushed chunks. Everything else
+	// (meta quorum reads) is control plane and uncounted.
+	maxBatched := uint64(rowGroups + nodes)
+	if rtB > maxBatched {
+		t.Fatalf("batched query took %d data round trips, want ≤ %d", rtB, maxBatched)
+	}
+	// Per-op dispatch pays one round trip per logical operation.
+	wantU := uint64(resU.Stats.FilterRPCs + resU.Stats.ProjectRPCs + resU.Stats.FetchRPCs)
+	if rtU != wantU {
+		t.Fatalf("unbatched round trips = %d, want %d (one per op)", rtU, wantU)
+	}
+	if rtB*2 > rtU {
+		t.Fatalf("batching saved too little: %d vs %d round trips", rtB, rtU)
+	}
+	if resB.Stats.BatchRPCs == 0 {
+		t.Fatal("batched query reported zero batch frames")
+	}
+
+	// The simulated latency win on a small-chunk scan: per-op dispatch pays
+	// RPCOverhead per chunk, batching pays it per frame.
+	simB, simU := resB.Stats.Sim.Total, resU.Stats.Sim.Total
+	if simB <= 0 || simU <= 0 {
+		t.Fatalf("missing simulated latencies: batched %v, unbatched %v", simB, simU)
+	}
+	if float64(simU) < 1.5*float64(simB) {
+		t.Fatalf("batched query simulated %v, unbatched %v: want ≥1.5x speedup", simB, simU)
+	}
+	t.Logf("round trips: batched %d vs unbatched %d; simulated: %v vs %v (%.2fx)",
+		rtB, rtU, simB, simU, float64(simU)/float64(simB))
+}
+
+// TestBatchedGetRoundTrips checks that a multi-segment Get reaches each node
+// in one scatter-gather frame instead of one round trip per block, and
+// returns identical bytes.
+func TestBatchedGetRoundTrips(t *testing.T) {
+	data, _, _ := makeObject(t, 12, 400, 13)
+	b, u := batchedAndUnbatchedStores(t, fusionTestOptions(), data)
+
+	get := func(s *Store) ([]byte, uint64) {
+		ctx, sp := trace.Start(context.Background(), "test.get")
+		got, err := s.GetContext(ctx, "obj", 0, 0)
+		sp.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, sp.Total(trace.RoundTrips)
+	}
+	gotB, rtB := get(b)
+	gotU, rtU := get(u)
+
+	if !bytes.Equal(gotB, data) || !bytes.Equal(gotU, data) {
+		t.Fatal("Get returned wrong bytes")
+	}
+	nodes := uint64(b.client.NumNodes())
+	if rtU <= nodes {
+		t.Skipf("object too small to exercise batching: %d blocks over %d nodes", rtU, nodes)
+	}
+	if rtB > nodes {
+		t.Fatalf("batched Get took %d data round trips over %d nodes, want ≤ 1 per node", rtB, nodes)
+	}
+	t.Logf("Get round trips: batched %d vs unbatched %d (%d nodes)", rtB, rtU, nodes)
+}
+
+// TestPooledBuffersNotAliased is the poison-on-put alias check, run under
+// -race in CI: with pool poisoning armed, concurrent degraded reads (whose
+// reconstructions rent and return survivor shards) and queries must never
+// hand back data that aliases a returned buffer. Any use-after-put shows up
+// as 0xDB-corrupted results or as a race report.
+func TestPooledBuffersNotAliased(t *testing.T) {
+	prev := bufpool.SetPoison(true)
+	defer bufpool.SetPoison(prev)
+
+	data, _, _ := makeObject(t, 4, 300, 17)
+	s, cl := newSimStore(t, fusionTestOptions())
+	if _, err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	// A down node forces every covering Get into RS reconstruction, the
+	// heaviest pooled path (survivor shards are rented and returned).
+	cl.SetDown(0, true)
+	defer cl.SetDown(0, false)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*2)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				got, err := s.Get("obj", 0, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("Get returned corrupted bytes (pool aliasing?)")
+					return
+				}
+				if bufpool.Poisoned(got) {
+					errs <- fmt.Errorf("Get returned a poisoned (returned-to-pool) buffer")
+					return
+				}
+				if _, err := s.Query("SELECT count(*), sum(price) FROM obj WHERE qty < 25"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/fusionstore/fusion/internal/bufpool"
 	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/rpc"
 	"github.com/fusionstore/fusion/internal/trace"
@@ -161,12 +162,28 @@ func (s *Store) readSegments(sp *trace.Span, meta *ObjectMeta, segs []segment, l
 	out := make([]byte, length)
 	// Bytes requested per block; ranges never overlap (items are disjoint),
 	// so covering DataLens bytes means tiling the whole block.
-	type blockKey struct{ stripe, bin int }
 	covered := make(map[blockKey]uint64, len(segs))
 	for _, g := range segs {
 		covered[blockKey{g.stripe, g.bin}] += g.length
 	}
 	whole := make(map[blockKey][]byte)
+	if s.batchOn() && s.opts.HedgeAfter <= 0 {
+		// Scatter-gather: collect the distinct whole-block reads this Get
+		// needs and fetch them with one batch frame per node, instead of one
+		// round trip per block. Blocks the prefetch could not serve fall
+		// back to the per-op (retrying, reconstructing) path below.
+		var need []blockKey
+		seen := make(map[blockKey]bool, len(covered))
+		for _, g := range segs {
+			key := blockKey{g.stripe, g.bin}
+			st := meta.Stripes[g.stripe]
+			if g.bin < len(st.DataLens) && covered[key] == st.DataLens[g.bin] && !seen[key] {
+				seen[key] = true
+				need = append(need, key)
+			}
+		}
+		whole = s.prefetchWholeBlocks(sp, meta, need)
+	}
 	for _, g := range segs {
 		key := blockKey{g.stripe, g.bin}
 		st := meta.Stripes[g.stripe]
@@ -488,7 +505,7 @@ func (s *Store) gatherSurvivors(sp *trace.Span, meta *ObjectMeta, stripe, skip i
 	for i := 0; i < launched && available < p.K; i++ {
 		r := <-results
 		if r.ok {
-			shards[r.bin] = padTo(r.data, st.Capacity)
+			shards[r.bin] = padShard(r.data, st.Capacity)
 			available++
 		}
 	}
@@ -537,7 +554,12 @@ func (s *Store) reconstructDataBlock(sp *trace.Span, meta *ObjectMeta, stripe, b
 	if err := s.coder.ReconstructData(shards); err != nil {
 		return nil, err
 	}
-	return shards[bin][:st.DataLens[bin]], nil
+	// The rebuilt shard is freshly allocated by the decode (bin was nil on
+	// entry), so the pooled survivor buffers have no readers left: return
+	// them to the arena before handing the block out.
+	block := shards[bin][:st.DataLens[bin]]
+	putSurvivors(shards, bin)
+	return block, nil
 }
 
 // reconstructParity rebuilds a parity block from the stripe's survivors.
@@ -553,7 +575,34 @@ func (s *Store) reconstructParity(sp *trace.Span, meta *ObjectMeta, stripe, idx 
 	if err := s.coder.Reconstruct(shards); err != nil {
 		return nil, err
 	}
-	return shards[idx], nil
+	block := shards[idx]
+	putSurvivors(shards, idx)
+	return block, nil
+}
+
+// padShard copies b into a pooled capacity-sized shard buffer, zero-padding
+// the tail (pooled bytes are unspecified). The copy — never aliasing b — is
+// what makes returning the shard to the arena after decoding safe: the RPC
+// response that produced b may be cached or aliased elsewhere, but the shard
+// itself has exactly one owner.
+func padShard(b []byte, size uint64) []byte {
+	out := bufpool.GetLen(int(size))
+	n := copy(out, b)
+	clear(out[n:])
+	return out
+}
+
+// putSurvivors returns a reconstruction's shard buffers to the arena,
+// skipping the one at keep — the result handed to callers. Every other
+// entry is dead after the decode and singly-owned: padShard copies (never
+// aliases) the RPC replies, and shards the decode itself allocated have no
+// other reference either.
+func putSurvivors(shards [][]byte, keep int) {
+	for j, sh := range shards {
+		if j != keep && sh != nil {
+			bufpool.Put(sh)
+		}
+	}
 }
 
 // RepairNode rebuilds every block an object had on the given node and

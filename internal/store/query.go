@@ -44,6 +44,11 @@ type QueryStats struct {
 	// FilterRPCs, ProjectRPCs, AggregateRPCs and FetchRPCs count remote
 	// operations.
 	FilterRPCs, ProjectRPCs, AggregateRPCs, FetchRPCs int
+	// BatchRPCs counts the scatter-gather frames that carried the batched
+	// share of those operations — each frame is one network round trip, so
+	// FilterRPCs+ProjectRPCs+AggregateRPCs-sized work arriving in few
+	// BatchRPCs is the batching win.
+	BatchRPCs int
 	// PushdownOn/PushdownOff count the cost model's per-chunk decisions.
 	PushdownOn, PushdownOff int
 	// PrunedRowGroups counts row groups skipped via footer statistics.
@@ -101,6 +106,7 @@ func (e *execState) join(c *execState) {
 	s.ProjectRPCs += cs.ProjectRPCs
 	s.AggregateRPCs += cs.AggregateRPCs
 	s.FetchRPCs += cs.FetchRPCs
+	s.BatchRPCs += cs.BatchRPCs
 	s.PushdownOn += cs.PushdownOn
 	s.PushdownOff += cs.PushdownOff
 	s.PrunedRowGroups += cs.PrunedRowGroups
@@ -361,6 +367,9 @@ func (s *Store) filterStage(st *execState, q *sql.Query, colIdx map[string]int) 
 // leaf comparison to the node hosting its column chunk when possible.
 func (s *Store) rowGroupFilter(st *execState, q *sql.Query, colIdx map[string]int, rg int) (*bitmap.Bitmap, error) {
 	meta := st.meta
+	if s.batchOn() && s.opts.Exec == ExecPushdown && meta.Mode == LayoutFAC {
+		return s.rowGroupFilterBatched(st, q, colIdx, rg)
+	}
 	rgMeta := meta.Footer.RowGroups[rg]
 	nRows := rgMeta.NumRows
 	leaf := func(c *sql.Compare) (*bitmap.Bitmap, error) {
@@ -737,15 +746,6 @@ func (s *Store) projectionStage(st *execState, q *sql.Query, colIdx map[string]i
 	// SELECT-list-minor order and merged back in exactly that order, so the
 	// result — including float aggregate accumulation order and the cost
 	// sheets feeding the latency model — is identical to a serial run.
-	type chunkTask struct {
-		rg      int
-		name    string
-		agg     bool
-		sub     *execState
-		vals    lpq.ColumnData
-		partial *sql.AggState
-		err     error
-	}
 	var tasks []*chunkTask
 	for rg := range meta.Footer.RowGroups {
 		bm := rgBitmaps[rg]
@@ -759,6 +759,12 @@ func (s *Store) projectionStage(st *execState, q *sql.Query, colIdx map[string]i
 			tasks = append(tasks, &chunkTask{rg: rg, name: name, agg: true})
 		}
 	}
+	if s.batchOn() && s.opts.Exec == ExecPushdown && meta.Mode == LayoutFAC {
+		// Ship the stage's pushdown work as one scatter-gather frame per
+		// node; workers below consume the attached sub-responses and only
+		// fall back per-op for the chunks whose batched attempt failed.
+		s.predispatchChunkTasks(st, colIdx, rgBitmaps, tasks)
+	}
 	runTasks(s.queryWorkers(), len(tasks), func(i int) {
 		t := tasks[i]
 		bm := rgBitmaps[t.rg]
@@ -766,9 +772,9 @@ func (s *Store) projectionStage(st *execState, q *sql.Query, colIdx map[string]i
 		ch := meta.Footer.RowGroups[t.rg].Chunks[ci]
 		t.sub = st.fork()
 		if t.agg {
-			t.partial, t.err = s.aggregateChunk(t.sub, t.rg, ci, ch, bm)
+			t.partial, t.err = s.aggregateChunk(t.sub, t.rg, ci, ch, bm, t.pre)
 		} else {
-			t.vals, t.err = s.projectChunk(t.sub, t.rg, ci, ch, bm, bm.Selectivity())
+			t.vals, t.err = s.projectChunk(t.sub, t.rg, ci, ch, bm, bm.Selectivity(), t.pre)
 		}
 	})
 	for _, t := range tasks {
@@ -823,28 +829,31 @@ func (s *Store) projectionStage(st *execState, q *sql.Query, colIdx map[string]i
 // projectChunk returns the selected values of one chunk, deciding per chunk
 // whether to push the projection down or fetch the compressed chunk,
 // according to the Cost Equation (§4.3): push down iff
-// selectivity × compressibility < 1.
-func (s *Store) projectChunk(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *bitmap.Bitmap, sel float64) (lpq.ColumnData, error) {
+// selectivity × compressibility < 1. pre, when non-nil, is the chunk's
+// sub-response from the scatter-gather pre-dispatch (already a successful
+// pushdown — only decoding remains).
+func (s *Store) projectChunk(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *bitmap.Bitmap, sel float64, pre *rpc.Response) (lpq.ColumnData, error) {
 	meta := st.meta
 	pushdownPossible := s.opts.Exec == ExecPushdown && meta.Mode == LayoutFAC
-	push := false
-	if pushdownPossible {
-		switch s.opts.Pushdown {
-		case PushdownAlways:
-			push = true
-		case PushdownNever:
-			push = false
-		default:
-			push = sel*ch.Compressibility() < 1
-		}
-	}
+	push := s.pushProjection(meta, ch, sel)
 	if push {
-		vals, err := s.pushdownProject(st, rg, ci, ch, bm)
-		if err == nil {
-			st.stats.PushdownOn++
-			return vals, nil
+		if pre != nil {
+			vals, err := cluster.DecodePlain(pre.Data)
+			if err == nil {
+				st.stats.PushdownOn++
+				return vals, nil
+			}
+			// Malformed reply: fall through to fetching.
+		} else if !s.batchOn() {
+			vals, err := s.pushdownProject(st, rg, ci, ch, bm)
+			if err == nil {
+				st.stats.PushdownOn++
+				return vals, nil
+			}
+			// Node down or similar: fall back to fetching.
 		}
-		// Node down or similar: fall back to fetching.
+		// Batched pushdown whose sub-request failed lands here too: the
+		// chunk fetch below is the per-op fallback.
 	}
 	if pushdownPossible {
 		st.stats.PushdownOff++
@@ -860,10 +869,14 @@ func (s *Store) projectChunk(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *bi
 }
 
 // aggregateChunk reduces one chunk's selected rows to a partial aggregate,
-// in-situ on the hosting node when possible, locally otherwise.
-func (s *Store) aggregateChunk(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *bitmap.Bitmap) (*sql.AggState, error) {
+// in-situ on the hosting node when possible, locally otherwise. pre, when
+// non-nil, is the chunk's sub-response from the scatter-gather pre-dispatch.
+func (s *Store) aggregateChunk(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *bitmap.Bitmap, pre *rpc.Response) (*sql.AggState, error) {
 	meta := st.meta
-	if itemIdx := meta.ChunkItemIndex(rg, ci); itemIdx >= 0 && meta.Mode == LayoutFAC {
+	if pre != nil && pre.Agg != nil {
+		return pre.Agg, nil
+	}
+	if itemIdx := meta.ChunkItemIndex(rg, ci); itemIdx >= 0 && meta.Mode == LayoutFAC && !s.batchOn() {
 		loc := meta.ItemLocs[itemIdx]
 		stripe := meta.Stripes[loc.Stripe]
 		node := stripe.Nodes[loc.Bin]

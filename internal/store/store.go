@@ -129,6 +129,11 @@ type Options struct {
 	// or drops the entry at its commit point, and every stale-suspicious
 	// read re-resolves against the quorum.
 	MetaCacheEntries int
+	// DisableBatch turns off scatter-gather RPC batching: every filter,
+	// projection, aggregate and block read is dispatched as its own request
+	// frame (the pre-batching behavior). Intended for A/B benchmarks of the
+	// batching layer; leave false in production.
+	DisableBatch bool
 	// Seed drives stripe placement.
 	Seed int64
 	// Model, when set, computes simulated query latencies from the
@@ -253,14 +258,38 @@ func (s *Store) call(sp *trace.Span, node int, req *rpc.Request) (*rpc.Response,
 	resp, attempts, err := cluster.CallRetryN(s.client, node, req, s.retry)
 	s.hist.Observe(metrics.Key{Op: "rpc." + req.Kind.String(), Node: node}, time.Since(start))
 	sp.Count(trace.RPCs, uint64(attempts))
+	if isDataKind(req.Kind) {
+		// Every transport attempt of a data-plane request is one network
+		// round trip — a whole scatter-gather batch counts once, which is
+		// exactly the economy the batching layer buys.
+		sp.Count(trace.RoundTrips, uint64(attempts))
+	}
 	if attempts > 1 {
 		sp.Count(trace.Retries, uint64(attempts-1))
 	}
 	if resp != nil {
-		sp.Count(trace.BytesFromNodes, uint64(len(resp.Data)))
+		n := uint64(len(resp.Data))
+		for i := range resp.Subs {
+			n += uint64(len(resp.Subs[i].Data))
+		}
+		sp.Count(trace.BytesFromNodes, n)
 	}
 	return resp, err
 }
+
+// isDataKind reports whether a request kind moves or scans block data (the
+// round-trip-counted data plane, as opposed to metadata and control traffic).
+func isDataKind(k rpc.Kind) bool {
+	switch k {
+	case rpc.KindGetBlock, rpc.KindFilter, rpc.KindProject, rpc.KindAggregate, rpc.KindBatch:
+		return true
+	}
+	return false
+}
+
+// batchOn reports whether the coordinator groups data-plane sub-requests
+// into scatter-gather batch frames.
+func (s *Store) batchOn() bool { return !s.opts.DisableBatch }
 
 // callChecked is call with application errors converted to Go errors.
 func (s *Store) callChecked(sp *trace.Span, node int, req *rpc.Request) (*rpc.Response, error) {

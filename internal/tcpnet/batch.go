@@ -1,0 +1,200 @@
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/fusionstore/fusion/internal/bufpool"
+	"github.com/fusionstore/fusion/internal/rpc"
+)
+
+// Frame-type discriminators (first payload byte of every frame). A plain
+// frame is [uint32 length][frameGob][gob message]. A batch frame is
+//
+//	[uint32 length][frameBatch]
+//	[uvarint envLen][gob envelope]     // the outer message, Subs stripped
+//	[uvarint count]                    // 1..rpc.MaxBatchOps
+//	count × [uvarint subLen][gob sub]  // the sub-messages, in order
+//
+// The batch codec is explicit rather than one nested gob message so every
+// count and length is bounds-checked against the bytes actually present
+// before anything is allocated: a malicious frame cannot declare a million
+// sub-requests backed by ten bytes, and a truncated frame fails with an
+// error instead of a panic or an over-allocation. FuzzBatchFrame drives
+// exactly this property.
+const (
+	frameGob   = 0x00 // single gob message
+	frameBatch = 0x01 // batch envelope + sub-messages
+)
+
+// errBatchFrame wraps every batch-decode failure.
+func errBatchFrame(format string, args ...any) error {
+	return fmt.Errorf("tcpnet: batch frame: "+format, args...)
+}
+
+// appendGob appends v's gob encoding to buf, prefixed with its uvarint
+// length.
+func appendGob(buf []byte, v any) ([]byte, error) {
+	var tmp bytes.Buffer
+	if err := gob.NewEncoder(&tmp).Encode(v); err != nil {
+		return buf, err
+	}
+	buf = binary.AppendUvarint(buf, uint64(tmp.Len()))
+	return append(buf, tmp.Bytes()...), nil
+}
+
+// nextChunk splits one uvarint-length-prefixed chunk off payload, bounds-
+// checking the declared length against the bytes present.
+func nextChunk(payload []byte) (chunk, rest []byte, err error) {
+	n, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return nil, nil, errBatchFrame("bad length prefix")
+	}
+	payload = payload[used:]
+	if n > uint64(len(payload)) {
+		return nil, nil, errBatchFrame("chunk of %d bytes exceeds %d remaining", n, len(payload))
+	}
+	return payload[:n], payload[n:], nil
+}
+
+// decodeGob decodes one gob message from b into v, rejecting trailing junk.
+func decodeGob(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// appendBatchRequest appends a batch request's frame payload (after the
+// frameBatch byte) to buf.
+func appendBatchRequest(buf []byte, req *rpc.Request) ([]byte, error) {
+	if msg := rpc.ValidateBatch(req); msg != "" {
+		return buf, errBatchFrame("encode: %s", msg)
+	}
+	env := *req
+	env.Subs = nil
+	buf, err := appendGob(buf, &env)
+	if err != nil {
+		return buf, err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(req.Subs)))
+	for i := range req.Subs {
+		if buf, err = appendGob(buf, &req.Subs[i]); err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}
+
+// decodeBatchRequest rebuilds a batch request from a frame payload (the
+// bytes after the frameBatch discriminator).
+func decodeBatchRequest(payload []byte) (*rpc.Request, error) {
+	envBytes, payload, err := nextChunk(payload)
+	if err != nil {
+		return nil, err
+	}
+	req := &rpc.Request{}
+	if err := decodeGob(envBytes, req); err != nil {
+		return nil, errBatchFrame("envelope: %v", err)
+	}
+	if req.Kind != rpc.KindBatch || req.Subs != nil {
+		return nil, errBatchFrame("envelope is not a bare batch request")
+	}
+	count, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return nil, errBatchFrame("bad sub-request count")
+	}
+	payload = payload[used:]
+	// Each sub-message costs at least one length byte on the wire, so the
+	// count can never exceed the bytes present — checked before allocating.
+	if count == 0 || count > rpc.MaxBatchOps || count > uint64(len(payload)) {
+		return nil, errBatchFrame("implausible sub-request count %d (%d bytes remain)", count, len(payload))
+	}
+	req.Subs = make([]rpc.Request, count)
+	for i := range req.Subs {
+		var subBytes []byte
+		if subBytes, payload, err = nextChunk(payload); err != nil {
+			return nil, err
+		}
+		if err := decodeGob(subBytes, &req.Subs[i]); err != nil {
+			return nil, errBatchFrame("sub-request %d: %v", i, err)
+		}
+	}
+	if len(payload) != 0 {
+		return nil, errBatchFrame("%d trailing bytes", len(payload))
+	}
+	if msg := rpc.ValidateBatch(req); msg != "" {
+		return nil, errBatchFrame("%s", msg)
+	}
+	return req, nil
+}
+
+// appendBatchResponse appends a batch response's frame payload to buf.
+func appendBatchResponse(buf []byte, resp *rpc.Response) ([]byte, error) {
+	if len(resp.Subs) == 0 || len(resp.Subs) > rpc.MaxBatchOps {
+		return buf, errBatchFrame("encode: %d sub-responses", len(resp.Subs))
+	}
+	env := *resp
+	env.Subs = nil
+	buf, err := appendGob(buf, &env)
+	if err != nil {
+		return buf, err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(resp.Subs)))
+	for i := range resp.Subs {
+		if buf, err = appendGob(buf, &resp.Subs[i]); err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}
+
+// decodeBatchResponse rebuilds a batch response from a frame payload.
+func decodeBatchResponse(payload []byte) (*rpc.Response, error) {
+	envBytes, payload, err := nextChunk(payload)
+	if err != nil {
+		return nil, err
+	}
+	resp := &rpc.Response{}
+	if err := decodeGob(envBytes, resp); err != nil {
+		return nil, errBatchFrame("envelope: %v", err)
+	}
+	if resp.Subs != nil {
+		return nil, errBatchFrame("envelope is not a bare batch response")
+	}
+	count, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return nil, errBatchFrame("bad sub-response count")
+	}
+	payload = payload[used:]
+	if count == 0 || count > rpc.MaxBatchOps || count > uint64(len(payload)) {
+		return nil, errBatchFrame("implausible sub-response count %d (%d bytes remain)", count, len(payload))
+	}
+	resp.Subs = make([]rpc.Response, count)
+	for i := range resp.Subs {
+		var subBytes []byte
+		if subBytes, payload, err = nextChunk(payload); err != nil {
+			return nil, err
+		}
+		if err := decodeGob(subBytes, &resp.Subs[i]); err != nil {
+			return nil, errBatchFrame("sub-response %d: %v", i, err)
+		}
+	}
+	if len(payload) != 0 {
+		return nil, errBatchFrame("%d trailing bytes", len(payload))
+	}
+	return resp, nil
+}
+
+// bufWriter adapts a pooled byte slice to io.Writer for gob encoding.
+type bufWriter struct{ b []byte }
+
+func (w *bufWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// release returns the writer's buffer to the arena.
+func (w *bufWriter) release() {
+	bufpool.Put(w.b)
+	w.b = nil
+}

@@ -1,0 +1,65 @@
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/fusionstore/fusion/internal/rpc"
+)
+
+// FuzzBatchFrame throws arbitrary bytes at both batch-frame decoders. The
+// invariants: never panic, never allocate proportionally to a declared count
+// that the payload cannot back, and round-trip anything that decodes
+// successfully. Seeds cover valid frames, truncations, and corrupted counts.
+func FuzzBatchFrame(f *testing.F) {
+	goodReq, err := appendBatchRequest(nil, sampleBatchRequest())
+	if err != nil {
+		f.Fatal(err)
+	}
+	goodResp, err := appendBatchResponse(nil, &rpc.Response{
+		Subs: []rpc.Response{{Data: []byte("payload")}, {Err: "gone"}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(goodReq)
+	f.Add(goodResp)
+	f.Add(goodReq[:len(goodReq)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	// Envelope followed by an absurd declared count.
+	envOnly, _ := appendGob(nil, &rpc.Request{Kind: rpc.KindBatch})
+	f.Add(append(binary.AppendUvarint(envOnly, 1<<40), 1))
+	// Maximal uvarint length prefix.
+	f.Add(binary.AppendUvarint(nil, 1<<62))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if req, err := decodeBatchRequest(payload); err == nil {
+			re, err := appendBatchRequest(nil, req)
+			if err != nil {
+				t.Fatalf("re-encode of decoded request failed: %v", err)
+			}
+			re2, err := decodeBatchRequest(re)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if re3, _ := appendBatchRequest(nil, re2); !bytes.Equal(re, re3) {
+				t.Fatal("request round trip not stable")
+			}
+		}
+		if resp, err := decodeBatchResponse(payload); err == nil {
+			re, err := appendBatchResponse(nil, resp)
+			if err != nil {
+				t.Fatalf("re-encode of decoded response failed: %v", err)
+			}
+			re2, err := decodeBatchResponse(re)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if re3, _ := appendBatchResponse(nil, re2); !bytes.Equal(re, re3) {
+				t.Fatal("response round trip not stable")
+			}
+		}
+	})
+}

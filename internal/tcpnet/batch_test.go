@@ -1,0 +1,166 @@
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"github.com/fusionstore/fusion/internal/rpc"
+)
+
+func sampleBatchRequest() *rpc.Request {
+	return &rpc.Request{
+		Kind: rpc.KindBatch,
+		Subs: []rpc.Request{
+			{Kind: rpc.KindGetBlock, BlockID: "b1", Offset: 8, Length: 32, CallerVerifies: true},
+			{Kind: rpc.KindFilter, Chunk: rpc.ChunkRef{BlockID: "b2", Offset: 64}},
+			{Kind: rpc.KindProject, Bitmap: []byte{1, 2, 3}},
+		},
+	}
+}
+
+func TestBatchRequestRoundTrip(t *testing.T) {
+	req := sampleBatchRequest()
+	payload, err := appendBatchRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeBatchRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, req)
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	resp := &rpc.Response{
+		Cost: rpc.Cost{DiskBytes: 96, ProcBytes: 128},
+		Subs: []rpc.Response{
+			{Data: []byte("abc"), Crc: 7, Cost: rpc.Cost{DiskBytes: 96}},
+			{Err: "no such block"},
+			{Matches: 41, Cost: rpc.Cost{ProcBytes: 128}},
+		},
+	}
+	payload, err := appendBatchResponse(nil, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeBatchResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, resp)
+	}
+}
+
+// TestBatchFrameOverWire drives a batch request end to end through the
+// request/response frame writers and readers.
+func TestBatchFrameOverWire(t *testing.T) {
+	req := sampleBatchRequest()
+	var wire bytes.Buffer
+	if err := writeRequestFrame(&wire, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readRequestFrame(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, got) {
+		t.Fatalf("wire round trip mismatch")
+	}
+
+	resp := &rpc.Response{Subs: []rpc.Response{{Data: []byte("x")}, {Err: "nope"}}}
+	wire.Reset()
+	if err := writeResponseFrame(&wire, resp); err != nil {
+		t.Fatal(err)
+	}
+	gotResp, err := readResponseFrame(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp, gotResp) {
+		t.Fatalf("response wire round trip mismatch")
+	}
+}
+
+func TestBatchEncodeRejectsMalformed(t *testing.T) {
+	if _, err := appendBatchRequest(nil, &rpc.Request{Kind: rpc.KindBatch}); err == nil {
+		t.Fatal("empty batch encoded")
+	}
+	nested := &rpc.Request{Kind: rpc.KindBatch, Subs: []rpc.Request{{Kind: rpc.KindBatch}}}
+	if _, err := appendBatchRequest(nil, nested); err == nil {
+		t.Fatal("nested batch encoded")
+	}
+	mutation := &rpc.Request{Kind: rpc.KindBatch, Subs: []rpc.Request{{Kind: rpc.KindPutBlock}}}
+	if _, err := appendBatchRequest(nil, mutation); err == nil {
+		t.Fatal("mutating batch encoded")
+	}
+}
+
+// TestBatchOverTCP sends a scatter-gather batch through a real Server/Client
+// pair and checks the sub-responses come back index-aligned with per-op
+// error isolation.
+func TestBatchOverTCP(t *testing.T) {
+	client, _ := startCluster(t, 1)
+	if resp, err := client.Call(0, &rpc.Request{Kind: rpc.KindPutBlock, BlockID: "b", Data: []byte("0123456789")}); err != nil || resp.Err != "" {
+		t.Fatalf("put: %v %s", err, resp.Err)
+	}
+	resp, err := client.Call(0, &rpc.Request{
+		Kind: rpc.KindBatch,
+		Subs: []rpc.Request{
+			{Kind: rpc.KindGetBlock, BlockID: "b", Offset: 2, Length: 3},
+			{Kind: rpc.KindGetBlock, BlockID: "missing"},
+			{Kind: rpc.KindGetBlock, BlockID: "b"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" {
+		t.Fatalf("batch outer error: %s", resp.Err)
+	}
+	if len(resp.Subs) != 3 {
+		t.Fatalf("got %d sub-responses, want 3", len(resp.Subs))
+	}
+	if string(resp.Subs[0].Data) != "234" {
+		t.Fatalf("sub 0: %q", resp.Subs[0].Data)
+	}
+	if resp.Subs[1].Err == "" {
+		t.Fatal("sub 1: missing block must carry a sub-error")
+	}
+	if string(resp.Subs[2].Data) != "0123456789" {
+		t.Fatalf("sub 2: %q", resp.Subs[2].Data)
+	}
+}
+
+// TestBatchDecodeRejects drives the decoder's bounds checks with hand-built
+// malformed payloads.
+func TestBatchDecodeRejects(t *testing.T) {
+	good, err := appendBatchRequest(nil, sampleBatchRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": good[:len(good)-3],
+		"trailing":  append(append([]byte(nil), good...), 0xFF),
+		"hugeChunk": binary.AppendUvarint(nil, 1<<40),
+	}
+	// A declared sub-count far beyond the remaining bytes.
+	envOnly, _ := appendGob(nil, &rpc.Request{Kind: rpc.KindBatch})
+	cases["countOverrun"] = append(binary.AppendUvarint(envOnly, 500), 0x01)
+
+	for name, payload := range cases {
+		if _, err := decodeBatchRequest(payload); err == nil {
+			t.Errorf("%s: decode succeeded on malformed payload", name)
+		}
+		if _, err := decodeBatchResponse(payload); err == nil {
+			t.Errorf("%s: response decode succeeded on malformed payload", name)
+		}
+	}
+}

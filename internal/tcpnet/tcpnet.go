@@ -6,7 +6,6 @@
 package tcpnet
 
 import (
-	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -15,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/fusionstore/fusion/internal/bufpool"
 	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/rpc"
@@ -23,36 +23,120 @@ import (
 // maxFrame bounds a single message to guard against corrupt peers.
 const maxFrame = 1 << 31
 
-// writeFrame sends one gob-encoded value with a uint32 length prefix.
-func writeFrame(w io.Writer, v any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return err
-	}
+// writePayload sends one frame: the pooled payload (frame-type byte plus
+// body) behind a uint32 length prefix. It returns the payload to the arena.
+func writePayload(w io.Writer, payload []byte) error {
+	defer bufpool.Put(payload)
 	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(buf.Bytes())
+	_, err := w.Write(payload)
 	return err
 }
 
-// readFrame receives one length-prefixed gob value into v.
-func readFrame(r io.Reader, v any) error {
+// writeFrame sends one gob-encoded value as a frameGob frame.
+func writeFrame(w io.Writer, v any) error {
+	bw := &bufWriter{b: append(bufpool.Get(1<<12), frameGob)}
+	if err := gob.NewEncoder(bw).Encode(v); err != nil {
+		bw.release()
+		return err
+	}
+	return writePayload(w, bw.b)
+}
+
+// readPayload receives one length-prefixed frame payload into a pooled
+// buffer. The caller must return it with bufpool.Put (gob decoding copies
+// every byte field, so nothing decoded from it aliases the buffer).
+func readPayload(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	if n == 0 {
+		return nil, fmt.Errorf("tcpnet: empty frame")
+	}
+	buf := bufpool.GetLen(int(n))
 	if _, err := io.ReadFull(r, buf); err != nil {
+		bufpool.Put(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeRequestFrame sends a request, choosing the batch framing for
+// scatter-gather requests.
+func writeRequestFrame(w io.Writer, req *rpc.Request) error {
+	if req.Kind != rpc.KindBatch {
+		return writeFrame(w, req)
+	}
+	payload, err := appendBatchRequest(append(bufpool.Get(1<<12), frameBatch), req)
+	if err != nil {
+		bufpool.Put(payload)
 		return err
 	}
-	return gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
+	return writePayload(w, payload)
+}
+
+// readRequestFrame receives one request frame of either framing.
+func readRequestFrame(r io.Reader) (*rpc.Request, error) {
+	payload, err := readPayload(r)
+	if err != nil {
+		return nil, err
+	}
+	defer bufpool.Put(payload)
+	switch payload[0] {
+	case frameGob:
+		req := &rpc.Request{}
+		if err := decodeGob(payload[1:], req); err != nil {
+			return nil, err
+		}
+		return req, nil
+	case frameBatch:
+		return decodeBatchRequest(payload[1:])
+	default:
+		return nil, fmt.Errorf("tcpnet: unknown frame type %#02x", payload[0])
+	}
+}
+
+// writeResponseFrame sends a response, choosing the batch framing when
+// sub-responses are present.
+func writeResponseFrame(w io.Writer, resp *rpc.Response) error {
+	if len(resp.Subs) == 0 {
+		return writeFrame(w, resp)
+	}
+	payload, err := appendBatchResponse(append(bufpool.Get(1<<12), frameBatch), resp)
+	if err != nil {
+		bufpool.Put(payload)
+		return err
+	}
+	return writePayload(w, payload)
+}
+
+// readResponseFrame receives one response frame of either framing.
+func readResponseFrame(r io.Reader) (*rpc.Response, error) {
+	payload, err := readPayload(r)
+	if err != nil {
+		return nil, err
+	}
+	defer bufpool.Put(payload)
+	switch payload[0] {
+	case frameGob:
+		resp := &rpc.Response{}
+		if err := decodeGob(payload[1:], resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	case frameBatch:
+		return decodeBatchResponse(payload[1:])
+	default:
+		return nil, fmt.Errorf("tcpnet: unknown frame type %#02x", payload[0])
+	}
 }
 
 // Server wraps a storage node and serves its RPC interface on a listener.
@@ -111,12 +195,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	for {
-		var req rpc.Request
-		if err := readFrame(conn, &req); err != nil {
+		req, err := readRequestFrame(conn)
+		if err != nil {
 			return // EOF or broken peer: drop the connection
 		}
-		resp := s.node.Handle(&req)
-		if err := writeFrame(conn, resp); err != nil {
+		resp := s.node.Handle(req)
+		if err := writeResponseFrame(conn, resp); err != nil {
 			return
 		}
 	}
@@ -230,7 +314,7 @@ func (c *Client) exchange(conn net.Conn, node int, req *rpc.Request) (*rpc.Respo
 	if hist != nil {
 		start = time.Now()
 	}
-	if err := writeFrame(conn, req); err != nil {
+	if err := writeRequestFrame(conn, req); err != nil {
 		return nil, err
 	}
 	if hist != nil {
@@ -243,14 +327,14 @@ func (c *Client) exchange(conn net.Conn, node int, req *rpc.Request) (*rpc.Respo
 			return nil, err
 		}
 	}
-	var resp rpc.Response
-	if err := readFrame(conn, &resp); err != nil {
+	resp, err := readResponseFrame(conn)
+	if err != nil {
 		return nil, err
 	}
 	if hist != nil {
 		hist.Observe(metrics.Key{Op: "net.read", Node: node}, time.Since(start))
 	}
-	return &resp, nil
+	return resp, nil
 }
 
 // Call implements cluster.Client. One in-flight request per node connection;

@@ -52,13 +52,18 @@ const (
 	// cache. Hits bypass the RPC layer entirely, so BytesFromNodes stays
 	// untouched and read amplification reflects true node traffic.
 	CacheHits
+	// RoundTrips counts data-plane network round trips to storage nodes. A
+	// scatter-gather batch of many sub-ops to one node is one round trip —
+	// the number the batching layer exists to minimize — whereas RPCs counts
+	// every logical operation regardless of framing.
+	RoundTrips
 	numCounters
 )
 
 var counterNames = [numCounters]string{
 	"bytes_requested", "bytes_from_nodes", "rpcs", "retries",
 	"hedges", "hedge_wins", "degraded_reads", "checksum_failures",
-	"cache_hits",
+	"cache_hits", "round_trips",
 }
 
 func (c Counter) String() string {

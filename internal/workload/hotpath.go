@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/erasure"
+	"github.com/fusionstore/fusion/internal/gf256"
+	"github.com/fusionstore/fusion/internal/metrics"
+	"github.com/fusionstore/fusion/internal/simnet"
+	"github.com/fusionstore/fusion/internal/store"
+	"github.com/fusionstore/fusion/internal/trace"
+)
+
+// naiveKernel adapts the seed log/exp multiply to the Kernel seam so the
+// hotpath report can race all three kernel generations through one encoder.
+type naiveKernel byte
+
+func (k naiveKernel) Coefficient() byte      { return byte(k) }
+func (k naiveKernel) Mul(src, dst []byte)    { gf256.MulSlice(byte(k), src, dst) }
+func (k naiveKernel) MulAdd(src, dst []byte) { gf256.MulAddSlice(byte(k), src, dst) }
+
+// HotpathStats is the machine-readable result of the hotpath experiment,
+// checked in as BENCH_hotpath.json so hot-path regressions show up in
+// review diffs.
+type HotpathStats struct {
+	// Encode throughput of RS(9,6) on 1 MiB shards per kernel generation.
+	EncodeMBps struct {
+		Naive  float64 `json:"naive"`
+		Table  float64 `json:"table"`
+		Nibble float64 `json:"nibble"`
+	} `json:"encode_mbps"`
+	// Simulated latency of the pushdown scan, batched vs per-op dispatch.
+	QueryLatencyUs struct {
+		BatchedP50   float64 `json:"batched_p50"`
+		BatchedP99   float64 `json:"batched_p99"`
+		UnbatchedP50 float64 `json:"unbatched_p50"`
+		UnbatchedP99 float64 `json:"unbatched_p99"`
+	} `json:"query_latency_us"`
+	// Data-plane network round trips one pushdown scan costs.
+	RoundTripsPerQuery struct {
+		Batched   uint64 `json:"batched"`
+		Unbatched uint64 `json:"unbatched"`
+	} `json:"round_trips_per_query"`
+	// Heap allocations per warm-cache operation.
+	AllocsPerOp struct {
+		Get   float64 `json:"get"`
+		Query float64 `json:"query"`
+	} `json:"allocs_per_op"`
+}
+
+// hotpathQuery is the measured scan: a multi-leaf predicate with pushed
+// aggregates, the shape scatter-gather batching serves in few frames.
+const hotpathQuery = "SELECT SUM(l_extendedprice), AVG(l_quantity) FROM lineitem" +
+	" WHERE l_quantity > 10 AND l_extendedprice < 50000 AND l_discount < 0.05"
+
+// encodeMBps measures RS(9,6) encode throughput with the given kernel
+// constructor on 1 MiB shards.
+func encodeMBps(kernel func(byte) gf256.Kernel) float64 {
+	const shardSize = 1 << 20
+	p := erasure.RS96
+	c, err := erasure.NewCoderKernel(p, kernel)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	shards := make([][]byte, p.N)
+	rng := rand.New(rand.NewSource(48))
+	for i := range shards {
+		shards[i] = make([]byte, shardSize)
+		if i < p.K {
+			rng.Read(shards[i])
+		}
+	}
+	encode := func() {
+		if err := c.Encode(shards); err != nil {
+			panic(fmt.Sprintf("workload: %v", err))
+		}
+	}
+	encode() // warm the kernel tables
+	iters, start := 0, time.Now()
+	for time.Since(start) < 300*time.Millisecond {
+		encode()
+		iters++
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(p.K*shardSize) * float64(iters) / 1e6 / elapsed
+}
+
+// hotpathSystem builds a dedicated lineitem deployment for the hotpath
+// experiment (always-pushdown with aggregate pushdown, so the batch
+// protocol carries the whole scan).
+func (l *Lab) hotpathSystem(disableBatch bool, cacheBytes int64) *System {
+	opts := store.FusionOptions()
+	opts.StorageBudget = ExperimentBudget
+	opts.FixedBlockSize = l.ScaledBlockSize(Lineitem)
+	opts.Pushdown = store.PushdownAlways
+	opts.AggregatePushdown = true
+	opts.DisableBatch = disableBatch
+	opts.CacheBytes = cacheBytes
+
+	cfg := simnet.DefaultConfig()
+	cl := simnet.New(cfg)
+	model := simnet.NewLatencyModel(cfg)
+	opts.Model = model
+	s, err := store.New(cl, opts)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	if _, err := s.Put(objectName(Lineitem), l.File(Lineitem)); err != nil {
+		panic(fmt.Sprintf("workload: loading lineitem: %v", err))
+	}
+	return &System{Cluster: cl, Model: model, Store: s}
+}
+
+// queryRoundTrips runs one traced query and returns its data-plane round
+// trips.
+func queryRoundTrips(s *store.Store, query string) uint64 {
+	ctx, sp := trace.Start(context.Background(), "hotpath.query")
+	if _, err := s.QueryContext(ctx, query); err != nil {
+		panic(fmt.Sprintf("workload: %q: %v", query, err))
+	}
+	sp.End()
+	return sp.Total(trace.RoundTrips)
+}
+
+// allocsPerOp measures heap allocations per call of fn, single-threaded.
+func allocsPerOp(iters int, fn func()) float64 {
+	fn() // warm caches and pools outside the measured window
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters)
+}
+
+// MeasureHotpath runs the hot-path microbenchmarks: the GF(2^8) kernel
+// ladder, batched-vs-per-op scan latency and round trips, and warm-path
+// allocation counts.
+func MeasureHotpath(l *Lab) *HotpathStats {
+	st := &HotpathStats{}
+	st.EncodeMBps.Naive = encodeMBps(func(c byte) gf256.Kernel { return naiveKernel(c) })
+	st.EncodeMBps.Table = encodeMBps(func(c byte) gf256.Kernel { return gf256.NewMulTable(c) })
+	st.EncodeMBps.Nibble = encodeMBps(gf256.NewKernel)
+
+	batched := l.hotpathSystem(false, 0)
+	unbatched := l.hotpathSystem(true, 0)
+	measure := func(sys *System) metrics.LatencyRecorder {
+		var rec metrics.LatencyRecorder
+		for i := 0; i < QueriesPerCell; i++ {
+			res, err := sys.Store.Query(hotpathQuery)
+			if err != nil {
+				panic(fmt.Sprintf("workload: %v", err))
+			}
+			rec.Record(res.Stats.Sim)
+		}
+		return rec
+	}
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	recB, recU := measure(batched), measure(unbatched)
+	st.QueryLatencyUs.BatchedP50 = us(recB.P50())
+	st.QueryLatencyUs.BatchedP99 = us(recB.P99())
+	st.QueryLatencyUs.UnbatchedP50 = us(recU.P50())
+	st.QueryLatencyUs.UnbatchedP99 = us(recU.P99())
+	st.RoundTripsPerQuery.Batched = queryRoundTrips(batched.Store, hotpathQuery)
+	st.RoundTripsPerQuery.Unbatched = queryRoundTrips(unbatched.Store, hotpathQuery)
+
+	warm := l.hotpathSystem(false, 256<<20)
+	st.AllocsPerOp.Get = allocsPerOp(10, func() {
+		if _, err := warm.Store.Get(objectName(Lineitem), 0, 0); err != nil {
+			panic(fmt.Sprintf("workload: %v", err))
+		}
+	})
+	st.AllocsPerOp.Query = allocsPerOp(10, func() {
+		if _, err := warm.Store.Query(hotpathQuery); err != nil {
+			panic(fmt.Sprintf("workload: %v", err))
+		}
+	})
+	return st
+}
+
+// JSON renders the stats as indented JSON with a trailing newline.
+func (st *HotpathStats) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Hotpath is the registry driver: the BENCH_hotpath.json numbers as a
+// printable table.
+func (l *Lab) Hotpath() *Report {
+	st := MeasureHotpath(l)
+	f := func(v float64) string { return fmt.Sprintf("%.0f", v) }
+	return &Report{
+		ID:     "hotpath",
+		Title:  "hot-path microbenchmarks (kernels, batching, allocations)",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"encode naive MB/s", f(st.EncodeMBps.Naive)},
+			{"encode table MB/s", f(st.EncodeMBps.Table)},
+			{"encode nibble MB/s", f(st.EncodeMBps.Nibble)},
+			{"query p50 batched µs", f(st.QueryLatencyUs.BatchedP50)},
+			{"query p99 batched µs", f(st.QueryLatencyUs.BatchedP99)},
+			{"query p50 per-op µs", f(st.QueryLatencyUs.UnbatchedP50)},
+			{"query p99 per-op µs", f(st.QueryLatencyUs.UnbatchedP99)},
+			{"round trips batched", fmt.Sprint(st.RoundTripsPerQuery.Batched)},
+			{"round trips per-op", fmt.Sprint(st.RoundTripsPerQuery.Unbatched)},
+			{"Get allocs/op (warm)", f(st.AllocsPerOp.Get)},
+			{"Query allocs/op (warm)", f(st.AllocsPerOp.Query)},
+		},
+		Notes: []string{
+			"RS(9,6) encode on 1 MiB shards; scan = 3-leaf predicate + 2 pushed aggregates",
+			"refresh BENCH_hotpath.json with: fusion-bench -experiment hotpath -json BENCH_hotpath.json",
+		},
+	}
+}

@@ -42,6 +42,7 @@ var Experiments = []Experiment{
 	{"abl-budget", "ablation: storage budget sweep", (*Lab).AblBudget},
 	{"abl-rs1410", "FAC overhead under RS(14,10)", (*Lab).AblRS1410},
 	{"abl-aggpush", "extension: aggregate pushdown", (*Lab).AblAggPush},
+	{"hotpath", "hot-path microbenchmarks: kernels, batching, allocs", (*Lab).Hotpath},
 }
 
 // Find returns the experiment with the given id.
