@@ -27,7 +27,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		hist       = flag.Bool("hist", true, "print per-phase latency histograms after each experiment")
 		cacheBytes = flag.Int64("cachebytes", 0, "coordinator read-cache budget in bytes (0 = disabled, the paper's cold-path configuration)")
-		jsonPath   = flag.String("json", "", "write the hotpath experiment's machine-readable stats to this file (e.g. BENCH_hotpath.json)")
+		jsonPath   = flag.String("json", "", "write the experiment's machine-readable stats to this file (hotpath → BENCH_hotpath.json, load → BENCH_load.json)")
 	)
 	flag.Parse()
 
@@ -45,8 +45,22 @@ func main() {
 	lab := workload.NewLab(*scale)
 
 	if *jsonPath != "" {
-		stats := workload.MeasureHotpath(lab)
-		b, err := stats.JSON()
+		var (
+			b   []byte
+			err error
+		)
+		switch *experiment {
+		case "load", "soak":
+			var stats *workload.LoadStats
+			stats, err = workload.MeasureLoad(lab)
+			if err == nil {
+				b, err = stats.JSON()
+			}
+		default:
+			// The historical -json behavior: hotpath stats regardless of
+			// the selected experiment.
+			b, err = workload.MeasureHotpath(lab).JSON()
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -56,9 +70,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
-		if *experiment == "" {
-			return
-		}
+		return
 	}
 
 	run := func(e workload.Experiment) {

@@ -3,6 +3,7 @@ package faultnet
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -31,6 +32,20 @@ type Chaos struct {
 
 	stop chan struct{}
 	done chan struct{}
+
+	mu    sync.Mutex
+	stats ChaosStats
+}
+
+// ChaosStats summarizes a crash-walk schedule after (or during) a run —
+// the soak harness reports them next to availability so "99.4% under 17
+// crashes, at most 2 down at once" is one line.
+type ChaosStats struct {
+	// Crashes and Revives count schedule mutations applied.
+	Crashes uint64 `json:"crashes"`
+	Revives uint64 `json:"revives"`
+	// MaxSimultaneousDown is the largest down set the walk reached.
+	MaxSimultaneousDown int `json:"max_simultaneous_down"`
 }
 
 // StartChaos begins mutating the injector's down set until Stop.
@@ -86,10 +101,19 @@ func (c *Chaos) run() {
 			}
 			c.inj.SetDown(node, true)
 			downed = append(downed, node)
+			c.mu.Lock()
+			c.stats.Crashes++
+			if len(downed) > c.stats.MaxSimultaneousDown {
+				c.stats.MaxSimultaneousDown = len(downed)
+			}
+			c.mu.Unlock()
 		} else {
 			i := rng.Intn(len(downed))
 			c.inj.SetDown(downed[i], false)
 			downed = append(downed[:i], downed[i+1:]...)
+			c.mu.Lock()
+			c.stats.Revives++
+			c.mu.Unlock()
 		}
 	}
 }
@@ -101,6 +125,13 @@ func isDowned(downed []int, node int) bool {
 		}
 	}
 	return false
+}
+
+// Stats snapshots the walk's schedule counters.
+func (c *Chaos) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // Stop halts the controller and revives every node it downed.

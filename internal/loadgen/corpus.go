@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+
+	"github.com/fusionstore/fusion/internal/lpq"
+)
+
+// queryTemplates are the fixed analytical shapes the generator issues, each
+// parameterized by object name. Their reference answers are computed
+// directly from the generated column arrays at corpus-build time, so query
+// verification never depends on the system under test.
+var queryTemplates = []string{
+	"SELECT COUNT(id) FROM %s WHERE qty > 25",
+	"SELECT SUM(qty) FROM %s WHERE flag = 'A'",
+	"SELECT AVG(price) FROM %s WHERE qty > 10",
+	"SELECT COUNT(id), SUM(price) FROM %s WHERE flag = 'R' AND qty > 5",
+}
+
+const numQueryTemplates = 4
+
+// QueryText renders query template t against object index obj.
+func QueryText(t int, obj int) string {
+	return fmt.Sprintf(queryTemplates[t], ObjectName(obj))
+}
+
+// Version is one seeded version of a corpus object: its exact lpq bytes,
+// their CRC, and the reference answer to every query template.
+type Version struct {
+	// Data is the object's full byte content.
+	Data []byte
+	// CRC is crc32.Castagnoli over Data — the oracle's fast-path check
+	// before the byte-for-byte comparison.
+	CRC uint32
+	// Answers[t] is the expected aggregate row of query template t.
+	Answers [numQueryTemplates][]float64
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// GenVersion deterministically generates version ver of corpus object obj:
+// an lpq file with the harness schema (id, qty, price, flag, comment) whose
+// contents are a pure function of (corpusSeed, obj, ver). Successive
+// versions of an object differ in every generated column.
+func GenVersion(corpusSeed int64, obj, ver, rowsPerGroup int) (*Version, error) {
+	// Mix the identity into one seed; the constants are arbitrary odd
+	// multipliers keeping (obj, ver) pairs well separated.
+	seed := corpusSeed ^ int64(uint64(obj)*0x9E3779B97F4A7C15) ^ int64(uint64(ver)*0xC2B2AE3D27D4EB4F)
+	rng := rand.New(rand.NewSource(seed))
+
+	schema := []lpq.Column{
+		{Name: "id", Type: lpq.Int64},
+		{Name: "qty", Type: lpq.Int64},
+		{Name: "price", Type: lpq.Float64},
+		{Name: "flag", Type: lpq.String},
+		{Name: "comment", Type: lpq.String},
+	}
+	w := lpq.NewWriter(schema, lpq.DefaultWriterOptions())
+
+	v := &Version{}
+	// Aggregate accumulators across row groups.
+	var (
+		countQty25          float64
+		sumQtyFlagA         float64
+		sumPriceQty10, nQ10 float64
+		countR5, sumPriceR5 float64
+	)
+	const rowGroups = 2
+	next := int64(0)
+	for g := 0; g < rowGroups; g++ {
+		ids := make([]int64, rowsPerGroup)
+		qty := make([]int64, rowsPerGroup)
+		price := make([]float64, rowsPerGroup)
+		flag := make([]string, rowsPerGroup)
+		comment := make([]string, rowsPerGroup)
+		for i := 0; i < rowsPerGroup; i++ {
+			ids[i] = next
+			next++
+			qty[i] = int64(rng.Intn(50))
+			price[i] = float64(rng.Intn(10000)) / 100
+			flag[i] = []string{"A", "N", "R"}[rng.Intn(3)]
+			comment[i] = fmt.Sprintf("v%d order %d notes %d", ver, rng.Intn(1000), rng.Intn(10))
+
+			if qty[i] > 25 {
+				countQty25++
+			}
+			if flag[i] == "A" {
+				sumQtyFlagA += float64(qty[i])
+			}
+			if qty[i] > 10 {
+				sumPriceQty10 += price[i]
+				nQ10++
+			}
+			if flag[i] == "R" && qty[i] > 5 {
+				countR5++
+				sumPriceR5 += price[i]
+			}
+		}
+		cols := []lpq.ColumnData{
+			lpq.IntColumn(ids), lpq.IntColumn(qty), lpq.FloatColumn(price),
+			lpq.StringColumn(flag), lpq.StringColumn(comment),
+		}
+		if err := w.WriteRowGroup(cols); err != nil {
+			return nil, fmt.Errorf("loadgen: generating %s v%d: %w", ObjectName(obj), ver, err)
+		}
+	}
+	data, err := w.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: generating %s v%d: %w", ObjectName(obj), ver, err)
+	}
+	avgPriceQty10 := 0.0
+	if nQ10 > 0 {
+		avgPriceQty10 = sumPriceQty10 / nQ10
+	}
+	v.Data = data
+	v.CRC = crc32.Checksum(data, castagnoli)
+	v.Answers = [numQueryTemplates][]float64{
+		{countQty25},
+		{sumQtyFlagA},
+		{avgPriceQty10},
+		{countR5, sumPriceR5},
+	}
+	return v, nil
+}

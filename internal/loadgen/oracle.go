@@ -1,0 +1,237 @@
+package loadgen
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+
+	"github.com/fusionstore/fusion/internal/sql"
+)
+
+// ErrOracleMismatch is the sentinel wrapped by every content-verification
+// failure: the store returned bytes or aggregates matching no version it
+// could legally serve. Any occurrence is a correctness bug.
+var ErrOracleMismatch = errors.New("loadgen: oracle mismatch")
+
+// Oracle is the harness's ground truth: it holds every generated version of
+// every corpus object and decides, per response, which versions a correct
+// store could legally have served. Verification is two-layered, per the
+// chaos contract: a CRC32C fast path over the returned bytes, then a full
+// byte-for-byte comparison — so a corruption that slips past (or forges)
+// every checksum in the system still trips the content check.
+//
+// Concurrency model: puts are serialized per object (BeginPut returns false
+// while another put on the same object is in flight), so each object's
+// version history is a clean linear order. Reads record the current
+// committed version at start and the highest *begun* version at completion;
+// any version in that window is admissible — a read overlapping an
+// overwrite may see either side of it, but a read strictly after a
+// successful overwrite must see the new bytes, and no read may ever see a
+// byte string that is not exactly one generated version (the PR 4
+// old-or-new-never-hybrid invariant, now enforced under load).
+type Oracle struct {
+	seed int64
+	rows int
+
+	mu   sync.Mutex
+	objs []*objHistory
+}
+
+type objHistory struct {
+	// versions[i] is version i; version 0 is the preloaded content.
+	versions []*Version
+	// committed is the highest version whose Put returned success.
+	committed int
+	// begun is the highest version whose Put was issued (a put that failed
+	// after the commit point may still be visible, so begun — not committed
+	// — is the admissible upper bound).
+	begun int
+	// putting reports an in-flight put (puts are serialized per object).
+	putting bool
+}
+
+// NewOracle builds the oracle and generates version 0 of every object.
+func NewOracle(seed int64, objects, rowsPerObject int) (*Oracle, error) {
+	o := &Oracle{seed: seed, rows: rowsPerObject}
+	for i := 0; i < objects; i++ {
+		v0, err := GenVersion(seed, i, 0, rowsPerObject)
+		if err != nil {
+			return nil, err
+		}
+		o.objs = append(o.objs, &objHistory{versions: []*Version{v0}})
+	}
+	return o, nil
+}
+
+// Objects returns the corpus size.
+func (o *Oracle) Objects() int { return len(o.objs) }
+
+// Initial returns version 0 of an object, for preloading the store.
+func (o *Oracle) Initial(obj int) *Version {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.objs[obj].versions[0]
+}
+
+// BeginPut reserves the object's next version and returns its content. It
+// returns ok=false when a put on the same object is already in flight
+// (callers coalesce or retarget — per-object puts are serialized so the
+// version history stays linear).
+func (o *Oracle) BeginPut(obj int) (ver int, v *Version, ok bool, err error) {
+	o.mu.Lock()
+	h := o.objs[obj]
+	if h.putting {
+		o.mu.Unlock()
+		return 0, nil, false, nil
+	}
+	h.putting = true
+	ver = h.begun + 1
+	o.mu.Unlock()
+
+	// Generation happens outside the lock; it is deterministic, so a given
+	// (obj, ver) always regenerates identical bytes.
+	v, err = GenVersion(o.seed, obj, ver, o.rows)
+	if err != nil {
+		o.mu.Lock()
+		h.putting = false
+		o.mu.Unlock()
+		return 0, nil, false, err
+	}
+	o.mu.Lock()
+	h.versions = append(h.versions, v)
+	h.begun = ver
+	o.mu.Unlock()
+	return ver, v, true, nil
+}
+
+// EndPut records a put's outcome. A successful put advances the committed
+// frontier: strictly-later reads must see at least this version. A failed
+// put leaves the frontier alone but the version stays admissible — the
+// store's commit point may have passed before the error (e.g. a crash
+// during the commit fan-out), in which case serving it forever is correct.
+func (o *Oracle) EndPut(obj, ver int, success bool) {
+	o.mu.Lock()
+	h := o.objs[obj]
+	h.putting = false
+	if success && ver > h.committed {
+		h.committed = ver
+	}
+	o.mu.Unlock()
+}
+
+// ReadWindow snapshots the admissibility lower bound for a read that is
+// about to start: the currently committed version.
+func (o *Oracle) ReadWindow(obj int) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.objs[obj].committed
+}
+
+// admissible returns the versions a read with the given window may return:
+// every version from lo (committed at read start) through the highest begun
+// version at read completion.
+func (o *Oracle) admissible(obj, lo int) []*Version {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h := o.objs[obj]
+	hi := h.begun
+	if lo > hi {
+		lo = hi
+	}
+	out := make([]*Version, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, h.versions[v])
+	}
+	return out
+}
+
+// CheckGet verifies a Get response: the returned bytes must be exactly the
+// requested slice of one admissible version. length 0 means read-to-end
+// (the store's full-object read). The CRC fast path runs first; on a full
+// read whose CRC matches a version, the content comparison still runs — the
+// oracle trusts bytes, not checksums.
+func (o *Oracle) CheckGet(obj, lo int, offset, length uint64, got []byte) error {
+	versions := o.admissible(obj, lo)
+	for _, v := range versions {
+		want, ok := sliceVersion(v.Data, offset, length)
+		if !ok {
+			continue
+		}
+		if length == 0 && offset == 0 {
+			// Whole-object read: CRC fast path, then bytes.
+			if crc32.Checksum(got, castagnoli) != v.CRC {
+				continue
+			}
+		}
+		if bytes.Equal(got, want) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s [%d+%d] returned %d bytes matching none of %d admissible versions (window base v%d)",
+		ErrOracleMismatch, ObjectName(obj), offset, length, len(got), len(versions), lo)
+}
+
+// sliceVersion mirrors the store's Get range semantics over reference
+// bytes: length 0 reads to the end; out-of-range requests are unservable
+// from this version.
+func sliceVersion(data []byte, offset, length uint64) ([]byte, bool) {
+	if offset > uint64(len(data)) {
+		return nil, false
+	}
+	if length == 0 {
+		return data[offset:], true
+	}
+	if offset+length > uint64(len(data)) {
+		return nil, false
+	}
+	return data[offset : offset+length], true
+}
+
+// aggTolerance is the relative error allowed when comparing float
+// aggregates (the store accumulates in a different association order than
+// the reference).
+const aggTolerance = 1e-6
+
+// CheckQuery verifies a query result's aggregate row against the reference
+// answers of every admissible version.
+func (o *Oracle) CheckQuery(obj, lo, template int, aggs []sql.Literal) error {
+	versions := o.admissible(obj, lo)
+	for _, v := range versions {
+		if aggRowMatches(v.Answers[template], aggs) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: query t%d on %s returned %v, matching none of %d admissible versions (window base v%d)",
+		ErrOracleMismatch, template, ObjectName(obj), aggs, len(versions), lo)
+}
+
+func aggRowMatches(want []float64, got []sql.Literal) bool {
+	if len(want) != len(got) {
+		return false
+	}
+	for i := range want {
+		g := got[i].AsFloat()
+		diff := math.Abs(g - want[i])
+		if diff > aggTolerance*math.Max(1, math.Abs(want[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeFor derives a deterministic in-bounds (offset, length) range read
+// from an op's Arg draw over version-0 bytes (range reads target immutable
+// objects, so version 0 is the only version).
+func (o *Oracle) RangeFor(obj int, arg uint64) (offset, length uint64) {
+	size := uint64(len(o.Initial(obj).Data))
+	if size == 0 {
+		return 0, 0
+	}
+	offset = (arg >> 32) % size
+	rest := size - offset
+	length = arg%rest + 1
+	return offset, length
+}

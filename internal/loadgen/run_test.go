@@ -1,0 +1,216 @@
+package loadgen
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/simnet"
+	"github.com/fusionstore/fusion/internal/store"
+	"github.com/fusionstore/fusion/internal/tcpnet"
+)
+
+// testStore builds a 9-node store for load tests over the given client.
+func testStore(t testing.TB, client cluster.Client, seed int64) *store.Store {
+	t.Helper()
+	opts := store.FusionOptions()
+	opts.StorageBudget = 0.5 // corpus objects are small
+	opts.QueryWorkers = 2
+	opts.Retry = cluster.Policy{
+		MaxAttempts: 3,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  500 * time.Microsecond,
+		Jitter:      cluster.NewJitterSource(seed),
+	}
+	s, err := store.New(client, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func simClient(nodes int) cluster.Client {
+	cfg := simnet.DefaultConfig()
+	cfg.Nodes = nodes
+	return simnet.New(cfg)
+}
+
+// checkHealthyRun asserts what a load run against a fault-free cluster must
+// look like: every op served, every response verified, zero mismatches.
+func checkHealthyRun(t *testing.T, run *RunStats) {
+	t.Helper()
+	if run.OracleMismatches != 0 {
+		t.Fatalf("oracle mismatches on a healthy cluster: %v", run.MismatchSamples)
+	}
+	if run.OracleChecks == 0 {
+		t.Fatal("run verified nothing")
+	}
+	if a := run.Availability(); a != 1 {
+		for kind, ops := range run.PerOp {
+			if ops.Failed > 0 {
+				t.Errorf("%s: %d/%d failed: %v", kind, ops.Failed, ops.Attempted, ops.Errors)
+			}
+		}
+		t.Fatalf("availability %.4f on a healthy cluster", a)
+	}
+	for _, kind := range []OpKind{OpGet, OpPut, OpQuery} {
+		ops := run.PerOp[kind.String()]
+		if ops == nil || ops.Attempted == 0 {
+			t.Fatalf("no %s ops attempted", kind)
+		}
+	}
+	if run.GoodputOps <= 0 || run.GoodputMBps <= 0 {
+		t.Fatalf("no goodput recorded: %+v", run)
+	}
+}
+
+// TestLoadSmokeSimnet drives the full harness end to end on a healthy
+// simulated cluster: open-loop dispatch, mixed traffic, oracle verification
+// of every response, SLO verdicts.
+func TestLoadSmokeSimnet(t *testing.T) {
+	s := testStore(t, simClient(9), 1)
+	run, err := Run(StoreTarget{S: s}, Config{
+		Seed:          5,
+		Rate:          600,
+		Duration:      400 * time.Millisecond,
+		Objects:       8,
+		RowsPerObject: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHealthyRun(t, run)
+	if !run.SLOPass {
+		t.Fatalf("default SLOs failed on a healthy smoke run: %+v", run.Verdicts)
+	}
+	if run.ScheduledOps < 100 {
+		t.Fatalf("suspiciously short schedule: %d ops", run.ScheduledOps)
+	}
+}
+
+// TestLoadOverTCPNet runs the same harness over real sockets: 9 tcpnet
+// servers on loopback, hundreds of concurrent in-flight clients. This is
+// the "real transport" configuration of the ISSUE, scaled to CI time.
+func TestLoadOverTCPNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket load run")
+	}
+	var addrs []string
+	for i := 0; i < 9; i++ {
+		srv, err := tcpnet.NewServer(cluster.NewNode(i, cluster.NewMemStore()), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+	client := tcpnet.NewClient(addrs)
+	defer client.Close()
+	s := testStore(t, client, 2)
+	run, err := Run(StoreTarget{S: s}, Config{
+		Seed:          6,
+		Rate:          500,
+		Duration:      400 * time.Millisecond,
+		Objects:       8,
+		RowsPerObject: 40,
+		MaxInflight:   256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHealthyRun(t, run)
+}
+
+// corruptTarget flips one byte in every Nth Get response *after* the store
+// returned it — downstream of every checksum the system verifies, the way a
+// buggy buffer reuse or a DMA error past the NIC would look.
+type corruptTarget struct {
+	Target
+	n     uint64
+	calls atomic.Uint64
+}
+
+func (c *corruptTarget) Get(ctx context.Context, name string, offset, length uint64) ([]byte, error) {
+	data, err := c.Target.Get(ctx, name, offset, length)
+	if err == nil && len(data) > 0 && c.calls.Add(1)%c.n == 0 {
+		data = append([]byte(nil), data...)
+		data[len(data)/2] ^= 0x04
+	}
+	return data, err
+}
+
+// TestRunDetectsEndToEndCorruption proves the harness actually fails when
+// the data path lies: with a middleware corrupting every 3rd Get response
+// past all CRC layers, the run must report oracle mismatches, classify them
+// under the oracle_mismatch error class, and fail the SLO verdict.
+func TestRunDetectsEndToEndCorruption(t *testing.T) {
+	s := testStore(t, simClient(9), 3)
+	ct := &corruptTarget{Target: StoreTarget{S: s}, n: 3}
+	run, err := Run(ct, Config{
+		Seed:          7,
+		Rate:          400,
+		Duration:      300 * time.Millisecond,
+		Objects:       6,
+		RowsPerObject: 30,
+		Mix:           Mix{Get: 1}, // all Gets: every op exercises the corrupted path
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.OracleMismatches == 0 {
+		t.Fatal("corrupted responses went undetected")
+	}
+	gets := run.PerOp[OpGet.String()]
+	if gets.Errors[ErrClassOracleMismatch] != run.OracleMismatches {
+		t.Fatalf("mismatches not classified: %v (want %d oracle_mismatch)", gets.Errors, run.OracleMismatches)
+	}
+	if run.SLOPass {
+		t.Fatal("SLOPass despite oracle mismatches")
+	}
+	if run.OracleChecks <= run.OracleMismatches {
+		t.Fatalf("clean responses should still verify: checks=%d mismatches=%d", run.OracleChecks, run.OracleMismatches)
+	}
+}
+
+// TestRunChargesQueueingToLatency pins the open-loop property the harness
+// exists for: against a target that stalls every request 5ms at 4× that
+// service rate with MaxInflight 1, a closed-loop driver would report ~5ms
+// per op; the open-loop p99 must instead show the queueing backlog (many
+// times the service time), because latency is charged from the scheduled
+// arrival.
+func TestRunChargesQueueingToLatency(t *testing.T) {
+	s := testStore(t, simClient(9), 4)
+	slow := &stallTarget{Target: StoreTarget{S: s}, delay: 5 * time.Millisecond}
+	run, err := Run(slow, Config{
+		Seed:          8,
+		Rate:          800, // 4× the 200/s the stalled single-file target can serve
+		Duration:      250 * time.Millisecond,
+		Objects:       4,
+		RowsPerObject: 20,
+		Mix:           Mix{Get: 1},
+		MaxInflight:   1, // serialize: a closed loop in disguise — except for the clock
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gets := run.PerOp[OpGet.String()]
+	// With ~200 arrivals queued behind a 5ms server, the median op waits far
+	// longer than one service time. 20ms is 4 service times — conservatively
+	// below the tens-of-ms backlog the schedule builds, far above a
+	// closed-loop reading.
+	if gets.P50Us < 20_000 {
+		t.Fatalf("open-loop p50 %.0fµs hides the queueing backlog (service time 5000µs)", gets.P50Us)
+	}
+}
+
+type stallTarget struct {
+	Target
+	delay time.Duration
+}
+
+func (s *stallTarget) Get(ctx context.Context, name string, offset, length uint64) ([]byte, error) {
+	time.Sleep(s.delay)
+	return s.Target.Get(ctx, name, offset, length)
+}

@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/faultnet"
+	"github.com/fusionstore/fusion/internal/rpc"
+)
+
+// SoakConfig parameterizes a chaos-under-load soak: the load run itself
+// plus the fault schedule driven concurrently with it.
+type SoakConfig struct {
+	// Load is the traffic to sustain while faults fire.
+	Load Config
+	// Chaos drives the crash-walk (node crashes and revivals). MaxDown
+	// must stay at or below the code's n−k tolerance for the availability
+	// floor to be assertable.
+	Chaos faultnet.ChaosConfig
+	// CorruptProb injects in-flight response corruption on block reads at
+	// this per-call probability (0 disables). The store's CRC layers must
+	// catch these and reconstruct; the oracle then proves the recovery
+	// produced the right bytes.
+	CorruptProb float64
+	// SlowProb injects SlowDelay-long stalls at this per-call probability
+	// (0 disables) — tail-latency pressure, not failures.
+	SlowProb float64
+	// SlowDelay is the injected stall length (default 2ms).
+	SlowDelay time.Duration
+	// ReadAvailabilityFloor is the Get+Query availability the soak must
+	// hold while the crash-walk stays within tolerance (default 0.99).
+	// Puts are excluded: a stripe write legitimately fails while any
+	// placement node is down, and those failures are asserted to be
+	// cleanly classified instead.
+	ReadAvailabilityFloor float64
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.SlowDelay <= 0 {
+		c.SlowDelay = 2 * time.Millisecond
+	}
+	if c.ReadAvailabilityFloor <= 0 {
+		c.ReadAvailabilityFloor = 0.99
+	}
+	return c
+}
+
+// SoakStats is a soak run's outcome: the load stats plus the fault
+// schedule that ran against it and the resulting verdict.
+type SoakStats struct {
+	Run   *RunStats           `json:"run"`
+	Chaos faultnet.ChaosStats `json:"chaos"`
+	// InjectedFaults is the injector's total fired-fault count (crashes
+	// via the walk are separate, in Chaos).
+	InjectedFaults uint64 `json:"injected_faults"`
+	// ReadAvailability is Get+Query availability over the run.
+	ReadAvailability float64 `json:"read_availability"`
+	// Floor echoes the asserted floor.
+	Floor float64 `json:"floor"`
+	// Pass is the soak verdict: read availability at or above the floor,
+	// zero oracle mismatches, and no unclassified ("other") errors.
+	Pass bool `json:"pass"`
+	// Failures lists what broke the verdict.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Soak preloads the corpus on a healthy cluster, then runs the load
+// schedule while a seeded crash-walk (plus optional corruption and
+// slow-response rules) mutates the injector, and renders the verdict. The
+// injector must wrap the transport under the driven store; chaosSeed names
+// the walk's schedule for reproduction.
+func Soak(target Target, inj *faultnet.Injector, chaosSeed int64, cfg SoakConfig) (*SoakStats, error) {
+	cfg = cfg.withDefaults()
+	loadCfg := cfg.Load.withDefaults()
+	oracle, err := NewOracle(loadCfg.Seed, loadCfg.Objects, loadCfg.RowsPerObject)
+	if err != nil {
+		return nil, err
+	}
+	// Preload before any fault fires: the soak measures serving under
+	// faults, not loading under faults (that is what put availability
+	// during the run measures).
+	if err := Preload(target, oracle); err != nil {
+		return nil, err
+	}
+
+	if cfg.CorruptProb > 0 {
+		inj.Add(faultnet.Rule{
+			Node: faultnet.NodeAny, Kind: rpc.KindGetBlock,
+			Fault: faultnet.FaultCorrupt, Prob: cfg.CorruptProb,
+		})
+	}
+	if cfg.SlowProb > 0 {
+		inj.Add(faultnet.Rule{
+			Node: faultnet.NodeAny, Kind: faultnet.KindAny,
+			Fault: faultnet.FaultSlow, Prob: cfg.SlowProb, Delay: cfg.SlowDelay,
+		})
+	}
+	chaos := faultnet.StartChaos(inj, chaosSeed, cfg.Chaos)
+	run, err := RunPreloaded(target, oracle, loadCfg)
+	chaos.Stop()
+	inj.ClearRules()
+	if err != nil {
+		return nil, err
+	}
+
+	st := &SoakStats{
+		Run:              run,
+		Chaos:            chaos.Stats(),
+		InjectedFaults:   inj.InjectedTotal(),
+		ReadAvailability: run.ReadAvailability(),
+		Floor:            cfg.ReadAvailabilityFloor,
+		Pass:             true,
+	}
+	fail := func(format string, args ...any) {
+		st.Pass = false
+		st.Failures = append(st.Failures, fmt.Sprintf(format, args...))
+	}
+	if run.OracleMismatches != 0 {
+		fail("%d oracle mismatches (first: %v)", run.OracleMismatches, run.MismatchSamples)
+	}
+	if st.ReadAvailability < cfg.ReadAvailabilityFloor {
+		fail("read availability %.4f below floor %.4f", st.ReadAvailability, cfg.ReadAvailabilityFloor)
+	}
+	for kind, ops := range run.PerOp {
+		if n := ops.Errors[ErrClassOther]; n > 0 {
+			fail("%d unclassified %s errors", n, kind)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/faultnet"
+	"github.com/fusionstore/fusion/internal/simnet"
+)
+
+// soakFixture builds an injector-wrapped 9-node store plus the soak config
+// used by both the CI gate and the nightly run.
+func soakFixture(t testing.TB, seed int64, load Config) (*faultnet.Injector, SoakConfig, Target) {
+	t.Helper()
+	cfg := simnet.DefaultConfig()
+	cfg.Nodes = 9
+	inj := faultnet.New(simnet.New(cfg), seed)
+	s := testStore(t, inj, seed)
+	sc := SoakConfig{
+		Load: load,
+		Chaos: faultnet.ChaosConfig{
+			MaxDown:    2, // below RS(9,6)'s n−k = 3: every fault pattern is tolerable
+			ToggleProb: 0.6,
+			Step:       20 * time.Millisecond,
+		},
+		CorruptProb:           0.02,
+		SlowProb:              0.03,
+		SlowDelay:             time.Millisecond,
+		ReadAvailabilityFloor: 0.99,
+	}
+	return inj, sc, StoreTarget{S: s}
+}
+
+func checkSoak(t *testing.T, st *SoakStats) {
+	t.Helper()
+	if st.Run.OracleMismatches != 0 {
+		t.Errorf("CORRUPTION: %d oracle mismatches: %v", st.Run.OracleMismatches, st.Run.MismatchSamples)
+	}
+	if !st.Pass {
+		t.Errorf("soak verdict failed: %v", st.Failures)
+	}
+	if st.ReadAvailability < st.Floor {
+		t.Errorf("read availability %.4f below floor %.2f", st.ReadAvailability, st.Floor)
+	}
+	if t.Failed() {
+		t.Fatalf("soak stats: crashes=%d revives=%d maxDown=%d injected=%d checks=%d degraded=%d retries=%d",
+			st.Chaos.Crashes, st.Chaos.Revives, st.Chaos.MaxSimultaneousDown, st.InjectedFaults,
+			st.Run.OracleChecks, st.Run.Trace.DegradedReads, st.Run.Trace.Retries)
+	}
+	t.Logf("soak: readAvail=%.4f crashes=%d (≤%d down) injected=%d checks=%d degraded=%d retries=%d",
+		st.ReadAvailability, st.Chaos.Crashes, st.Chaos.MaxSimultaneousDown,
+		st.InjectedFaults, st.Run.OracleChecks, st.Run.Trace.DegradedReads, st.Run.Trace.Retries)
+}
+
+// TestChaosSoakUnderLoad is the PR's availability gate: the faultnet
+// crash-walk (node crashes and revivals up to 2 simultaneous), response
+// corruption and slow-node stalls all run *while* the open-loop generator
+// serves mixed traffic, and the run must hold the 99% read-availability
+// floor with zero oracle mismatches — every Get and Query response
+// content-verified against the seeded corpus. The walk stays within the
+// code's declared tolerance, so anything below the floor is a bug, not bad
+// luck; reproduce a failure with the seeds logged in the stats line.
+func TestChaosSoakUnderLoad(t *testing.T) {
+	inj, sc, target := soakFixture(t, 31, Config{
+		Seed:          31,
+		Rate:          400,
+		Duration:      700 * time.Millisecond,
+		Objects:       10,
+		RowsPerObject: 40,
+	})
+	st, err := Soak(target, inj, 32, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSoak(t, st)
+	if st.Chaos.Crashes == 0 && st.InjectedFaults == 0 {
+		t.Fatal("soak ran with no faults at all — the gate proved nothing")
+	}
+}
+
+// TestChaosSoakNightly is the long soak, opt-in via FUSION_SOAK=1 (CI runs
+// it on the nightly schedule): tens of seconds of sustained traffic under
+// the same crash-walk, long enough for many crash/revive cycles, cache
+// churn and repair traffic to interleave.
+func TestChaosSoakNightly(t *testing.T) {
+	if os.Getenv("FUSION_SOAK") != "1" {
+		t.Skip("long soak; set FUSION_SOAK=1 to run")
+	}
+	inj, sc, target := soakFixture(t, 41, Config{
+		Seed:          41,
+		Rate:          600,
+		Duration:      20 * time.Second,
+		Objects:       24,
+		RowsPerObject: 80,
+	})
+	st, err := Soak(target, inj, 42, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSoak(t, st)
+	if st.Chaos.Crashes < 10 {
+		t.Errorf("20s walk produced only %d crashes — chaos misconfigured?", st.Chaos.Crashes)
+	}
+}

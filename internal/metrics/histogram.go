@@ -197,6 +197,7 @@ type HistogramSnapshot struct {
 	P50   time.Duration `json:"p50_ns"`
 	P95   time.Duration `json:"p95_ns"`
 	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
 	Min   time.Duration `json:"min_ns"`
 	Max   time.Duration `json:"max_ns"`
 }
@@ -210,6 +211,7 @@ func summarize(k Key, h *Histogram) HistogramSnapshot {
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
 		Min:   time.Duration(h.min),
 		Max:   time.Duration(h.max),
 	}
@@ -303,12 +305,12 @@ func (s *HistogramSet) WriteText(w io.Writer) {
 			keyW = l
 		}
 	}
-	fmt.Fprintf(w, "  %-*s %10s %12s %12s %12s %12s %12s\n",
-		keyW, "op", "count", "mean", "p50", "p95", "p99", "max")
+	fmt.Fprintf(w, "  %-*s %10s %12s %12s %12s %12s %12s %12s\n",
+		keyW, "op", "count", "mean", "p50", "p95", "p99", "p99.9", "max")
 	for _, sn := range snaps {
-		fmt.Fprintf(w, "  %-*s %10d %12v %12v %12v %12v %12v\n",
+		fmt.Fprintf(w, "  %-*s %10d %12v %12v %12v %12v %12v %12v\n",
 			keyW, Key{Op: sn.Op, Node: sn.Node}.String(), sn.Count,
-			round(sn.Mean), round(sn.P50), round(sn.P95), round(sn.P99), round(sn.Max))
+			round(sn.Mean), round(sn.P50), round(sn.P95), round(sn.P99), round(sn.P999), round(sn.Max))
 	}
 }
 

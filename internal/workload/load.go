@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/faultnet"
+	"github.com/fusionstore/fusion/internal/loadgen"
+	"github.com/fusionstore/fusion/internal/simnet"
+	"github.com/fusionstore/fusion/internal/store"
+)
+
+// LoadLadderConfig is the canonical BENCH_load.json configuration: the
+// arrival-rate ladder, the traffic mix, and the chaos soak that runs after
+// it. The SLO gate re-runs exactly this configuration, so the checked-in
+// artifact and the CI verdict always describe the same workload.
+type LoadLadderConfig struct {
+	// Seed drives schedules, corpora and the chaos walk.
+	Seed int64
+	// Rates is the open-loop arrival ladder, ops/sec.
+	Rates []float64
+	// Window is each rung's arrival horizon.
+	Window time.Duration
+	// Objects and RowsPerObject size the corpus.
+	Objects       int
+	RowsPerObject int
+	// Soak parameterizes the chaos-under-load leg.
+	Soak loadgen.SoakConfig
+}
+
+// DefaultLoadConfig returns the canonical ladder: three rungs spanning an
+// order of magnitude, then a crash-walk soak with corruption and slow-node
+// rules at the middle rate.
+func DefaultLoadConfig() LoadLadderConfig {
+	cfg := LoadLadderConfig{
+		Seed:          11,
+		Rates:         []float64{500, 1500, 4000},
+		Window:        1200 * time.Millisecond,
+		Objects:       24,
+		RowsPerObject: 120,
+	}
+	cfg.Soak = loadgen.SoakConfig{
+		Load: loadgen.Config{
+			Seed:          cfg.Seed + 1,
+			Rate:          800,
+			Duration:      1500 * time.Millisecond,
+			Objects:       cfg.Objects,
+			RowsPerObject: cfg.RowsPerObject,
+		},
+		Chaos: faultnet.ChaosConfig{
+			MaxDown:    2, // within RS(9,6)'s n−k = 3 tolerance, with margin for a concurrent corruption
+			ToggleProb: 0.6,
+			Step:       25 * time.Millisecond,
+		},
+		CorruptProb:           0.02,
+		SlowProb:              0.05,
+		SlowDelay:             2 * time.Millisecond,
+		ReadAvailabilityFloor: 0.99,
+	}
+	return cfg
+}
+
+// LoadStats is the machine-readable result of the load experiment, checked
+// in as BENCH_load.json: one entry per ladder rung plus the soak outcome —
+// the perf trajectory every later PR regresses against.
+type LoadStats struct {
+	Config struct {
+		Seed          int64     `json:"seed"`
+		Nodes         int       `json:"nodes"`
+		Objects       int       `json:"objects"`
+		RowsPerObject int       `json:"rows_per_object"`
+		WindowMS      float64   `json:"window_ms"`
+		Rates         []float64 `json:"rates_ops"`
+	} `json:"config"`
+	Ladder []*loadgen.RunStats `json:"ladder"`
+	Soak   *loadgen.SoakStats  `json:"soak"`
+}
+
+// JSON renders the stats as indented JSON with a trailing newline.
+func (st *LoadStats) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// loadStore builds a fresh simnet deployment for one load run. The ladder
+// runs cold-path (cache off, the paper's configuration); the soak enables
+// the coordinator cache so chaos also exercises PR 5's invalidation under
+// concurrent overwrites.
+func loadStore(nodes int, seed int64, cacheBytes int64) (*store.Store, *faultnet.Injector, error) {
+	cfg := simnet.DefaultConfig()
+	cfg.Nodes = nodes
+	inj := faultnet.New(simnet.New(cfg), seed)
+	opts := store.FusionOptions()
+	opts.StorageBudget = 0.5 // corpus objects are small; Algorithm 1's overhead is legitimately a few percent
+	opts.CacheBytes = cacheBytes
+	opts.QueryWorkers = 2 // hundreds of concurrent queries: bound each one's fan-out pool
+	opts.Retry = cluster.Policy{
+		MaxAttempts: 3,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Jitter:      cluster.NewJitterSource(seed),
+	}
+	s, err := store.New(inj, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, inj, nil
+}
+
+// MeasureLoad runs the canonical configuration: the open-loop arrival
+// ladder on a healthy cluster, then the chaos-under-load soak.
+func MeasureLoad(l *Lab) (*LoadStats, error) {
+	return MeasureLoadWith(l, DefaultLoadConfig())
+}
+
+// MeasureLoadWith runs a specific ladder configuration (the SLO gate uses
+// this to replay the canonical config).
+func MeasureLoadWith(l *Lab, cfg LoadLadderConfig) (*LoadStats, error) {
+	const nodes = 9
+	st := &LoadStats{}
+	st.Config.Seed = cfg.Seed
+	st.Config.Nodes = nodes
+	st.Config.Objects = cfg.Objects
+	st.Config.RowsPerObject = cfg.RowsPerObject
+	st.Config.WindowMS = float64(cfg.Window) / float64(time.Millisecond)
+	st.Config.Rates = cfg.Rates
+
+	for _, rate := range cfg.Rates {
+		// A fresh deployment per rung: rungs measure the configured rate,
+		// not the debris of the previous one.
+		s, _, err := loadStore(nodes, cfg.Seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		run, err := loadgen.Run(loadgen.StoreTarget{S: s}, loadgen.Config{
+			Seed:          cfg.Seed,
+			Rate:          rate,
+			Duration:      cfg.Window,
+			Objects:       cfg.Objects,
+			RowsPerObject: cfg.RowsPerObject,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("workload: load rung %g: %w", rate, err)
+		}
+		st.Ladder = append(st.Ladder, run)
+	}
+
+	s, inj, err := loadStore(nodes, cfg.Seed, 64<<20)
+	if err != nil {
+		return nil, err
+	}
+	soak, err := loadgen.Soak(loadgen.StoreTarget{S: s}, inj, cfg.Seed+2, cfg.Soak)
+	if err != nil {
+		return nil, fmt.Errorf("workload: soak: %w", err)
+	}
+	st.Soak = soak
+	return st, nil
+}
+
+// LoadReport is the registry driver: the ladder as a printable table.
+func (l *Lab) LoadReport() *Report {
+	st, err := MeasureLoad(l)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	r := &Report{
+		ID:     "load",
+		Title:  "open-loop load ladder + chaos soak (SLO verdicts)",
+		Header: []string{"rate ops/s", "op", "p50 µs", "p99 µs", "p99.9 µs", "avail", "slo"},
+	}
+	for _, run := range st.Ladder {
+		for _, op := range []string{"get", "put", "query"} {
+			o := run.PerOp[op]
+			if o == nil || o.Attempted == 0 {
+				continue
+			}
+			verdict := "pass"
+			for _, v := range run.Verdicts {
+				if v.Op == op && !v.Pass {
+					verdict = "FAIL"
+				}
+			}
+			r.Rows = append(r.Rows, []string{
+				fmt.Sprintf("%.0f", run.RateOps), op,
+				fmt.Sprintf("%.0f", o.P50Us), fmt.Sprintf("%.0f", o.P99Us), fmt.Sprintf("%.0f", o.P999Us),
+				fmt.Sprintf("%.4f", o.Availability()), verdict,
+			})
+		}
+	}
+	soakLine := "pass"
+	if !st.Soak.Pass {
+		soakLine = fmt.Sprintf("FAIL: %v", st.Soak.Failures)
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("soak: %s — read availability %.4f (floor %.2f), %d crashes (≤%d down), %d injected faults, %d oracle checks, %d mismatches",
+			soakLine, st.Soak.ReadAvailability, st.Soak.Floor, st.Soak.Chaos.Crashes,
+			st.Soak.Chaos.MaxSimultaneousDown, st.Soak.InjectedFaults,
+			st.Soak.Run.OracleChecks, st.Soak.Run.OracleMismatches),
+		"latency is arrival-to-completion (open loop): queueing under overload is charged to the system",
+		"refresh BENCH_load.json with: fusion-bench -experiment load -json BENCH_load.json",
+	)
+	return r
+}
+
+// SoakReport is the registry driver for the soak alone (fusion-bench
+// -experiment soak).
+func (l *Lab) SoakReport() *Report {
+	cfg := DefaultLoadConfig()
+	const nodes = 9
+	s, inj, err := loadStore(nodes, cfg.Seed, 64<<20)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	soak, err := loadgen.Soak(loadgen.StoreTarget{S: s}, inj, cfg.Seed+2, cfg.Soak)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	r := &Report{
+		ID:     "soak",
+		Title:  "chaos-under-load soak (crash-walk + corruption while serving)",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"verdict", fmt.Sprintf("pass=%v %v", soak.Pass, soak.Failures)},
+			{"read availability", fmt.Sprintf("%.4f (floor %.2f)", soak.ReadAvailability, soak.Floor)},
+			{"overall availability", fmt.Sprintf("%.4f", soak.Run.Availability())},
+			{"crashes / revives", fmt.Sprintf("%d / %d (max %d down)", soak.Chaos.Crashes, soak.Chaos.Revives, soak.Chaos.MaxSimultaneousDown)},
+			{"injected faults", fmt.Sprint(soak.InjectedFaults)},
+			{"oracle checks / mismatches", fmt.Sprintf("%d / %d", soak.Run.OracleChecks, soak.Run.OracleMismatches)},
+			{"degraded reads", fmt.Sprint(soak.Run.Trace.DegradedReads)},
+			{"retries", fmt.Sprint(soak.Run.Trace.Retries)},
+		},
+	}
+	return r
+}

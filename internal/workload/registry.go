@@ -43,6 +43,8 @@ var Experiments = []Experiment{
 	{"abl-rs1410", "FAC overhead under RS(14,10)", (*Lab).AblRS1410},
 	{"abl-aggpush", "extension: aggregate pushdown", (*Lab).AblAggPush},
 	{"hotpath", "hot-path microbenchmarks: kernels, batching, allocs", (*Lab).Hotpath},
+	{"load", "open-loop load ladder: arrival rate → latency percentiles + SLO verdicts", (*Lab).LoadReport},
+	{"soak", "chaos-under-load soak: crash-walk + corruption while serving", (*Lab).SoakReport},
 }
 
 // Find returns the experiment with the given id.

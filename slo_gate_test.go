@@ -1,0 +1,69 @@
+package fusion_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"github.com/fusionstore/fusion/internal/workload"
+)
+
+// TestLoadSLOGate is the CI guard for the load harness trajectory: it
+// replays the canonical BENCH_load.json configuration (the same ladder and
+// soak the checked-in artifact was generated from) and fails on regression
+// against the baseline's *verdicts* — any arrival rate that held its SLOs
+// in the baseline must still hold them, the soak must still pass its
+// availability floor, and no run may report an oracle mismatch, ever.
+//
+// Gating on verdicts rather than raw microseconds keeps the gate robust
+// across machines: the SLO bounds are deliberately loose wall-clock
+// ceilings (see DESIGN.md §12), so a pass→fail flip means an
+// order-of-magnitude regression or an availability hole, not scheduler
+// noise. It only runs when FUSION_SLO_GATE=1 so ordinary `go test ./...`
+// stays timing-independent.
+func TestLoadSLOGate(t *testing.T) {
+	if os.Getenv("FUSION_SLO_GATE") != "1" {
+		t.Skip("SLO gate is timing-dependent; set FUSION_SLO_GATE=1 to run")
+	}
+	raw, err := os.ReadFile("BENCH_load.json")
+	if err != nil {
+		t.Fatalf("reading baseline (regenerate with fusion-bench -experiment load -json BENCH_load.json): %v", err)
+	}
+	var baseline workload.LoadStats
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+
+	fresh, err := workload.MeasureLoadWith(workload.NewLab(1), workload.DefaultLoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Ladder) != len(baseline.Ladder) {
+		t.Fatalf("ladder shape changed: baseline %d rungs, fresh %d — regenerate BENCH_load.json",
+			len(baseline.Ladder), len(fresh.Ladder))
+	}
+
+	for i, base := range baseline.Ladder {
+		got := fresh.Ladder[i]
+		if got.OracleMismatches != 0 {
+			t.Errorf("rate %.0f: %d oracle mismatches: %v", got.RateOps, got.OracleMismatches, got.MismatchSamples)
+		}
+		if base.SLOPass && !got.SLOPass {
+			var broken []string
+			for _, v := range got.Verdicts {
+				broken = append(broken, v.Violations...)
+			}
+			t.Errorf("rate %.0f: SLOs regressed from passing baseline: %v", got.RateOps, broken)
+		}
+		t.Logf("rate %.0f: slo_pass=%v goodput %.0f ops/s (baseline %.0f)",
+			got.RateOps, got.SLOPass, got.GoodputOps, base.GoodputOps)
+	}
+	if fresh.Soak.Run.OracleMismatches != 0 {
+		t.Errorf("soak: %d oracle mismatches: %v", fresh.Soak.Run.OracleMismatches, fresh.Soak.Run.MismatchSamples)
+	}
+	if baseline.Soak != nil && baseline.Soak.Pass && !fresh.Soak.Pass {
+		t.Errorf("soak regressed from passing baseline: %v", fresh.Soak.Failures)
+	}
+	t.Logf("soak: pass=%v readAvail=%.4f crashes=%d injected=%d",
+		fresh.Soak.Pass, fresh.Soak.ReadAvailability, fresh.Soak.Chaos.Crashes, fresh.Soak.InjectedFaults)
+}
