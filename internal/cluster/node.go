@@ -113,6 +113,10 @@ func (n *Node) handle(req *rpc.Request) *rpc.Response {
 		return n.handleProject(req)
 	case rpc.KindAggregate:
 		return n.handleAggregate(req)
+	case rpc.KindGroupAgg:
+		return n.handleGroupAgg(req)
+	case rpc.KindTopK:
+		return n.handleTopK(req)
 	case rpc.KindBatch:
 		return n.handleBatch(req)
 	default:
@@ -300,6 +304,93 @@ func (n *Node) handleAggregate(req *rpc.Request) *rpc.Response {
 	state := sql.NewAggState(sql.AggCount)
 	state.AddColumn(col, bm)
 	return &rpc.Response{Matches: bm.Count(), Agg: state, Cost: cost}
+}
+
+// handleGroupAgg folds one row group's selected rows into per-group partial
+// aggregate states and returns them in deterministic key order. Only the
+// partial states cross the network — (count, sum, min, max) per group and
+// aggregate, never a pre-divided AVG — so the coordinator's merge is exact
+// regardless of how rows were split across nodes.
+func (n *Node) handleGroupAgg(req *rpc.Request) *rpc.Response {
+	var cost rpc.Cost
+	if len(req.KeyChunks) == 0 {
+		return errResp(fmt.Errorf("cluster: GroupAgg without key chunks"))
+	}
+	if len(req.ValChunks) != len(req.AggKinds) {
+		return errResp(fmt.Errorf("cluster: GroupAgg has %d value chunks, %d aggregate kinds",
+			len(req.ValChunks), len(req.AggKinds)))
+	}
+	bm, err := bitmap.Unmarshal(req.Bitmap)
+	if err != nil {
+		return errResp(err)
+	}
+	keys := make([]lpq.ColumnData, len(req.KeyChunks))
+	for i, ref := range req.KeyChunks {
+		col, c, err := n.readChunk(ref)
+		cost.Add(c)
+		if err != nil {
+			return errRespCost(err, cost)
+		}
+		if col.Len() != bm.Len() {
+			return errRespCost(fmt.Errorf("cluster: bitmap has %d rows, key chunk has %d", bm.Len(), col.Len()), cost)
+		}
+		keys[i] = col
+	}
+	vals := make([]lpq.ColumnData, len(req.ValChunks))
+	for i, ref := range req.ValChunks {
+		if ref.BlockID == "" {
+			continue // COUNT(*): no argument column
+		}
+		col, c, err := n.readChunk(ref)
+		cost.Add(c)
+		if err != nil {
+			return errRespCost(err, cost)
+		}
+		if col.Len() != bm.Len() {
+			return errRespCost(fmt.Errorf("cluster: bitmap has %d rows, value chunk has %d", bm.Len(), col.Len()), cost)
+		}
+		vals[i] = col
+	}
+	g := sql.NewGroupTable(req.AggKinds, req.MaxGroups)
+	if err := g.AddRows(keys, vals, bm); err != nil {
+		return errRespCost(err, cost)
+	}
+	return &rpc.Response{Groups: g.Sorted(), Matches: bm.Count(), Cost: cost}
+}
+
+// handleTopK returns the row group's local top-k selected rows by the
+// request's order chunk: each candidate carries its sort key and global
+// (rg, row) position, so the coordinator's bounded k-way merge stays
+// deterministic under ties.
+func (n *Node) handleTopK(req *rpc.Request) *rpc.Response {
+	col, cost, err := n.readChunk(req.Chunk)
+	if err != nil {
+		return errRespCost(err, cost)
+	}
+	bm, err := bitmap.Unmarshal(req.Bitmap)
+	if err != nil {
+		return errRespCost(err, cost)
+	}
+	if bm.Len() != col.Len() {
+		return errRespCost(fmt.Errorf("cluster: bitmap has %d rows, chunk has %d", bm.Len(), col.Len()), cost)
+	}
+	tk := sql.NewTopK(req.K, req.Desc)
+	bm.ForEach(func(i int) {
+		tk.Push(rowLiteral(col, i), req.RG, int32(i))
+	})
+	return &rpc.Response{TopRows: tk.Rows(), Matches: bm.Count(), Cost: cost}
+}
+
+// rowLiteral extracts row i of col as a literal.
+func rowLiteral(col lpq.ColumnData, i int) sql.Literal {
+	switch col.Type {
+	case lpq.Int64:
+		return sql.IntLit(col.Ints[i])
+	case lpq.Float64:
+		return sql.FloatLit(col.Floats[i])
+	default:
+		return sql.StringLit(col.Strings[i])
+	}
 }
 
 // handleBatch executes a scatter-gather frame: each sub-request runs through

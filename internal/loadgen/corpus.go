@@ -4,22 +4,37 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math/rand"
+	"sort"
 
 	"github.com/fusionstore/fusion/internal/lpq"
+	"github.com/fusionstore/fusion/internal/sql"
 )
 
 // queryTemplates are the fixed analytical shapes the generator issues, each
 // parameterized by object name. Their reference answers are computed
 // directly from the generated column arrays at corpus-build time, so query
-// verification never depends on the system under test.
+// verification never depends on the system under test. Templates at index
+// >= numScalarTemplates return a result table (GROUP BY or ORDER BY+LIMIT)
+// rather than a single aggregate row; every one carries an ORDER BY so the
+// expected row order is fully determined.
 var queryTemplates = []string{
 	"SELECT COUNT(id) FROM %s WHERE qty > 25",
 	"SELECT SUM(qty) FROM %s WHERE flag = 'A'",
 	"SELECT AVG(price) FROM %s WHERE qty > 10",
 	"SELECT COUNT(id), SUM(price) FROM %s WHERE flag = 'R' AND qty > 5",
+	"SELECT flag, COUNT(id), SUM(price), AVG(qty) FROM %s GROUP BY flag ORDER BY flag",
+	"SELECT qty, COUNT(id) FROM %s WHERE qty >= 40 GROUP BY qty ORDER BY COUNT(id) DESC, qty LIMIT 3",
+	"SELECT id, price FROM %s ORDER BY price DESC LIMIT 4",
 }
 
-const numQueryTemplates = 4
+const (
+	numScalarTemplates = 4
+	numQueryTemplates  = 7
+)
+
+// TableTemplate reports whether template t returns a result table (verified
+// row-by-row) instead of a single aggregate row.
+func TableTemplate(t int) bool { return t >= numScalarTemplates }
 
 // QueryText renders query template t against object index obj.
 func QueryText(t int, obj int) string {
@@ -34,8 +49,13 @@ type Version struct {
 	// CRC is crc32.Castagnoli over Data — the oracle's fast-path check
 	// before the byte-for-byte comparison.
 	CRC uint32
-	// Answers[t] is the expected aggregate row of query template t.
+	// Answers[t] is the expected aggregate row of scalar query template t.
 	Answers [numQueryTemplates][]float64
+	// Tables[t] is the expected result table of table-shaped template t
+	// (TableTemplate(t) == true): rows in the template's ORDER BY order,
+	// keys and integer aggregates exact, float aggregates compared with
+	// tolerance.
+	Tables [numQueryTemplates][][]sql.Literal
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -69,6 +89,9 @@ func GenVersion(corpusSeed int64, obj, ver, rowsPerGroup int) (*Version, error) 
 	)
 	const rowGroups = 2
 	next := int64(0)
+	var allID, allQty []int64
+	var allPrice []float64
+	var allFlag []string
 	for g := 0; g < rowGroups; g++ {
 		ids := make([]int64, rowsPerGroup)
 		qty := make([]int64, rowsPerGroup)
@@ -98,6 +121,10 @@ func GenVersion(corpusSeed int64, obj, ver, rowsPerGroup int) (*Version, error) 
 				sumPriceR5 += price[i]
 			}
 		}
+		allID = append(allID, ids...)
+		allQty = append(allQty, qty...)
+		allPrice = append(allPrice, price...)
+		allFlag = append(allFlag, flag...)
 		cols := []lpq.ColumnData{
 			lpq.IntColumn(ids), lpq.IntColumn(qty), lpq.FloatColumn(price),
 			lpq.StringColumn(flag), lpq.StringColumn(comment),
@@ -122,5 +149,92 @@ func GenVersion(corpusSeed int64, obj, ver, rowsPerGroup int) (*Version, error) 
 		{avgPriceQty10},
 		{countR5, sumPriceR5},
 	}
+	v.Tables[4] = refGroupByFlag(allFlag, allPrice, allQty)
+	v.Tables[5] = refTopQtyCounts(allQty)
+	v.Tables[6] = refTopPrices(allID, allPrice)
 	return v, nil
+}
+
+// refGroupByFlag computes template 4: per-flag COUNT(id), SUM(price),
+// AVG(qty), rows ordered by flag ascending.
+func refGroupByFlag(flag []string, price []float64, qty []int64) [][]sql.Literal {
+	type acc struct {
+		n        int64
+		sumPrice float64
+		sumQty   float64
+	}
+	accs := map[string]*acc{}
+	for i, f := range flag {
+		a := accs[f]
+		if a == nil {
+			a = &acc{}
+			accs[f] = a
+		}
+		a.n++
+		a.sumPrice += price[i]
+		a.sumQty += float64(qty[i])
+	}
+	keys := make([]string, 0, len(accs))
+	for k := range accs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var rows [][]sql.Literal
+	for _, k := range keys {
+		a := accs[k]
+		rows = append(rows, []sql.Literal{
+			sql.StringLit(k), sql.IntLit(a.n),
+			sql.FloatLit(a.sumPrice), sql.FloatLit(a.sumQty / float64(a.n)),
+		})
+	}
+	return rows
+}
+
+// refTopQtyCounts computes template 5: COUNT(id) per qty >= 40, ordered by
+// count descending then qty ascending, top 3.
+func refTopQtyCounts(qty []int64) [][]sql.Literal {
+	counts := map[int64]int64{}
+	for _, q := range qty {
+		if q >= 40 {
+			counts[q]++
+		}
+	}
+	type kv struct{ q, n int64 }
+	var all []kv
+	for q, n := range counts {
+		all = append(all, kv{q, n})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].n != all[b].n {
+			return all[a].n > all[b].n
+		}
+		return all[a].q < all[b].q
+	})
+	if len(all) > 3 {
+		all = all[:3]
+	}
+	var rows [][]sql.Literal
+	for _, e := range all {
+		rows = append(rows, []sql.Literal{sql.IntLit(e.q), sql.IntLit(e.n)})
+	}
+	return rows
+}
+
+// refTopPrices computes template 6: (id, price) for the 4 highest prices,
+// descending, ties broken by original row order (ascending id) — the same
+// tie rule the store's top-k uses ((row group, row) ascending).
+func refTopPrices(id []int64, price []float64) [][]sql.Literal {
+	perm := make([]int, len(id))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return price[perm[a]] > price[perm[b]] })
+	if len(perm) > 4 {
+		perm = perm[:4]
+	}
+	var rows [][]sql.Literal
+	for _, i := range perm {
+		rows = append(rows, []sql.Literal{sql.IntLit(id[i]), sql.FloatLit(price[i])})
+	}
+	return rows
 }

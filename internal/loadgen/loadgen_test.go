@@ -42,22 +42,22 @@ func TestScheduleDeterminism(t *testing.T) {
 		{
 			name:        "defaults",
 			cfg:         Config{Seed: 1},
-			fingerprint: 0x446b4936ab5b4fe3,
+			fingerprint: 0x088cbb9a2f8e3590,
 		},
 		{
 			name:        "canonical-ladder-rung",
 			cfg:         Config{Seed: 11, Rate: 1500, Duration: 1200 * time.Millisecond, Objects: 24, RowsPerObject: 120},
-			fingerprint: 0x504e9345ca97a9c6,
+			fingerprint: 0xf701d3fb8498baa5,
 		},
 		{
 			name:        "write-heavy",
 			cfg:         Config{Seed: 7, Rate: 300, Duration: 500 * time.Millisecond, Mix: Mix{Get: 0.2, Put: 0.6, Query: 0.2}, Objects: 6},
-			fingerprint: 0x88c651c59bb086f3,
+			fingerprint: 0x62b468cc8e85d5f6,
 		},
 		{
 			name:        "capped",
 			cfg:         Config{Seed: 42, Rate: 10000, Duration: time.Second, MaxOps: 100},
-			fingerprint: 0x8527f234c5728673,
+			fingerprint: 0x2b9172ed2ed5f857,
 		},
 	}
 	for _, tc := range cases {

@@ -190,10 +190,22 @@ func sliceVersion(data []byte, offset, length uint64) ([]byte, bool) {
 	return data[offset : offset+length], true
 }
 
-// aggTolerance is the relative error allowed when comparing float
-// aggregates (the store accumulates in a different association order than
-// the reference).
-const aggTolerance = 1e-6
+// Float aggregate comparison is relative-or-absolute, whichever is larger:
+// a flat absolute tolerance is wrong for large SUMs (the legitimate
+// association-order error scales with the magnitude) and far too loose for
+// small AVGs (where 1e-6 absolute would forgive real bugs). The store
+// accumulates in a different association order than the reference, so the
+// legitimate disagreement is a few ulps scaled by the row count — 1e-9
+// relative bounds it with orders of magnitude to spare while still catching
+// any semantic error.
+const (
+	aggRelTolerance = 1e-9
+	aggAbsTolerance = 1e-9
+)
+
+func floatClose(want, got float64) bool {
+	return math.Abs(got-want) <= math.Max(aggAbsTolerance, aggRelTolerance*math.Abs(want))
+}
 
 // CheckQuery verifies a query result's aggregate row against the reference
 // answers of every admissible version.
@@ -213,10 +225,47 @@ func aggRowMatches(want []float64, got []sql.Literal) bool {
 		return false
 	}
 	for i := range want {
-		g := got[i].AsFloat()
-		diff := math.Abs(g - want[i])
-		if diff > aggTolerance*math.Max(1, math.Abs(want[i])) {
+		if !floatClose(want[i], got[i].AsFloat()) {
 			return false
+		}
+	}
+	return true
+}
+
+// CheckQueryTable verifies a table-shaped query result (GROUP BY or ORDER
+// BY+LIMIT template) against the reference tables of every admissible
+// version: same row count, same row order, keys and integer aggregates
+// exact, float aggregates within tolerance.
+func (o *Oracle) CheckQueryTable(obj, lo, template int, rows [][]sql.Literal) error {
+	versions := o.admissible(obj, lo)
+	for _, v := range versions {
+		if tableMatches(v.Tables[template], rows) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: query t%d on %s returned %d rows matching none of %d admissible versions (window base v%d)",
+		ErrOracleMismatch, template, ObjectName(obj), len(rows), len(versions), lo)
+}
+
+func tableMatches(want, got [][]sql.Literal) bool {
+	if len(want) != len(got) {
+		return false
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			return false
+		}
+		for j := range want[i] {
+			w, g := want[i][j], got[i][j]
+			if w.Kind == sql.LitFloat || g.Kind == sql.LitFloat {
+				if !floatClose(w.AsFloat(), g.AsFloat()) {
+					return false
+				}
+				continue
+			}
+			if w != g {
+				return false
+			}
 		}
 	}
 	return true

@@ -125,7 +125,7 @@ func TestOracleVersionWindows(t *testing.T) {
 func TestOracleCatchesQueryCorruption(t *testing.T) {
 	o := newTestOracle(t)
 	v := o.Initial(2)
-	for tpl := 0; tpl < numQueryTemplates; tpl++ {
+	for tpl := 0; tpl < numScalarTemplates; tpl++ {
 		var aggs []sql.Literal
 		for _, want := range v.Answers[tpl] {
 			aggs = append(aggs, sql.FloatLit(want))
@@ -135,7 +135,7 @@ func TestOracleCatchesQueryCorruption(t *testing.T) {
 		}
 		// Within float tolerance: different accumulation order, same answer.
 		jittered := append([]sql.Literal(nil), aggs...)
-		jittered[0] = sql.FloatLit(v.Answers[tpl][0] * (1 + 1e-9))
+		jittered[0] = sql.FloatLit(v.Answers[tpl][0] * (1 + 5e-10))
 		if err := o.CheckQuery(2, 0, tpl, jittered); err != nil {
 			t.Fatalf("template %d: tolerance-level jitter rejected: %v", tpl, err)
 		}
@@ -146,6 +146,89 @@ func TestOracleCatchesQueryCorruption(t *testing.T) {
 		}
 		if err := o.CheckQuery(2, 0, tpl, aggs[:0]); !errors.Is(err, ErrOracleMismatch) {
 			t.Fatalf("template %d: empty aggregate row passed: %v", tpl, err)
+		}
+	}
+}
+
+// TestOracleToleranceRelativeOrAbsolute pins the comparison rule: the
+// allowed error is max(absolute, relative·|want|), so large SUMs get a
+// scaled allowance and small AVGs a tight absolute one.
+func TestOracleToleranceRelativeOrAbsolute(t *testing.T) {
+	cases := []struct {
+		want, got float64
+		ok        bool
+	}{
+		{1e9, 1e9 + 0.4, true},    // large SUM: 4e-10 relative, within 1e-9·1e9
+		{1e9, 1e9 + 10, false},    // large SUM: 1e-8 relative, out
+		{1e-3, 1e-3 + 5e-10, true},
+		{1e-3, 1e-3 + 1e-6, false}, // the old flat 1e-6 would have passed this
+		{0, 5e-10, true},
+		{0, 1e-8, false},
+	}
+	for _, c := range cases {
+		if floatClose(c.want, c.got) != c.ok {
+			t.Errorf("floatClose(%g, %g) = %v, want %v", c.want, c.got, !c.ok, c.ok)
+		}
+	}
+}
+
+// TestOracleCatchesTableCorruption checks the table verifier over the
+// grouped and top-k templates: the exact reference passes, float jitter
+// within tolerance passes, and any perturbed aggregate, reordered rows, or
+// truncated table fails.
+func TestOracleCatchesTableCorruption(t *testing.T) {
+	o := newTestOracle(t)
+	v := o.Initial(2)
+	clone := func(rows [][]sql.Literal) [][]sql.Literal {
+		out := make([][]sql.Literal, len(rows))
+		for i, r := range rows {
+			out[i] = append([]sql.Literal(nil), r...)
+		}
+		return out
+	}
+	for tpl := numScalarTemplates; tpl < numQueryTemplates; tpl++ {
+		want := v.Tables[tpl]
+		if len(want) == 0 {
+			t.Fatalf("template %d: empty reference table", tpl)
+		}
+		if err := o.CheckQueryTable(2, 0, tpl, clone(want)); err != nil {
+			t.Fatalf("template %d: exact table rejected: %v", tpl, err)
+		}
+		// Jitter every float cell at half tolerance.
+		jit := clone(want)
+		for _, row := range jit {
+			for j, l := range row {
+				if l.Kind == sql.LitFloat {
+					row[j] = sql.FloatLit(l.F * (1 + 5e-10))
+				}
+			}
+		}
+		if err := o.CheckQueryTable(2, 0, tpl, jit); err != nil {
+			t.Fatalf("template %d: tolerance-level jitter rejected: %v", tpl, err)
+		}
+		// Perturb one cell of the last row.
+		bad := clone(want)
+		last := bad[len(bad)-1]
+		switch l := last[len(last)-1]; l.Kind {
+		case sql.LitFloat:
+			last[len(last)-1] = sql.FloatLit(l.F + 1)
+		case sql.LitInt:
+			last[len(last)-1] = sql.IntLit(l.I + 1)
+		default:
+			last[len(last)-1] = sql.StringLit(l.S + "x")
+		}
+		if err := o.CheckQueryTable(2, 0, tpl, bad); !errors.Is(err, ErrOracleMismatch) {
+			t.Fatalf("template %d: perturbed table passed: %v", tpl, err)
+		}
+		if len(want) > 1 {
+			swapped := clone(want)
+			swapped[0], swapped[1] = swapped[1], swapped[0]
+			if err := o.CheckQueryTable(2, 0, tpl, swapped); !errors.Is(err, ErrOracleMismatch) {
+				t.Fatalf("template %d: reordered rows passed: %v", tpl, err)
+			}
+		}
+		if err := o.CheckQueryTable(2, 0, tpl, clone(want)[:len(want)-1]); !errors.Is(err, ErrOracleMismatch) {
+			t.Fatalf("template %d: truncated table passed: %v", tpl, err)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/faultnet"
+	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/sql"
 	"github.com/fusionstore/fusion/internal/store"
@@ -339,11 +340,15 @@ func (r *runner) execute(op Op, sched time.Time) {
 		var res *store.Result
 		res, err = r.target.Query(ctx, QueryText(int(op.Arg), op.Object))
 		if err == nil {
-			var aggs []sql.Literal
-			if res != nil {
-				aggs = res.AggValues
+			if TableTemplate(int(op.Arg)) {
+				err = r.oracle.CheckQueryTable(op.Object, lo, int(op.Arg), resultRows(res))
+			} else {
+				var aggs []sql.Literal
+				if res != nil {
+					aggs = res.AggValues
+				}
+				err = r.oracle.CheckQuery(op.Object, lo, int(op.Arg), aggs)
 			}
-			err = r.oracle.CheckQuery(op.Object, lo, int(op.Arg), aggs)
 			verified = err == nil
 		}
 	}
@@ -380,6 +385,30 @@ func (r *runner) execute(op Op, sched time.Time) {
 		}
 	}
 	st.Errors[class]++
+}
+
+// resultRows converts a table-shaped query result into rows of literals for
+// oracle comparison.
+func resultRows(res *store.Result) [][]sql.Literal {
+	if res == nil {
+		return nil
+	}
+	rows := make([][]sql.Literal, res.Rows)
+	for i := range rows {
+		row := make([]sql.Literal, len(res.Data))
+		for j, col := range res.Data {
+			switch col.Type {
+			case lpq.Int64:
+				row[j] = sql.IntLit(col.Ints[i])
+			case lpq.Float64:
+				row[j] = sql.FloatLit(col.Floats[i])
+			default:
+				row[j] = sql.StringLit(col.Strings[i])
+			}
+		}
+		rows[i] = row
+	}
+	return rows
 }
 
 // finish summarizes the run.

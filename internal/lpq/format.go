@@ -65,7 +65,16 @@ type Stats struct {
 	MinI, MaxI int64
 	MinF, MaxF float64
 	MinS, MaxS string
+	// DistinctEst estimates the chunk's distinct-value count for the
+	// stats-driven planner: exact when <= DistinctCap, DistinctCap+1
+	// meaning "more than the cap", and 0 meaning "not computed" (files
+	// written before this field existed).
+	DistinctEst uint32
 }
+
+// DistinctCap bounds the per-chunk distinct counting the writer performs;
+// beyond it DistinctEst saturates at DistinctCap+1.
+const DistinctCap = 4096
 
 // ChunkMeta locates and describes one column chunk within the file.
 type ChunkMeta struct {
@@ -278,6 +287,7 @@ func encodeFooter(f *Footer) []byte {
 					e.str(c.Stats.MinS)
 					e.str(c.Stats.MaxS)
 				}
+				e.uvarint(uint64(c.Stats.DistinctEst))
 			}
 		}
 	}
@@ -323,6 +333,7 @@ func decodeFooter(b []byte) (*Footer, error) {
 					c.Stats.MinS = d.str()
 					c.Stats.MaxS = d.str()
 				}
+				c.Stats.DistinctEst = uint32(d.uvarint())
 			}
 			rg.Chunks = append(rg.Chunks, c)
 		}

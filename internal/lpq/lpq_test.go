@@ -132,6 +132,39 @@ func TestStats(t *testing.T) {
 	}
 }
 
+func TestDistinctEstRoundTrip(t *testing.T) {
+	ids := make([]int64, 5000)
+	floats := make([]float64, 5000)
+	strs := make([]string, 5000)
+	for i := range ids {
+		ids[i] = int64(i % 7) // 7 distinct
+		floats[i] = float64(i)
+		strs[i] = fmt.Sprintf("s%d", i%3)
+	}
+	w := NewWriter(testSchema, DefaultWriterOptions())
+	if err := w.WriteRowGroup([]ColumnData{IntColumn(ids), FloatColumn(floats), StringColumn(strs)}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := f.Footer().RowGroups[0].Chunks
+	if got := ch[0].Stats.DistinctEst; got != 7 {
+		t.Fatalf("int DistinctEst = %d, want 7", got)
+	}
+	if got := ch[1].Stats.DistinctEst; got != DistinctCap+1 {
+		t.Fatalf("float DistinctEst = %d, want saturated %d", got, DistinctCap+1)
+	}
+	if got := ch[2].Stats.DistinctEst; got != 3 {
+		t.Fatalf("string DistinctEst = %d, want 3", got)
+	}
+}
+
 func TestLongStringStatsStayBounds(t *testing.T) {
 	long := strings.Repeat("z", 200)
 	w := NewWriter([]Column{{Name: "s", Type: String}}, DefaultWriterOptions())

@@ -287,6 +287,7 @@ func computeStats(c ColumnData) Stats {
 				s.MaxI = v
 			}
 		}
+		s.DistinctEst = countDistinct(c.Ints)
 	case Float64:
 		if len(c.Floats) == 0 {
 			return s
@@ -301,6 +302,7 @@ func computeStats(c ColumnData) Stats {
 				s.MaxF = v
 			}
 		}
+		s.DistinctEst = countDistinct(c.Floats)
 	default:
 		if len(c.Strings) == 0 {
 			return s
@@ -325,6 +327,21 @@ func computeStats(c ColumnData) Stats {
 			// upper bound; appending 0xff is simpler and still correct.
 			s.MaxS = s.MaxS[:statCap] + "\xff"
 		}
+		s.DistinctEst = countDistinct(c.Strings)
 	}
 	return s
+}
+
+// countDistinct counts distinct values exactly up to DistinctCap, then
+// saturates at DistinctCap+1 ("more than the cap"). The planner uses this
+// to bound the number of groups a GROUP BY over the chunk can produce.
+func countDistinct[T comparable](vals []T) uint32 {
+	seen := make(map[T]struct{}, min(len(vals), DistinctCap))
+	for _, v := range vals {
+		seen[v] = struct{}{}
+		if len(seen) > DistinctCap {
+			return DistinctCap + 1
+		}
+	}
+	return uint32(len(seen))
 }

@@ -53,8 +53,20 @@ const (
 	// (scatter-gather). The node executes each sub-request independently and
 	// returns a sub-response per sub-request in order, so one slow or failed
 	// op never poisons its siblings. Only data-plane kinds may be batched
-	// (GetBlock, Filter, Project, Aggregate); nesting batches is an error.
+	// (GetBlock, Filter, Project, Aggregate, GroupAgg, TopK); nesting
+	// batches is an error.
 	KindBatch
+	// KindGroupAgg computes per-group partial aggregates over one row
+	// group's selected rows: the node reads the key chunks and aggregate
+	// argument chunks it holds, folds them into a sql.GroupTable, and
+	// returns the partial states in deterministic key order — never a
+	// pre-divided AVG (GROUP BY pushdown, the OASIS-style extension of the
+	// paper's aggregation offload).
+	KindGroupAgg
+	// KindTopK returns the row group's local top-k rows by one order
+	// column: (value, row) pairs the coordinator feeds into a bounded
+	// k-way merge (ORDER BY + LIMIT pushdown).
+	KindTopK
 )
 
 func (k Kind) String() string {
@@ -83,6 +95,10 @@ func (k Kind) String() string {
 		return "ListBlocks"
 	case KindBatch:
 		return "Batch"
+	case KindGroupAgg:
+		return "GroupAgg"
+	case KindTopK:
+		return "TopK"
 	default:
 		return "Unknown"
 	}
@@ -127,7 +143,26 @@ type Request struct {
 	Chunk  ChunkRef
 	Op     sql.CmpOp   // Filter comparison operator
 	Value  sql.Literal // Filter literal
-	Bitmap []byte      // Project row selection (compressed bitmap)
+	Bitmap []byte      // Project/GroupAgg/TopK row selection (compressed bitmap)
+
+	// Grouped-aggregation pushdown (GroupAgg). KeyChunks are the grouping
+	// columns' chunks for one row group; ValChunks[i] is the argument chunk
+	// of aggregate i (an empty BlockID means COUNT(*), which needs no
+	// column); AggKinds[i] is its function. MaxGroups caps the node-side
+	// group table — exceeding it fails the op so the coordinator falls back
+	// to coordinator-side execution for the row group.
+	KeyChunks []ChunkRef
+	ValChunks []ChunkRef
+	AggKinds  []sql.AggKind
+	MaxGroups int
+
+	// Top-k pushdown (TopK; Chunk is the order column's chunk). K is the
+	// row budget (<=0 keeps every selected row), Desc the direction, and RG
+	// the row group's global index, echoed into the returned TopRows so the
+	// coordinator's merge tie-breaks on (rg, row) without re-mapping.
+	K    int
+	Desc bool
+	RG   int32
 
 	// Subs carries the sub-requests of a KindBatch frame, at most
 	// MaxBatchOps, none itself a batch.
@@ -145,7 +180,7 @@ const MaxBatchOps = 1024
 // write protocol's error handling stays per-block.
 func batchable(k Kind) bool {
 	switch k {
-	case KindGetBlock, KindFilter, KindProject, KindAggregate:
+	case KindGetBlock, KindFilter, KindProject, KindAggregate, KindGroupAgg, KindTopK:
 		return true
 	}
 	return false
@@ -223,6 +258,12 @@ type Response struct {
 	Matches int
 	// Agg is the partial aggregate accumulator (Aggregate).
 	Agg *sql.AggState
+	// Groups holds per-group partial states in deterministic key order
+	// (GroupAgg).
+	Groups []sql.GroupPartial
+	// TopRows holds the row group's local top-k candidates, fully ordered
+	// (TopK).
+	TopRows []sql.TopRow
 	// Cost is the node-local work performed.
 	Cost Cost
 	// Subs carries the per-op sub-responses of a batch reply, index-aligned
@@ -239,6 +280,13 @@ const fixedOverhead = 64
 func (r *Request) WireSize() uint64 {
 	n := uint64(fixedOverhead + len(r.BlockID) + len(r.Data) + len(r.Bitmap))
 	n += uint64(len(r.Chunk.BlockID) + len(r.Value.S) + len(r.Object))
+	for i := range r.KeyChunks {
+		n += uint64(len(r.KeyChunks[i].BlockID) + 32)
+	}
+	for i := range r.ValChunks {
+		n += uint64(len(r.ValChunks[i].BlockID) + 32)
+	}
+	n += uint64(len(r.AggKinds))
 	for i := range r.Subs {
 		n += r.Subs[i].WireSize()
 	}
@@ -251,8 +299,30 @@ func (r *Response) WireSize() uint64 {
 	for i := range r.Blocks {
 		n += uint64(len(r.Blocks[i].ID) + len(r.Blocks[i].Object) + 16)
 	}
+	for i := range r.Groups {
+		n += GroupPartialWireSize(&r.Groups[i])
+	}
+	// A TopRow is a literal plus two int32 coordinates.
+	for i := range r.TopRows {
+		n += uint64(24 + len(r.TopRows[i].Key.S))
+	}
 	for i := range r.Subs {
 		n += r.Subs[i].WireSize()
+	}
+	return n
+}
+
+// GroupPartialWireSize estimates one group partial's serialized size: the
+// key literals plus a fixed-size AggState per aggregate. The planner uses
+// the same estimate to decide whether pushing partials beats shipping the
+// raw chunks.
+func GroupPartialWireSize(g *sql.GroupPartial) uint64 {
+	n := uint64(8) // Rows
+	for i := range g.Key {
+		n += uint64(16 + len(g.Key[i].S))
+	}
+	for i := range g.Aggs {
+		n += uint64(48 + len(g.Aggs[i].MinS) + len(g.Aggs[i].MaxS))
 	}
 	return n
 }

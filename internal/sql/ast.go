@@ -38,14 +38,24 @@ func (a AggKind) String() string {
 }
 
 // Projection is one SELECT-list item: a column, an aggregate over a column,
-// or COUNT(*).
+// or COUNT(*), optionally with an AS alias.
 type Projection struct {
 	Column string // empty for COUNT(*)
 	Agg    AggKind
-	Star   bool // COUNT(*)
+	Star   bool   // COUNT(*)
+	Alias  string // optional AS name
 }
 
 func (p Projection) String() string {
+	s := p.exprString()
+	if p.Alias != "" {
+		s += " AS " + p.Alias
+	}
+	return s
+}
+
+// exprString renders the projection without its alias.
+func (p Projection) exprString() string {
 	if p.Agg == AggNone {
 		return p.Column
 	}
@@ -54,6 +64,12 @@ func (p Projection) String() string {
 		arg = "*"
 	}
 	return fmt.Sprintf("%s(%s)", p.Agg, arg)
+}
+
+// sameExpr reports whether two projections denote the same expression,
+// ignoring aliases.
+func (p Projection) sameExpr(o Projection) bool {
+	return p.Column == o.Column && p.Agg == o.Agg && p.Star == o.Star
 }
 
 // CmpOp enumerates comparison operators.
@@ -126,6 +142,46 @@ func IntLit(v int64) Literal     { return Literal{Kind: LitInt, I: v} }
 func FloatLit(v float64) Literal { return Literal{Kind: LitFloat, F: v} }
 func StringLit(s string) Literal { return Literal{Kind: LitString, S: s} }
 
+// CompareLiterals imposes a total order on literals: numerics compare
+// numerically (int-vs-int exactly, mixed in float space), strings compare
+// lexically, and any string sorts after any numeric. NaN sorts before every
+// other numeric and equal to itself, keeping sorts deterministic.
+func CompareLiterals(a, b Literal) int {
+	if (a.Kind == LitString) != (b.Kind == LitString) {
+		if a.Kind == LitString {
+			return 1
+		}
+		return -1
+	}
+	if a.Kind == LitString {
+		return strings.Compare(a.S, b.S)
+	}
+	if a.Kind == LitInt && b.Kind == LitInt {
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	aNaN, bNaN := af != af, bf != bf
+	switch {
+	case aNaN && bNaN:
+		return 0
+	case aNaN:
+		return -1
+	case bNaN:
+		return 1
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	}
+	return 0
+}
+
 // Expr is a boolean predicate expression.
 type Expr interface {
 	fmt.Stringer
@@ -185,6 +241,21 @@ func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
 // Columns implements Expr.
 func (n *Not) Columns(dst []string) []string { return n.E.Columns(dst) }
 
+// OrderItem is one ORDER BY term: a plain column or an aggregate, with a
+// direction.
+type OrderItem struct {
+	Proj Projection // Alias unused; identifies the sort expression
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	s := o.Proj.exprString()
+	if o.Desc {
+		s += " DESC"
+	}
+	return s
+}
+
 // Query is a parsed SELECT statement.
 type Query struct {
 	Projections []Projection
@@ -192,8 +263,16 @@ type Query struct {
 	Star  bool
 	Table string
 	Where Expr // nil when there is no WHERE clause
-	// Limit caps the number of returned rows; 0 means no limit.
+	// GroupBy lists grouping columns (aliases already resolved to column
+	// names by the parser); empty means no GROUP BY.
+	GroupBy []string
+	// OrderBy lists sort terms; empty means no ORDER BY.
+	OrderBy []OrderItem
+	// Limit caps the number of returned rows when HasLimit is set.
+	// LIMIT 0 is a valid query that returns no rows.
 	Limit int
+	// HasLimit reports whether a LIMIT clause was present.
+	HasLimit bool
 }
 
 func (q *Query) String() string {
@@ -215,7 +294,20 @@ func (q *Query) String() string {
 		sb.WriteString(" WHERE ")
 		sb.WriteString(q.Where.String())
 	}
-	if q.Limit > 0 {
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(q.GroupBy, ", "))
+	}
+	if len(q.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.String())
+		}
+	}
+	if q.HasLimit {
 		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
 	}
 	return sb.String()
@@ -240,6 +332,28 @@ func (q *Query) ProjectionColumns() []string {
 		}
 	}
 	return dedup(cols)
+}
+
+// OrderColumns returns the distinct plain (non-aggregate) columns referenced
+// by ORDER BY, in first-reference order.
+func (q *Query) OrderColumns() []string {
+	var cols []string
+	for _, o := range q.OrderBy {
+		if o.Proj.Agg == AggNone && o.Proj.Column != "" {
+			cols = append(cols, o.Proj.Column)
+		}
+	}
+	return dedup(cols)
+}
+
+// GroupKeyIndex returns the position of col in GroupBy, or -1.
+func (q *Query) GroupKeyIndex(col string) int {
+	for i, g := range q.GroupBy {
+		if g == col {
+			return i
+		}
+	}
+	return -1
 }
 
 // HasAggregates reports whether any SELECT item is an aggregate.

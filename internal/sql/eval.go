@@ -310,38 +310,48 @@ func NewAggState(kind AggKind) *AggState { return &AggState{Kind: kind} }
 
 // AddColumn folds the selected rows of one chunk into the accumulator.
 func (a *AggState) AddColumn(col lpq.ColumnData, sel *bitmap.Bitmap) {
-	add := func(f float64) {
-		a.Count++
-		a.Sum += f
-		if !a.Init || f < a.MinF {
-			a.MinF = f
-		}
-		if !a.Init || f > a.MaxF {
-			a.MaxF = f
-		}
-		a.Init = true
-	}
-	addS := func(s string) {
-		a.Count++
-		a.IsString = true
-		if !a.Init || s < a.MinS {
-			a.MinS = s
-		}
-		if !a.Init || s > a.MaxS {
-			a.MaxS = s
-		}
-		a.Init = true
-	}
 	sel.ForEach(func(i int) {
-		switch col.Type {
-		case lpq.Int64:
-			add(float64(col.Ints[i]))
-		case lpq.Float64:
-			add(col.Floats[i])
-		default:
-			addS(col.Strings[i])
-		}
+		a.AddValue(col, i)
 	})
+}
+
+// AddValue folds row i of col into the accumulator. Every execution path
+// (node pushdown, coordinator fallback, grouped tables) folds values
+// through this one function so partial states are bit-identical no matter
+// where they were computed.
+func (a *AggState) AddValue(col lpq.ColumnData, i int) {
+	switch col.Type {
+	case lpq.Int64:
+		a.addNum(float64(col.Ints[i]))
+	case lpq.Float64:
+		a.addNum(col.Floats[i])
+	default:
+		a.addStr(col.Strings[i])
+	}
+}
+
+func (a *AggState) addNum(f float64) {
+	a.Count++
+	a.Sum += f
+	if !a.Init || f < a.MinF {
+		a.MinF = f
+	}
+	if !a.Init || f > a.MaxF {
+		a.MaxF = f
+	}
+	a.Init = true
+}
+
+func (a *AggState) addStr(s string) {
+	a.Count++
+	a.IsString = true
+	if !a.Init || s < a.MinS {
+		a.MinS = s
+	}
+	if !a.Init || s > a.MaxS {
+		a.MaxS = s
+	}
+	a.Init = true
 }
 
 // AddCount folds a bare row count (for COUNT(*), which needs no column).

@@ -1,0 +1,280 @@
+package sql
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/fusionstore/fusion/internal/bitmap"
+	"github.com/fusionstore/fusion/internal/lpq"
+)
+
+// ErrTooManyGroups reports that a GROUP BY exceeded the group-cardinality
+// cap. A storage node returning it makes the coordinator fall back to
+// coordinator-side execution for that row group (the partial states would
+// be larger than the raw chunks — exactly when pushdown loses).
+var ErrTooManyGroups = errors.New("sql: group cardinality exceeds limit")
+
+// GroupPartial is the partial aggregate state of one group: its key
+// literals, the number of contributing rows, and one AggState per
+// aggregate. AVG is never pre-divided — it travels as (sum, count) inside
+// its AggState and is divided only once, at final result rendering.
+type GroupPartial struct {
+	Key  []Literal
+	Rows int64
+	Aggs []AggState
+}
+
+// GroupTable accumulates per-group partial aggregates. Storage nodes and
+// the coordinator share this one implementation, so a group's state is
+// bit-identical whether it was computed remotely, locally, or merged from
+// any mix of the two.
+type GroupTable struct {
+	kinds     []AggKind
+	maxGroups int
+	m         map[string]*GroupPartial
+}
+
+// NewGroupTable returns a table accumulating one AggState per kind for
+// each group. maxGroups caps cardinality (<=0 means unbounded).
+func NewGroupTable(kinds []AggKind, maxGroups int) *GroupTable {
+	return &GroupTable{
+		kinds:     append([]AggKind(nil), kinds...),
+		maxGroups: maxGroups,
+		m:         make(map[string]*GroupPartial),
+	}
+}
+
+// Len returns the number of groups seen so far.
+func (g *GroupTable) Len() int { return len(g.m) }
+
+// AddRows folds the selected rows into the table. keys holds the grouping
+// columns; vals[i] is the argument column of aggregate i, or a zero-length
+// ColumnData for COUNT(*). All non-empty columns must have sel.Len() rows.
+func (g *GroupTable) AddRows(keys []lpq.ColumnData, vals []lpq.ColumnData, sel *bitmap.Bitmap) error {
+	if len(vals) != len(g.kinds) {
+		return errors.New("sql: GroupTable.AddRows: vals/kinds length mismatch")
+	}
+	var keyBuf []byte
+	var addErr error
+	sel.ForEach(func(i int) {
+		if addErr != nil {
+			return
+		}
+		keyBuf = appendGroupKey(keyBuf[:0], keys, i)
+		gp := g.m[string(keyBuf)]
+		if gp == nil {
+			if g.maxGroups > 0 && len(g.m) >= g.maxGroups {
+				addErr = ErrTooManyGroups
+				return
+			}
+			gp = &GroupPartial{Key: keyLiterals(keys, i), Aggs: make([]AggState, len(g.kinds))}
+			for ai, kind := range g.kinds {
+				gp.Aggs[ai].Kind = kind
+			}
+			g.m[string(keyBuf)] = gp
+		}
+		gp.Rows++
+		for ai := range g.kinds {
+			if vals[ai].Len() == 0 {
+				gp.Aggs[ai].Count++ // COUNT(*): no argument column
+				continue
+			}
+			gp.Aggs[ai].AddValue(vals[ai], i)
+		}
+	})
+	return addErr
+}
+
+// Merge folds partial states (from a node, another table, or the wire)
+// into the table, in the order given. Merging the same partials in the
+// same order always produces bit-identical state.
+func (g *GroupTable) Merge(partials []GroupPartial) error {
+	var keyBuf []byte
+	for pi := range partials {
+		p := &partials[pi]
+		if len(p.Aggs) != len(g.kinds) {
+			return errors.New("sql: GroupTable.Merge: aggregate arity mismatch")
+		}
+		keyBuf = appendKeyLits(keyBuf[:0], p.Key)
+		gp := g.m[string(keyBuf)]
+		if gp == nil {
+			if g.maxGroups > 0 && len(g.m) >= g.maxGroups {
+				return ErrTooManyGroups
+			}
+			gp = &GroupPartial{Key: append([]Literal(nil), p.Key...), Aggs: make([]AggState, len(g.kinds))}
+			for ai, kind := range g.kinds {
+				gp.Aggs[ai].Kind = kind
+			}
+			g.m[string(keyBuf)] = gp
+		}
+		gp.Rows += p.Rows
+		for ai := range g.kinds {
+			gp.Aggs[ai].Merge(&p.Aggs[ai])
+		}
+	}
+	return nil
+}
+
+// Sorted returns the groups ordered by key (CompareLiterals elementwise) —
+// the deterministic group ordering every result and every wire payload
+// uses.
+func (g *GroupTable) Sorted() []GroupPartial {
+	out := make([]GroupPartial, 0, len(g.m))
+	for _, gp := range g.m {
+		out = append(out, *gp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return CompareKeys(out[i].Key, out[j].Key) < 0
+	})
+	return out
+}
+
+// CompareKeys orders two key tuples elementwise.
+func CompareKeys(a, b []Literal) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		if c := CompareLiterals(a[i], b[i]); c != 0 {
+			return c
+		}
+		// Same value, different kind (can only happen across schema
+		// changes): order by kind for totality.
+		if a[i].Kind != b[i].Kind {
+			if a[i].Kind < b[i].Kind {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}
+
+// keyLiterals extracts row i of the key columns as literals.
+func keyLiterals(keys []lpq.ColumnData, i int) []Literal {
+	out := make([]Literal, len(keys))
+	for ki, col := range keys {
+		switch col.Type {
+		case lpq.Int64:
+			out[ki] = IntLit(col.Ints[i])
+		case lpq.Float64:
+			out[ki] = FloatLit(col.Floats[i])
+		default:
+			out[ki] = StringLit(col.Strings[i])
+		}
+	}
+	return out
+}
+
+// appendGroupKey appends a canonical byte encoding of row i's key tuple:
+// a type tag then a fixed or length-prefixed payload per column, so
+// distinct tuples never collide.
+func appendGroupKey(dst []byte, keys []lpq.ColumnData, i int) []byte {
+	for _, col := range keys {
+		switch col.Type {
+		case lpq.Int64:
+			dst = append(dst, 'i')
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(col.Ints[i]))
+		case lpq.Float64:
+			dst = append(dst, 'f')
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(col.Floats[i]))
+		default:
+			s := col.Strings[i]
+			dst = append(dst, 's')
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		}
+	}
+	return dst
+}
+
+// appendKeyLits is appendGroupKey for an already-extracted literal tuple.
+func appendKeyLits(dst []byte, key []Literal) []byte {
+	for _, l := range key {
+		switch l.Kind {
+		case LitInt:
+			dst = append(dst, 'i')
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(l.I))
+		case LitFloat:
+			dst = append(dst, 'f')
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(l.F))
+		default:
+			dst = append(dst, 's')
+			dst = binary.AppendUvarint(dst, uint64(len(l.S)))
+			dst = append(dst, l.S...)
+		}
+	}
+	return dst
+}
+
+// TopRow is one candidate in a top-k order: its sort key and its global
+// (row group, row) position — the deterministic tie-break, so equal keys
+// always resolve to the same winners regardless of merge order.
+type TopRow struct {
+	Key Literal
+	RG  int32
+	Row int32
+}
+
+// TopK accumulates the k smallest (or largest, when desc) rows by key.
+// Nodes run one per row group and return their local top-k; the
+// coordinator merges them with the same structure, giving a bounded k-way
+// merge whose result is independent of arrival order.
+type TopK struct {
+	k    int
+	desc bool
+	rows []TopRow
+}
+
+// NewTopK returns an accumulator for the top k rows. k <= 0 keeps
+// everything (used for ORDER BY without LIMIT).
+func NewTopK(k int, desc bool) *TopK {
+	return &TopK{k: k, desc: desc}
+}
+
+// Push adds one candidate row.
+func (t *TopK) Push(key Literal, rg, row int32) {
+	t.rows = append(t.rows, TopRow{Key: key, RG: rg, Row: row})
+	if t.k > 0 && len(t.rows) >= 2*t.k+64 {
+		t.compact()
+	}
+}
+
+// Merge adds candidates from another accumulator's Rows.
+func (t *TopK) Merge(rows []TopRow) {
+	for _, r := range rows {
+		t.Push(r.Key, r.RG, r.Row)
+	}
+}
+
+// Rows returns the final top-k, fully ordered by (key, rg, row).
+func (t *TopK) Rows() []TopRow {
+	t.compact()
+	return t.rows
+}
+
+func (t *TopK) compact() {
+	sort.Slice(t.rows, func(i, j int) bool { return t.less(t.rows[i], t.rows[j]) })
+	if t.k > 0 && len(t.rows) > t.k {
+		t.rows = t.rows[:t.k]
+	}
+}
+
+func (t *TopK) less(a, b TopRow) bool {
+	c := CompareLiterals(a.Key, b.Key)
+	if c != 0 {
+		if t.desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	if a.RG != b.RG {
+		return a.RG < b.RG
+	}
+	return a.Row < b.Row
+}

@@ -1,7 +1,9 @@
 // Package sql implements the SQL dialect Fusion supports (§5 "SQL
 // Support"): SELECT with projections and aggregates, FROM a single object,
-// and WHERE with comparison predicates combined by AND/OR/NOT — the same
-// surface as S3 Select. Joins are deliberately excluded, as in the paper.
+// WHERE with comparison predicates combined by AND/OR/NOT, plus GROUP BY
+// with partial-aggregate pushdown, ORDER BY [ASC|DESC] and LIMIT — an
+// S3-Select-style surface grown toward the paper's stated future work.
+// Joins are deliberately excluded, as in the paper.
 package sql
 
 import (
@@ -38,6 +40,8 @@ var keywords = map[string]bool{
 	"AND": true, "OR": true, "NOT": true,
 	"BETWEEN": true, "IN": true, "LIMIT": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"GROUP": true, "BY": true, "ORDER": true,
+	"ASC": true, "DESC": true, "AS": true,
 }
 
 // ParseError describes a lexical or syntactic error with its position.

@@ -82,6 +82,16 @@ func (p *parser) parseQuery() (*Query, error) {
 		}
 		q.Where = where
 	}
+	if p.peek().kind == tokKeyword && p.peek().text == "GROUP" {
+		if err := p.parseGroupBy(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "ORDER" {
+		if err := p.parseOrderBy(q); err != nil {
+			return nil, err
+		}
+	}
 	if p.peek().kind == tokKeyword && p.peek().text == "LIMIT" {
 		p.next()
 		t := p.next()
@@ -93,15 +103,144 @@ func (p *parser) parseQuery() (*Query, error) {
 			return nil, errAt(t.pos, "bad LIMIT %q", t.text)
 		}
 		q.Limit = n
+		q.HasLimit = true
 	}
 	return q, nil
+}
+
+// resolveAlias maps an identifier through the SELECT-list aliases: it
+// returns the aliased projection and true when ident names one.
+func resolveAlias(q *Query, ident string) (Projection, bool) {
+	for _, proj := range q.Projections {
+		if proj.Alias == ident {
+			return proj, true
+		}
+	}
+	return Projection{}, false
+}
+
+// parseGroupBy parses GROUP BY col[, col...], resolving SELECT-list aliases
+// to their underlying columns, and validates the grouped select list:
+// every plain projection must be a grouping column. (Without GROUP BY the
+// dialect keeps its relaxed S3-Select-style mixing of plain and aggregate
+// projections.)
+func (p *parser) parseGroupBy(q *Query) error {
+	groupPos := p.next().pos // GROUP
+	if err := p.expectKeyword("BY"); err != nil {
+		return err
+	}
+	if q.Star {
+		return errAt(groupPos, "SELECT * cannot be combined with GROUP BY")
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return errAt(t.pos, "expected grouping column, got %q", t.text)
+		}
+		col := t.text
+		if proj, ok := resolveAlias(q, col); ok {
+			if proj.Agg != AggNone {
+				return errAt(t.pos, "cannot GROUP BY aggregate alias %q", col)
+			}
+			col = proj.Column
+		}
+		if q.GroupKeyIndex(col) < 0 {
+			q.GroupBy = append(q.GroupBy, col)
+		}
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	for _, proj := range q.Projections {
+		if proj.Agg == AggNone && q.GroupKeyIndex(proj.Column) < 0 {
+			return errAt(groupPos, "column %q must appear in GROUP BY or inside an aggregate", proj.Column)
+		}
+	}
+	return nil
+}
+
+// parseOrderBy parses ORDER BY item [ASC|DESC][, ...] where an item is a
+// plain column, a SELECT-list alias, or an aggregate expression.
+func (p *parser) parseOrderBy(q *Query) error {
+	p.next() // ORDER
+	if err := p.expectKeyword("BY"); err != nil {
+		return err
+	}
+	aggOnly := !q.Star && q.HasAggregates()
+	for _, proj := range q.Projections {
+		if proj.Agg == AggNone {
+			aggOnly = false
+		}
+	}
+	for {
+		t := p.peek()
+		var item OrderItem
+		switch {
+		case t.kind == tokKeyword && aggKinds[t.text] != AggNone:
+			proj, err := p.parseProjExpr()
+			if err != nil {
+				return err
+			}
+			item.Proj = proj
+		case t.kind == tokIdent:
+			p.next()
+			if proj, ok := resolveAlias(q, t.text); ok {
+				proj.Alias = ""
+				item.Proj = proj
+			} else {
+				item.Proj = Projection{Column: t.text}
+			}
+		default:
+			return errAt(t.pos, "expected ORDER BY column or aggregate, got %q", t.text)
+		}
+		if item.Proj.Agg == AggNone {
+			if len(q.GroupBy) > 0 && q.GroupKeyIndex(item.Proj.Column) < 0 {
+				return errAt(t.pos, "ORDER BY column %q is not a grouping column", item.Proj.Column)
+			}
+			if len(q.GroupBy) == 0 && aggOnly {
+				return errAt(t.pos, "ORDER BY column %q on an aggregate-only query", item.Proj.Column)
+			}
+		} else if len(q.GroupBy) == 0 && !q.HasAggregates() {
+			return errAt(t.pos, "ORDER BY aggregate requires aggregates or GROUP BY")
+		}
+		if nt := p.peek(); nt.kind == tokKeyword && (nt.text == "ASC" || nt.text == "DESC") {
+			p.next()
+			item.Desc = nt.text == "DESC"
+		}
+		q.OrderBy = append(q.OrderBy, item)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	return nil
 }
 
 var aggKinds = map[string]AggKind{
 	"COUNT": AggCount, "SUM": AggSum, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
 }
 
+// parseProjection parses one SELECT-list item with an optional AS alias.
 func (p *parser) parseProjection() (Projection, error) {
+	proj, err := p.parseProjExpr()
+	if err != nil {
+		return proj, err
+	}
+	if t := p.peek(); t.kind == tokKeyword && t.text == "AS" {
+		p.next()
+		a := p.next()
+		if a.kind != tokIdent {
+			return proj, errAt(a.pos, "expected alias after AS, got %q", a.text)
+		}
+		proj.Alias = a.text
+	}
+	return proj, nil
+}
+
+// parseProjExpr parses a projection expression: a column name, AGG(column),
+// or COUNT(*) — without any alias.
+func (p *parser) parseProjExpr() (Projection, error) {
 	t := p.next()
 	switch t.kind {
 	case tokKeyword:

@@ -20,13 +20,19 @@ import (
 // Result is a query's output: filtered column values for plain projections
 // and/or aggregate values, plus execution statistics.
 type Result struct {
-	// Columns and Data are the plain (non-aggregate) projections.
+	// Columns and Data are the result table. For an ungrouped query they
+	// hold the plain (non-aggregate) projections; for a GROUP BY query they
+	// hold one column per SELECT item — group keys and per-group aggregate
+	// values alike — with one row per group.
 	Columns []string
 	Data    []lpq.ColumnData
-	// AggLabels and AggValues are the aggregate projections.
+	// AggLabels and AggValues are the scalar aggregate projections of an
+	// ungrouped query (empty for GROUP BY queries, whose aggregates are
+	// per-group columns in Data).
 	AggLabels []string
 	AggValues []sql.Literal
-	// Rows is the number of rows selected by the WHERE clause.
+	// Rows is the number of rows selected by the WHERE clause (capped by
+	// LIMIT); for a GROUP BY query it is the number of returned groups.
 	Rows int
 	// Stats describes how the query executed.
 	Stats QueryStats
@@ -49,9 +55,22 @@ type QueryStats struct {
 	// FilterRPCs+ProjectRPCs+AggregateRPCs-sized work arriving in few
 	// BatchRPCs is the batching win.
 	BatchRPCs int
+	// GroupAggRPCs and TopKRPCs count grouped-aggregation and top-k
+	// pushdown operations (each reduces a whole row group in situ).
+	GroupAggRPCs, TopKRPCs int
+	// PartialGroups counts the per-group partial states received from nodes
+	// — the wire payload the stats-driven planner weighed against shipping
+	// the raw chunks.
+	PartialGroups int
+	// GroupSpills counts row groups whose grouped pushdown was abandoned —
+	// the planner predicted the partial states would outweigh the chunks,
+	// or the node hit its cardinality cap — and fell back to
+	// coordinator-side grouping.
+	GroupSpills int
 	// PushdownOn/PushdownOff count the cost model's per-chunk decisions.
 	PushdownOn, PushdownOff int
-	// PrunedRowGroups counts row groups skipped via footer statistics.
+	// PrunedRowGroups counts row groups skipped via footer statistics
+	// (filter-stage min/max pruning and top-k bound pruning).
 	PrunedRowGroups int
 	// Selectivity is the measured fraction of rows selected.
 	Selectivity float64
@@ -107,6 +126,10 @@ func (e *execState) join(c *execState) {
 	s.AggregateRPCs += cs.AggregateRPCs
 	s.FetchRPCs += cs.FetchRPCs
 	s.BatchRPCs += cs.BatchRPCs
+	s.GroupAggRPCs += cs.GroupAggRPCs
+	s.TopKRPCs += cs.TopKRPCs
+	s.PartialGroups += cs.PartialGroups
+	s.GroupSpills += cs.GroupSpills
 	s.PushdownOn += cs.PushdownOn
 	s.PushdownOff += cs.PushdownOff
 	s.PrunedRowGroups += cs.PrunedRowGroups
@@ -208,6 +231,12 @@ func (s *Store) runQuery(qsp *trace.Span, orig *sql.Query, meta *ObjectMeta, sta
 	if err := check(q.ProjectionColumns()); err != nil {
 		return nil, err
 	}
+	if err := check(q.GroupBy); err != nil {
+		return nil, err
+	}
+	if err := check(q.OrderColumns()); err != nil {
+		return nil, err
+	}
 
 	// Stage 1: filter. Produces one bitmap per surviving row group.
 	st.nowSt = 0
@@ -226,17 +255,28 @@ func (s *Store) runQuery(qsp *trace.Span, orig *sql.Query, meta *ObjectMeta, sta
 	// Pruned row groups still count toward total rows.
 	st.stats.Selectivity = measuredSelectivity(selected, meta.Footer.NumRows())
 
-	// Stage 2: projection.
+	// Stage 2: projection — or grouped aggregation, which produces its own
+	// result table (one row per group) and applies ORDER BY/LIMIT itself.
 	st.nowSt = 1
-	st.sp = qsp.Child("project")
-	res, err := s.projectionStage(st, q, colIdx, rgBitmaps)
-	st.sp.End()
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = selected
-	if q.Limit > 0 {
-		truncateResult(res, q.Limit)
+	var res *Result
+	if len(q.GroupBy) > 0 {
+		st.sp = qsp.Child("group")
+		res, err = s.groupByStage(st, q, colIdx, rgBitmaps)
+		st.sp.End()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		st.sp = qsp.Child("project")
+		res, err = s.orderedProjection(st, q, colIdx, rgBitmaps)
+		st.sp.End()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = selected
+		if q.HasLimit {
+			truncateResult(res, q.Limit)
+		}
 	}
 	st.stats.Wall = time.Since(start)
 	if m := s.opts.Model; m != nil {
@@ -793,6 +833,20 @@ func (s *Store) projectionStage(st *execState, q *sql.Query, colIdx map[string]i
 		if err := cluster.AppendColumn(colData[t.name], t.vals); err != nil {
 			return nil, err
 		}
+		// Fold the aggregates over this chunk's selected values right here,
+		// as a per-row-group partial merged in task order. This is the same
+		// reduction shape as the pushdown branch above — one partial per
+		// (row group, chunk), merged in row-group-major order — so float
+		// accumulation is bit-identical no matter which mix of pushed,
+		// fetched, and cached chunks served the query.
+		for i := range aggs {
+			if aggs[i].proj.Star || aggs[i].proj.Column != t.name {
+				continue
+			}
+			part := sql.NewAggState(aggs[i].proj.Agg)
+			part.AddColumn(t.vals, bitmap.NewFull(t.vals.Len()))
+			aggs[i].state.Merge(part)
+		}
 	}
 	for rg := range meta.Footer.RowGroups {
 		bm := rgBitmaps[rg]
@@ -805,16 +859,6 @@ func (s *Store) projectionStage(st *execState, q *sql.Query, colIdx map[string]i
 			}
 		}
 	}
-	// Fold the remaining aggregates over the materialized values.
-	for i := range aggs {
-		if aggs[i].proj.Star || aggOnly[aggs[i].proj.Column] {
-			continue
-		}
-		col := colData[aggs[i].proj.Column]
-		full := bitmap.NewFull(col.Len())
-		aggs[i].state.AddColumn(*col, full)
-	}
-
 	for _, name := range plainCols {
 		res.Columns = append(res.Columns, name)
 		res.Data = append(res.Data, *colData[name])

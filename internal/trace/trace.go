@@ -57,13 +57,22 @@ const (
 	// the number the batching layer exists to minimize — whereas RPCs counts
 	// every logical operation regardless of framing.
 	RoundTrips
+	// GroupPartials counts per-group partial aggregate states received from
+	// nodes during GROUP BY pushdown — the wire cost the stats-driven
+	// planner weighed against shipping the raw chunks.
+	GroupPartials
+	// GroupSpills counts row groups whose grouped pushdown was abandoned
+	// (node-side cardinality cap exceeded, or the planner predicted the
+	// partial states would outweigh the chunks) and fell back to
+	// coordinator-side grouping.
+	GroupSpills
 	numCounters
 )
 
 var counterNames = [numCounters]string{
 	"bytes_requested", "bytes_from_nodes", "rpcs", "retries",
 	"hedges", "hedge_wins", "degraded_reads", "checksum_failures",
-	"cache_hits", "round_trips",
+	"cache_hits", "round_trips", "group_partials", "group_spills",
 }
 
 func (c Counter) String() string {
