@@ -50,9 +50,9 @@ func main() {
 			err error
 		)
 		switch *experiment {
-		case "load", "soak":
+		case "load", "soak", "knee":
 			var stats *workload.LoadStats
-			stats, err = workload.MeasureLoad(lab)
+			stats, err = workload.MeasureLoadFull(lab)
 			if err == nil {
 				b, err = stats.JSON()
 			}

@@ -34,6 +34,18 @@ func IsChecksumErr(msg string) bool {
 	return strings.Contains(msg, "block checksum mismatch")
 }
 
+// ErrExpired reports work a node refused (or abandoned at a batch
+// checkpoint) because the request's relative deadline budget
+// (rpc.Request.DeadlineMicros) had already elapsed — the caller gave up, so
+// finishing the work would only burn node CPU for an abandoned request. It
+// crosses the wire as a Response.Err string; use IsExpiredErr on that side.
+var ErrExpired = errors.New("cluster: request deadline expired")
+
+// IsExpiredErr reports whether a Response.Err string carries ErrExpired.
+func IsExpiredErr(msg string) bool {
+	return strings.Contains(msg, "request deadline expired")
+}
+
 // blockEntry is the node's durability record for one block: which write
 // attempt produced it, whether that attempt has committed, and the CRC32C
 // its bytes must verify against.
@@ -69,17 +81,37 @@ func (n *Node) SetMetrics(h *metrics.HistogramSet) { n.hist = h }
 
 // Handle executes one request against this node. It never panics on
 // malformed input; errors are reported in Response.Err.
+//
+// A request carrying a positive DeadlineMicros is held to that budget: the
+// deadline is the handling start plus the relative budget (stamped by the
+// coordinator at send time, so clock skew never shifts it), already-expired
+// work is rejected before touching storage, and batch frames re-check at
+// every sub-op boundary — the checkpoints that let a long scan abort
+// mid-row-group once its caller has given up.
 func (n *Node) Handle(req *rpc.Request) *rpc.Response {
-	if n.hist == nil {
-		return n.handle(req)
-	}
 	start := time.Now()
-	resp := n.handle(req)
+	var deadline time.Time
+	if req.DeadlineMicros > 0 {
+		deadline = start.Add(time.Duration(req.DeadlineMicros) * time.Microsecond)
+	}
+	if n.hist == nil {
+		return n.handle(req, deadline)
+	}
+	resp := n.handle(req, deadline)
 	n.hist.Observe(metrics.Key{Op: "node." + req.Kind.String(), Node: n.ID}, time.Since(start))
 	return resp
 }
 
-func (n *Node) handle(req *rpc.Request) *rpc.Response {
+// expired reports whether a request's deadline budget has elapsed (a zero
+// deadline means unbounded).
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline)
+}
+
+func (n *Node) handle(req *rpc.Request, deadline time.Time) *rpc.Response {
+	if expired(deadline) {
+		return errResp(fmt.Errorf("%w: %s", ErrExpired, req.Kind))
+	}
 	switch req.Kind {
 	case rpc.KindPing:
 		return &rpc.Response{}
@@ -118,7 +150,7 @@ func (n *Node) handle(req *rpc.Request) *rpc.Response {
 	case rpc.KindTopK:
 		return n.handleTopK(req)
 	case rpc.KindBatch:
-		return n.handleBatch(req)
+		return n.handleBatch(req, deadline)
 	default:
 		return errResp(fmt.Errorf("cluster: unknown request kind %d", req.Kind))
 	}
@@ -400,13 +432,25 @@ func rowLiteral(col lpq.ColumnData, i int) sql.Literal {
 // non-batchable kind — fails the frame as a whole. The outer Cost aggregates
 // the sub-ops' so transports and the latency model account the frame as one
 // round trip of combined work.
-func (n *Node) handleBatch(req *rpc.Request) *rpc.Response {
+//
+// Sub-op boundaries are the frame's deadline checkpoints: once the request
+// budget elapses, every remaining sub-op fails with ErrExpired instead of
+// running — a long scan aborts mid-row-group rather than finishing work its
+// caller abandoned.
+func (n *Node) handleBatch(req *rpc.Request, deadline time.Time) *rpc.Response {
 	if msg := rpc.ValidateBatch(req); msg != "" {
 		return errResp(fmt.Errorf("cluster: %s", msg))
 	}
 	out := &rpc.Response{Subs: make([]rpc.Response, len(req.Subs))}
 	for i := range req.Subs {
-		sub := n.handle(&req.Subs[i])
+		if expired(deadline) {
+			err := fmt.Errorf("%w: batch abandoned at sub-op %d/%d", ErrExpired, i, len(req.Subs))
+			for j := i; j < len(req.Subs); j++ {
+				out.Subs[j] = rpc.Response{Err: err.Error()}
+			}
+			return out
+		}
+		sub := n.handle(&req.Subs[i], deadline)
 		out.Subs[i] = *sub
 		out.Cost.Add(sub.Cost)
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -177,17 +178,42 @@ func CallRetry(c Client, node int, req *rpc.Request, p Policy) (*rpc.Response, e
 // request-scoped tracing can attribute retries to the request that paid for
 // them.
 func CallRetryN(c Client, node int, req *rpc.Request, p Policy) (*rpc.Response, int, error) {
+	return CallRetryCtx(context.Background(), c, node, req, p)
+}
+
+// CallRetryCtx is CallRetryN bounded end to end by the caller's context:
+// no attempt is issued once ctx is done, a backoff that would sleep past
+// the context deadline fails immediately instead of sleeping into a
+// guaranteed-useless retry, and each attempt's per-call timeout is capped
+// at the remaining deadline budget. A Background context restores plain
+// CallRetryN behavior.
+func CallRetryCtx(ctx context.Context, c Client, node int, req *rpc.Request, p Policy) (*rpc.Response, int, error) {
 	p = p.withDefaults()
 	var lastErr error
 	attempts := 0
 	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, attempts, fmt.Errorf("cluster: %d attempts to node %d abandoned (%v): %w", attempts, node, lastErr, err)
+			}
+			return nil, attempts, err
+		}
 		if attempt > 1 {
 			p.Health.Retry(node)
 			d := p.backoff(attempt - 1)
 			if p.OnBackoff != nil {
 				p.OnBackoff(node, attempt-1, d)
 			}
-			time.Sleep(d)
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+				// The retry could only fire after the caller's deadline —
+				// fail now rather than sleeping past it and issuing doomed
+				// work (the pre-context bug this path exists to fix).
+				return nil, attempts, fmt.Errorf("cluster: %d attempts to node %d, backoff crosses deadline (%v): %w",
+					attempts, node, lastErr, context.DeadlineExceeded)
+			}
+			if !sleepCtx(ctx, d) {
+				return nil, attempts, ctx.Err()
+			}
 		}
 		if !p.Breaker.Allow(node) {
 			// Open circuit: fail fast without a transport attempt, with the
@@ -197,7 +223,17 @@ func CallRetryN(c Client, node int, req *rpc.Request, p Policy) (*rpc.Response, 
 		}
 		attempts = attempt
 		p.Health.Call(node)
-		resp, err := CallTimeout(c, node, req, p.Timeout)
+		timeout := p.Timeout
+		if dl, ok := ctx.Deadline(); ok {
+			rem := time.Until(dl)
+			if rem <= 0 {
+				return nil, attempts, context.DeadlineExceeded
+			}
+			if timeout <= 0 || rem < timeout {
+				timeout = rem
+			}
+		}
+		resp, err := callTimeoutCtx(ctx, c, node, req, timeout)
 		if err == nil {
 			p.Breaker.Success(node)
 			return resp, attempts, nil
@@ -207,12 +243,65 @@ func CallRetryN(c Client, node int, req *rpc.Request, p Policy) (*rpc.Response, 
 		if errors.Is(err, ErrCallTimeout) {
 			p.Health.Timeout(node)
 		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// Cancelled or expired mid-attempt: the context error wins and
+			// is never retried.
+			return nil, attempts, fmt.Errorf("cluster: attempt %d to node %d abandoned (%v): %w", attempts, node, err, ctxErr)
+		}
 		lastErr = err
 		if !p.retryable(err) {
 			return nil, attempts, err
 		}
 	}
 	return nil, attempts, fmt.Errorf("cluster: %d attempts to node %d failed: %w", p.MaxAttempts, node, lastErr)
+}
+
+// sleepCtx sleeps for d unless ctx is done first; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// callTimeoutCtx is CallTimeout that additionally abandons the in-flight
+// attempt the moment ctx is done.
+func callTimeoutCtx(ctx context.Context, c Client, node int, req *rpc.Request, d time.Duration) (*rpc.Response, error) {
+	if d <= 0 && ctx.Done() == nil {
+		return c.Call(node, req)
+	}
+	type result struct {
+		resp *rpc.Response
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := c.Call(node, req)
+		ch <- result{resp, err}
+	}()
+	var timeC <-chan time.Time
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeC = timer.C
+	}
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-timeC:
+		return nil, fmt.Errorf("%w: node %d after %v", ErrCallTimeout, node, d)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // CallCheckedPolicy is CallChecked under an explicit policy.

@@ -101,6 +101,19 @@ type Config struct {
 	// stalls, but latency is still charged from the scheduled arrival time,
 	// so the overload stays visible in the percentiles. Default 4096.
 	MaxInflight int
+	// Tenant, when non-empty, tags every operation's context with this
+	// tenant (sched.WithTenant) so the store's admission scheduler accounts
+	// and queues the stream under that tenant's weight. It does not affect
+	// the schedule: the same (Seed, rates, mix) yields byte-identical
+	// arrivals with or without a tenant.
+	Tenant string
+	// OpDeadline, when positive, attaches an end-to-end deadline to every
+	// operation's context — the budget the deadline-propagation path carries
+	// through retries, hedges and onto the wire to the nodes. Expired and
+	// shed operations fail with classified errors (deadline, overloaded);
+	// they are data, not harness failures. Like Tenant, it never perturbs
+	// the arrival schedule.
+	OpDeadline time.Duration
 	// SLOs are the pass/fail targets evaluated over the run. Nil applies
 	// DefaultSLOs.
 	SLOs []SLO

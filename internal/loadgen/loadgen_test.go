@@ -190,3 +190,18 @@ func TestCorpusVersionsDiffer(t *testing.T) {
 		t.Fatal("versions 0 and 1 have identical reference answers for every template")
 	}
 }
+
+// TestTenantFieldsDoNotPerturbSchedule: Tenant and OpDeadline shape the
+// execution context, never the arrival schedule — the same (seed, rates,
+// mix) must yield the byte-identical schedule with or without them, so
+// multi-tenant runs stay reproducible against the pinned fingerprints.
+func TestTenantFieldsDoNotPerturbSchedule(t *testing.T) {
+	plain := Config{Seed: 3, Rate: 500, Duration: time.Second}
+	tagged := plain
+	tagged.Tenant = "aggressor"
+	tagged.OpDeadline = 250 * time.Millisecond
+	a, b := BuildSchedule(plain), BuildSchedule(tagged)
+	if scheduleFingerprint(a) != scheduleFingerprint(b) || !reflect.DeepEqual(a, b) {
+		t.Fatal("Tenant/OpDeadline perturbed the arrival schedule")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/fusionstore/fusion/internal/faultnet"
 	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/metrics"
+	"github.com/fusionstore/fusion/internal/sched"
 	"github.com/fusionstore/fusion/internal/sql"
 	"github.com/fusionstore/fusion/internal/store"
 	"github.com/fusionstore/fusion/internal/trace"
@@ -51,12 +52,24 @@ const (
 	ErrClassInjected        = "injected"
 	ErrClassClientCrashed   = "client_crashed"
 	ErrClassOracleMismatch  = "oracle_mismatch"
-	ErrClassOther           = "other"
+	// ErrClassOverloaded marks ops the admission scheduler shed
+	// (sched.ErrOverloaded): the system explicitly refusing work it cannot
+	// serve within SLO, as opposed to timing out while pretending it can.
+	ErrClassOverloaded = "overloaded"
+	// ErrClassDeadline marks ops that ran out of their end-to-end budget
+	// (context deadline exceeded or cancelled), whether the coordinator, a
+	// retry/backoff, or a node-side expiry check called it.
+	ErrClassDeadline = "deadline"
+	ErrClassOther    = "other"
 )
 
 // classify maps an op error to its taxonomy class.
 func classify(err error) string {
 	switch {
+	case errors.Is(err, sched.ErrOverloaded):
+		return ErrClassOverloaded
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return ErrClassDeadline
 	case errors.Is(err, store.ErrTooManyFailures):
 		return ErrClassTooManyFailures
 	case errors.Is(err, cluster.ErrNodeDown):
@@ -91,6 +104,29 @@ func (o *OpStats) Availability() float64 {
 		return 1
 	}
 	return float64(o.Succeeded) / float64(o.Attempted)
+}
+
+// Shed counts ops the admission scheduler rejected with ErrOverloaded.
+func (o *OpStats) Shed() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.Errors[ErrClassOverloaded]
+}
+
+// AdmittedAvailability is availability over admitted ops only: shed ops are
+// excluded from the denominator, because an explicit, classified rejection
+// the client can retry is the load shedder working as designed — what this
+// metric must expose is work the system *accepted* and then failed.
+func (o *OpStats) AdmittedAvailability() float64 {
+	if o == nil {
+		return 1
+	}
+	admitted := o.Attempted - o.Shed()
+	if admitted == 0 {
+		return 1
+	}
+	return float64(o.Succeeded) / float64(admitted)
 }
 
 // TraceTotals aggregates the request-span counters over every op of a run —
@@ -170,6 +206,44 @@ func (r *RunStats) ReadAvailability() float64 {
 		return 1
 	}
 	return float64(suc) / float64(att)
+}
+
+// Shed counts ops across all kinds that the admission scheduler rejected.
+func (r *RunStats) Shed() uint64 {
+	var n uint64
+	for _, o := range r.PerOp {
+		n += o.Shed()
+	}
+	return n
+}
+
+// AdmittedReadAvailability is read availability with shed reads excluded
+// from the denominator — the overload gate's headline number: past the
+// saturation knee the store may refuse reads (that shows up in Shed), but
+// the reads it admits must still overwhelmingly succeed.
+func (r *RunStats) AdmittedReadAvailability() float64 {
+	var att, suc uint64
+	for _, kind := range []OpKind{OpGet, OpQuery} {
+		if o := r.PerOp[kind.String()]; o != nil {
+			att += o.Attempted - o.Shed()
+			suc += o.Succeeded
+		}
+	}
+	if att == 0 {
+		return 1
+	}
+	return float64(suc) / float64(att)
+}
+
+// UnclassifiedErrors counts failures that landed in the catch-all "other"
+// class. The shed gate requires this to be zero: under overload every
+// rejection must be a typed, retryable error, not mystery breakage.
+func (r *RunStats) UnclassifiedErrors() uint64 {
+	var n uint64
+	for _, o := range r.PerOp {
+		n += o.Errors[ErrClassOther]
+	}
+	return n
 }
 
 // runner carries one run's shared state.
@@ -252,24 +326,91 @@ func RunPreloaded(target Target, oracle *Oracle, cfg Config) (*RunStats, error) 
 	start := time.Now()
 	for i := range schedule {
 		op := schedule[i]
-		sched := start.Add(op.At)
-		if d := time.Until(sched); d > 200*time.Microsecond {
+		arrival := start.Add(op.At)
+		if d := time.Until(arrival); d > 200*time.Microsecond {
 			time.Sleep(d)
 		}
-		r.hist.Observe(lagKey, time.Since(sched))
+		r.hist.Observe(lagKey, time.Since(arrival))
 		wg.Add(1)
 		sem <- struct{}{} // memory guard; lateness it causes stays charged to latency
 		r.enter()
-		go func(op Op, sched time.Time) {
+		go func(op Op, arrival time.Time) {
 			defer wg.Done()
-			r.execute(op, sched)
+			r.execute(op, arrival)
 			r.leave()
 			<-sem
-		}(op, sched)
+		}(op, arrival)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 	return r.finish(schedule, wall), nil
+}
+
+// TenantRun names one tenant's stream in a multi-tenant run. If Cfg.Tenant
+// is empty it defaults to Name, so the store's scheduler accounts the stream
+// under the run's name.
+type TenantRun struct {
+	Name string
+	Cfg  Config
+}
+
+// RunTenants drives several tenants' schedules concurrently against one
+// target sharing a single oracle — the multi-tenant overload experiment: an
+// aggressor tenant saturates the store while a latency-sensitive tenant's
+// stream measures what admission control preserved for it. The corpus is
+// preloaded once; per-tenant stats are returned keyed by tenant name. The
+// oracle is concurrency-safe, so cross-tenant puts to the same object
+// coalesce exactly as same-tenant ones do.
+func RunTenants(target Target, runs []TenantRun) (map[string]*RunStats, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("loadgen: no tenant runs")
+	}
+	// The shared oracle must hold the largest corpus any tenant touches, and
+	// corpus contents are seed-derived: all tenants must agree on the corpus
+	// parameters or reads would verify against the wrong bytes.
+	base := runs[0].Cfg.withDefaults()
+	objects, rows := base.Objects, base.RowsPerObject
+	for _, tr := range runs[1:] {
+		c := tr.Cfg.withDefaults()
+		if c.Seed != base.Seed || c.Objects != objects || c.RowsPerObject != rows {
+			return nil, fmt.Errorf("loadgen: tenant %q corpus (seed=%d objects=%d rows=%d) differs from %q (seed=%d objects=%d rows=%d)",
+				tr.Name, c.Seed, c.Objects, c.RowsPerObject, runs[0].Name, base.Seed, objects, rows)
+		}
+	}
+	oracle, err := NewOracle(base.Seed, objects, rows)
+	if err != nil {
+		return nil, err
+	}
+	if err := Preload(target, oracle); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*RunStats, len(runs))
+	errs := make([]error, len(runs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, tr := range runs {
+		cfg := tr.Cfg
+		if cfg.Tenant == "" {
+			cfg.Tenant = tr.Name
+		}
+		wg.Add(1)
+		go func(i int, name string, cfg Config) {
+			defer wg.Done()
+			stats, err := RunPreloaded(target, oracle, cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[i] = fmt.Errorf("loadgen: tenant %q: %w", name, err)
+				return
+			}
+			out[name] = stats
+		}(i, tr.Name, cfg)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 var (
@@ -298,8 +439,16 @@ func (r *runner) leave() {
 // execute runs one scheduled op, records its arrival-to-completion latency,
 // classifies any failure and verifies successful responses against the
 // oracle.
-func (r *runner) execute(op Op, sched time.Time) {
+func (r *runner) execute(op Op, arrival time.Time) {
 	ctx, sp := trace.Start(context.Background(), "load."+op.Kind.String())
+	if r.cfg.Tenant != "" {
+		ctx = sched.WithTenant(ctx, r.cfg.Tenant)
+	}
+	if r.cfg.OpDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.OpDeadline)
+		defer cancel()
+	}
 	var err error
 	var payload uint64
 	verified := false
@@ -353,7 +502,7 @@ func (r *runner) execute(op Op, sched time.Time) {
 		}
 	}
 	sp.End()
-	latency := time.Since(sched)
+	latency := time.Since(arrival)
 	r.hist.Observe(opLatencyKey(op.Kind), latency)
 
 	r.mu.Lock()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/fusionstore/fusion/internal/cluster"
+	"github.com/fusionstore/fusion/internal/sched"
 	"github.com/fusionstore/fusion/internal/simnet"
 	"github.com/fusionstore/fusion/internal/store"
 	"github.com/fusionstore/fusion/internal/tcpnet"
@@ -213,4 +214,79 @@ type stallTarget struct {
 func (s *stallTarget) Get(ctx context.Context, name string, offset, length uint64) ([]byte, error) {
 	time.Sleep(s.delay)
 	return s.Target.Get(ctx, name, offset, length)
+}
+
+// TestRunTenantsMultiStream drives two tenants concurrently against one
+// admission-controlled store sharing a single oracle: the multi-tenant
+// overload harness end to end. Both streams must verify cleanly, per-tenant
+// stats must be accounted under the right names, and every shed op must be
+// classified — never "other".
+func TestRunTenantsMultiStream(t *testing.T) {
+	opts := store.FusionOptions()
+	opts.StorageBudget = 0.5
+	opts.QueryWorkers = 2
+	opts.Sched = sched.New(sched.Config{
+		Slots: 8, ScanSlots: 4, PutSlots: 4, QueueDepth: 16,
+		Weights: map[string]int{"pointy": 4, "scanny": 1},
+	})
+	s, err := store.New(simClient(9), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Seed:          7,
+		Duration:      300 * time.Millisecond,
+		Objects:       8,
+		RowsPerObject: 40,
+		OpDeadline:    2 * time.Second,
+	}
+	scanny, pointy := base, base
+	scanny.Rate, scanny.Mix = 500, Mix{Get: 0.2, Query: 0.8}
+	pointy.Rate, pointy.Mix = 300, Mix{Get: 1}
+	stats, err := RunTenants(StoreTarget{S: s}, []TenantRun{
+		{Name: "scanny", Cfg: scanny},
+		{Name: "pointy", Cfg: pointy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 || stats["scanny"] == nil || stats["pointy"] == nil {
+		t.Fatalf("want per-tenant stats for both tenants, got %v", stats)
+	}
+	for name, run := range stats {
+		if run.OracleMismatches != 0 {
+			t.Fatalf("%s: oracle mismatches: %v", name, run.MismatchSamples)
+		}
+		if run.OracleChecks == 0 {
+			t.Fatalf("%s: verified nothing", name)
+		}
+		if n := run.UnclassifiedErrors(); n != 0 {
+			t.Fatalf("%s: %d unclassified errors", name, n)
+		}
+		if a := run.AdmittedReadAvailability(); a < 0.99 {
+			t.Fatalf("%s: admitted read availability %.4f under mild load", name, a)
+		}
+	}
+	// The store's scheduler must have accounted both tenants by name.
+	seen := map[string]bool{}
+	for _, tn := range s.SchedStats().Tenants {
+		seen[tn.Tenant] = true
+	}
+	if !seen["scanny"] || !seen["pointy"] {
+		t.Fatalf("scheduler accounted tenants %v, want scanny and pointy", seen)
+	}
+}
+
+// TestRunTenantsRejectsMismatchedCorpus: tenants disagreeing on the corpus
+// parameters would verify reads against the wrong bytes — the runner must
+// refuse up front.
+func TestRunTenantsRejectsMismatchedCorpus(t *testing.T) {
+	s := testStore(t, simClient(9), 1)
+	_, err := RunTenants(StoreTarget{S: s}, []TenantRun{
+		{Name: "a", Cfg: Config{Seed: 1, Objects: 8, RowsPerObject: 40, Duration: 10 * time.Millisecond}},
+		{Name: "b", Cfg: Config{Seed: 2, Objects: 8, RowsPerObject: 40, Duration: 10 * time.Millisecond}},
+	})
+	if err == nil {
+		t.Fatal("mismatched corpus must be rejected")
+	}
 }

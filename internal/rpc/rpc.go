@@ -118,6 +118,16 @@ type ChunkRef struct {
 type Request struct {
 	Kind Kind
 
+	// DeadlineMicros, when positive, is the caller's remaining deadline
+	// budget in microseconds at the moment the request was sent. The budget
+	// is relative — never an absolute timestamp — so clock skew between
+	// coordinator and node cannot corrupt it. A node measures its own
+	// elapsed time against the budget: already-expired work is rejected
+	// before any disk read, and batch frames abort between sub-ops at the
+	// checkpoint where the budget runs out (see cluster.ErrExpired). 0
+	// means no deadline.
+	DeadlineMicros int64
+
 	// Block operations.
 	BlockID string
 	Data    []byte // PutBlock/PrepareBlock payload

@@ -1,0 +1,454 @@
+// Package sched is the admission-control plane in front of the store
+// facade: per-tenant weighted-fair queues with global and per-class
+// concurrency caps, bounded queue depth, and explicit load shedding.
+//
+// The scheduler exists so an overloaded coordinator degrades predictably
+// instead of collapsing. Three mechanisms combine:
+//
+//   - Concurrency caps: at most Slots operations run at once, and the
+//     expensive classes (scans, puts) have their own sub-caps so one
+//     tenant's table scans can never occupy every worker slot while point
+//     reads starve behind them.
+//   - Weighted-fair queueing: when the slots are busy, requests wait in
+//     per-tenant FIFO queues and slots are handed out by stride scheduling
+//     over tenant weights — a tenant with weight 2 drains twice as fast as
+//     a tenant with weight 1, and an aggressor's queue length only delays
+//     the aggressor.
+//   - Load shedding: a request that cannot plausibly be served — its
+//     tenant's queue is full, or the estimated queue wait exceeds the
+//     request deadline — fails fast with a typed *Overloaded error carrying
+//     a retry-after hint, instead of queueing to death and timing out
+//     wholesale.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/metrics"
+)
+
+// Class buckets operations by the resources they hold while running. The
+// per-class caps keep expensive classes from monopolizing the slot pool.
+type Class uint8
+
+const (
+	// ClassPoint is a point read: a Get, bounded bytes, short service time.
+	ClassPoint Class = iota
+	// ClassScan is an analytical query: filter/projection fan-out across
+	// row groups, the class that can occupy workers for a long time.
+	ClassScan
+	// ClassPut is a write: erasure encode + scatter, memory- and
+	// network-heavy.
+	ClassPut
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassPoint:
+		return "point"
+	case ClassScan:
+		return "scan"
+	case ClassPut:
+		return "put"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// ErrOverloaded is the sentinel every shed decision matches via errors.Is.
+// The concrete error is *Overloaded, which carries the tenant, class,
+// reason, and a retry-after hint.
+var ErrOverloaded = errors.New("sched: overloaded")
+
+// Overloaded is the typed load-shed error: the scheduler refused admission
+// because serving the request within its constraints was implausible.
+// errors.Is(err, ErrOverloaded) matches it; errors.As extracts the hint.
+type Overloaded struct {
+	// Tenant is the shed request's tenant.
+	Tenant string
+	// Class is the shed request's cost class.
+	Class Class
+	// Reason describes the shed decision ("queue full", "queue wait
+	// exceeds deadline").
+	Reason string
+	// RetryAfter is the scheduler's estimate of when capacity may free up —
+	// the hint a well-behaved client backs off by before retrying.
+	RetryAfter time.Duration
+}
+
+func (e *Overloaded) Error() string {
+	return fmt.Sprintf("sched: overloaded: tenant %q class %s shed (%s), retry after %v",
+		e.Tenant, e.Class, e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for every shed error.
+func (e *Overloaded) Is(target error) bool { return target == ErrOverloaded }
+
+// DefaultTenant is the tenant requests are accounted to when neither the
+// context nor the store options name one.
+const DefaultTenant = "default"
+
+type tenantCtxKey struct{}
+
+// WithTenant returns a context whose requests are accounted to the named
+// tenant. It overrides any store-level default tenant.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantCtxKey{}, tenant)
+}
+
+// TenantFromContext returns the context's tenant, or "" when none is set.
+func TenantFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	t, _ := ctx.Value(tenantCtxKey{}).(string)
+	return t
+}
+
+// Config bounds a Scheduler. The zero value applies defaults sized to the
+// host: 4×GOMAXPROCS total slots, half of them available to scans and to
+// puts, per-tenant queue depth 64, all tenants weight 1.
+type Config struct {
+	// Slots is the total number of operations admitted concurrently.
+	Slots int
+	// ScanSlots caps concurrently running scans (ClassScan). Point reads
+	// are capped only by Slots, so a scan burst leaves headroom for them.
+	ScanSlots int
+	// PutSlots caps concurrently running writes (ClassPut).
+	PutSlots int
+	// QueueDepth bounds each tenant's wait queue; a request arriving at a
+	// full queue is shed with ErrOverloaded.
+	QueueDepth int
+	// DefaultWeight is the fair-share weight of tenants absent from
+	// Weights; larger weights drain proportionally faster.
+	DefaultWeight int
+	// Weights assigns per-tenant fair-share weights.
+	Weights map[string]int
+}
+
+// strideScale is the stride-scheduling numerator: a tenant's pass advances
+// by strideScale/weight per admission, so higher weights advance slower and
+// win the min-pass pick more often.
+const strideScale = float64(1 << 16)
+
+type waiter struct {
+	tenant  *tenantState
+	class   Class
+	grant   chan struct{}
+	granted bool // guarded by Scheduler.mu; set before grant is closed
+	enq     time.Time
+}
+
+type tenantState struct {
+	name     string
+	weight   int
+	pass     float64
+	queue    []*waiter
+	admitted uint64
+	shed     uint64
+}
+
+// Scheduler is the admission controller. All methods are safe for
+// concurrent use; a nil *Scheduler admits everything (every method is
+// nil-safe), so the store threads it unconditionally.
+type Scheduler struct {
+	cfg  Config
+	hist *metrics.HistogramSet // queue-wait histograms, Key{Op: "sched.wait.<tenant>"}
+
+	mu           sync.Mutex
+	running      int
+	runningClass [numClasses]int
+	tenants      map[string]*tenantState
+	// ewmaNanos is the per-class service-time EWMA feeding queue-wait
+	// estimates (zero until that class completes an operation).
+	ewmaNanos [numClasses]float64
+}
+
+// New returns a Scheduler with cfg's bounds (zero fields defaulted).
+func New(cfg Config) *Scheduler {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.ScanSlots <= 0 {
+		cfg.ScanSlots = (cfg.Slots + 1) / 2
+	}
+	if cfg.PutSlots <= 0 {
+		cfg.PutSlots = (cfg.Slots + 1) / 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.DefaultWeight <= 0 {
+		cfg.DefaultWeight = 1
+	}
+	return &Scheduler{
+		cfg:     cfg,
+		hist:    metrics.NewHistogramSet(),
+		tenants: make(map[string]*tenantState),
+	}
+}
+
+// Acquire admits one operation for the tenant, blocking in the tenant's
+// fair queue while the slots are busy. On admission it returns a release
+// function (idempotent; must be called when the operation finishes) and the
+// time spent queued. On refusal it returns a *Overloaded shed error, and on
+// cancellation the context's error. A nil scheduler admits immediately.
+//
+// Tenant resolution: an explicit WithTenant on ctx wins, then the tenant
+// argument (the store's configured default), then DefaultTenant.
+func (s *Scheduler) Acquire(ctx context.Context, tenant string, class Class) (release func(), wait time.Duration, err error) {
+	if s == nil {
+		return func() {}, 0, nil
+	}
+	if t := TenantFromContext(ctx); t != "" {
+		tenant = t
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+
+	s.mu.Lock()
+	t := s.tenantLocked(tenant)
+	if s.canRunLocked(class) && len(t.queue) == 0 {
+		s.admitLocked(t, class)
+		s.mu.Unlock()
+		s.hist.Observe(waitKey(tenant), 0)
+		return s.releaseFunc(class), 0, nil
+	}
+	// Slots (or the class cap) are busy: shed or queue.
+	est := s.estWaitLocked(class)
+	if len(t.queue) >= s.cfg.QueueDepth {
+		t.shed++
+		s.mu.Unlock()
+		return nil, 0, &Overloaded{Tenant: tenant, Class: class, Reason: "queue full", RetryAfter: est}
+	}
+	if dl, ok := ctx.Deadline(); ok && est > time.Until(dl) {
+		t.shed++
+		s.mu.Unlock()
+		return nil, 0, &Overloaded{Tenant: tenant, Class: class, Reason: "queue wait exceeds deadline", RetryAfter: est}
+	}
+	w := &waiter{tenant: t, class: class, grant: make(chan struct{}), enq: time.Now()}
+	t.queue = append(t.queue, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		wait = time.Since(w.enq)
+		s.hist.Observe(waitKey(tenant), wait)
+		return s.releaseFunc(class), wait, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation; the slot is ours to give back.
+			s.mu.Unlock()
+			s.releaseFunc(class)()
+			return nil, 0, ctx.Err()
+		}
+		for i, q := range t.queue {
+			if q == w {
+				t.queue = append(t.queue[:i], t.queue[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return nil, 0, ctx.Err()
+	}
+}
+
+// releaseFunc returns the idempotent slot-release closure for an admitted
+// operation of the given class. Release feeds the class's service-time EWMA
+// and hands freed capacity to queued waiters.
+func (s *Scheduler) releaseFunc(class Class) func() {
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			dur := time.Since(start)
+			s.mu.Lock()
+			const alpha = 0.2
+			if s.ewmaNanos[class] == 0 {
+				s.ewmaNanos[class] = float64(dur)
+			} else {
+				s.ewmaNanos[class] += alpha * (float64(dur) - s.ewmaNanos[class])
+			}
+			s.running--
+			s.runningClass[class]--
+			s.dispatchLocked()
+			s.mu.Unlock()
+		})
+	}
+}
+
+func (s *Scheduler) tenantLocked(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		w := s.cfg.Weights[name]
+		if w <= 0 {
+			w = s.cfg.DefaultWeight
+		}
+		// A new tenant starts at the current minimum pass so it neither
+		// inherits a backlog nor gets a burst of catch-up admissions.
+		pass := 0.0
+		for _, o := range s.tenants {
+			if pass == 0 || o.pass < pass {
+				pass = o.pass
+			}
+		}
+		t = &tenantState{name: name, weight: w, pass: pass}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+func (s *Scheduler) canRunLocked(class Class) bool {
+	if s.running >= s.cfg.Slots {
+		return false
+	}
+	return s.runningClass[class] < s.classCap(class)
+}
+
+func (s *Scheduler) classCap(class Class) int {
+	switch class {
+	case ClassScan:
+		return s.cfg.ScanSlots
+	case ClassPut:
+		return s.cfg.PutSlots
+	default:
+		return s.cfg.Slots
+	}
+}
+
+// admitLocked accounts one admission to the tenant and advances its stride
+// pass, charging the fair-share clock.
+func (s *Scheduler) admitLocked(t *tenantState, class Class) {
+	s.running++
+	s.runningClass[class]++
+	t.admitted++
+	t.pass += strideScale / float64(t.weight)
+}
+
+// dispatchLocked hands freed capacity to queued waiters: repeatedly pick
+// the minimum-pass tenant whose head-of-queue class has capacity (FIFO
+// within a tenant, stride-fair across tenants) until nothing is eligible.
+func (s *Scheduler) dispatchLocked() {
+	for {
+		var best *tenantState
+		for _, t := range s.tenants {
+			if len(t.queue) == 0 || !s.canRunLocked(t.queue[0].class) {
+				continue
+			}
+			if best == nil || t.pass < best.pass || (t.pass == best.pass && t.name < best.name) {
+				best = t
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		s.admitLocked(best, w.class)
+		w.granted = true
+		close(w.grant)
+	}
+}
+
+// estWaitLocked estimates how long a request queued now would wait: the
+// requests already queued (plus itself) divided across the slot pool, each
+// wave costing one EWMA service time of the class (falling back to the
+// slowest known class, then a 1ms prior before any completion).
+func (s *Scheduler) estWaitLocked(class Class) time.Duration {
+	cost := s.ewmaNanos[class]
+	if cost == 0 {
+		for _, v := range s.ewmaNanos {
+			if v > cost {
+				cost = v
+			}
+		}
+	}
+	if cost == 0 {
+		cost = float64(time.Millisecond)
+	}
+	queued := 1
+	for _, t := range s.tenants {
+		queued += len(t.queue)
+	}
+	waves := 1 + float64(queued)/float64(s.cfg.Slots)
+	return time.Duration(waves * cost)
+}
+
+func waitKey(tenant string) metrics.Key {
+	return metrics.Key{Op: "sched.wait." + tenant, Node: metrics.NodeNone}
+}
+
+// TenantStats is one tenant's admission counters at snapshot time.
+type TenantStats struct {
+	Tenant    string                    `json:"tenant"`
+	Weight    int                       `json:"weight"`
+	Admitted  uint64                    `json:"admitted"`
+	Shed      uint64                    `json:"shed"`
+	Queued    int                       `json:"queued"`
+	QueueWait metrics.HistogramSnapshot `json:"queue_wait"`
+}
+
+// Stats is the scheduler's state snapshot: configured bounds, occupancy,
+// and per-tenant admission/shed/queue-wait summaries (sorted by tenant).
+type Stats struct {
+	Slots       int           `json:"slots"`
+	ScanSlots   int           `json:"scan_slots"`
+	PutSlots    int           `json:"put_slots"`
+	QueueDepth  int           `json:"queue_depth"`
+	Running     int           `json:"running"`
+	RunningScan int           `json:"running_scan"`
+	RunningPut  int           `json:"running_put"`
+	Tenants     []TenantStats `json:"tenants,omitempty"`
+}
+
+// Stats snapshots the scheduler (zero value on nil).
+func (s *Scheduler) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	out := Stats{
+		Slots:       s.cfg.Slots,
+		ScanSlots:   s.cfg.ScanSlots,
+		PutSlots:    s.cfg.PutSlots,
+		QueueDepth:  s.cfg.QueueDepth,
+		Running:     s.running,
+		RunningScan: s.runningClass[ClassScan],
+		RunningPut:  s.runningClass[ClassPut],
+	}
+	tenants := make([]*tenantState, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	snaps := make([]TenantStats, len(tenants))
+	for i, t := range tenants {
+		snaps[i] = TenantStats{
+			Tenant:   t.name,
+			Weight:   t.weight,
+			Admitted: t.admitted,
+			Shed:     t.shed,
+			Queued:   len(t.queue),
+		}
+	}
+	s.mu.Unlock()
+	for i := range snaps {
+		if h, ok := s.hist.Get(waitKey(snaps[i].Tenant)); ok {
+			snaps[i].QueueWait = h
+		}
+	}
+	sort.Slice(snaps, func(a, b int) bool { return snaps[a].Tenant < snaps[b].Tenant })
+	out.Tenants = snaps
+	return out
+}

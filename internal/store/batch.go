@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/fusionstore/fusion/internal/bitmap"
@@ -24,12 +25,12 @@ import (
 // subs failed" and fall back per-op. When st is non-nil the call accounts
 // one simulated operation per frame (the whole point: one RPC overhead and
 // one round trip amortized over every sub-request in the frame).
-func (s *Store) batchCall(st *execState, sp *trace.Span, node int, subs []rpc.Request) ([]rpc.Response, error) {
+func (s *Store) batchCall(ctx context.Context, st *execState, sp *trace.Span, node int, subs []rpc.Request) ([]rpc.Response, error) {
 	out := make([]rpc.Response, 0, len(subs))
 	for start := 0; start < len(subs); start += rpc.MaxBatchOps {
 		end := min(start+rpc.MaxBatchOps, len(subs))
 		req := &rpc.Request{Kind: rpc.KindBatch, Subs: subs[start:end]}
-		resp, err := s.callChecked(sp, node, req)
+		resp, err := s.callChecked(ctx, sp, node, req)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +154,7 @@ func (s *Store) rowGroupFilterBatched(st *execState, q *sql.Query, colIdx map[st
 	}
 	for _, node := range order {
 		g := groups[node]
-		resps, err := s.batchCall(st, st.sp, node, g.subs)
+		resps, err := s.batchCall(st.ctx, st, st.sp, node, g.subs)
 		if err != nil {
 			continue // whole frame lost: every leaf on this node falls back
 		}
@@ -251,7 +252,7 @@ func (s *Store) predispatchChunkTasks(st *execState, colIdx map[string]int, rgBi
 		g := order[i]
 		sub := st.fork()
 		forks[i] = sub
-		resps, err := s.batchCall(sub, sub.sp, g.node, g.subs)
+		resps, err := s.batchCall(sub.ctx, sub, sub.sp, g.node, g.subs)
 		if err != nil {
 			return // every task in the group falls back per-op
 		}
@@ -285,7 +286,7 @@ type blockKey struct{ stripe, bin int }
 // absent from the returned map (failed frame, failed sub-read, checksum
 // mismatch) is left to readSegments' per-op path, which retries and falls
 // into RS reconstruction.
-func (s *Store) prefetchWholeBlocks(sp *trace.Span, meta *ObjectMeta, need []blockKey) map[blockKey][]byte {
+func (s *Store) prefetchWholeBlocks(ctx context.Context, sp *trace.Span, meta *ObjectMeta, need []blockKey) map[blockKey][]byte {
 	whole := make(map[blockKey][]byte, len(need))
 	type nodeGroup struct {
 		subs []rpc.Request
@@ -320,7 +321,7 @@ func (s *Store) prefetchWholeBlocks(sp *trace.Span, meta *ObjectMeta, need []blo
 		if len(g.subs) < 2 {
 			continue // a lone read gains nothing from batch framing
 		}
-		resps, err := s.batchCall(nil, sp, node, g.subs)
+		resps, err := s.batchCall(ctx, nil, sp, node, g.subs)
 		if err != nil {
 			continue
 		}

@@ -9,6 +9,7 @@ import (
 	"github.com/fusionstore/fusion/internal/bufpool"
 	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/sched"
 	"github.com/fusionstore/fusion/internal/trace"
 )
 
@@ -34,6 +35,11 @@ func (s *Store) Get(name string, offset, length uint64) ([]byte, error) {
 func (s *Store) GetContext(ctx context.Context, name string, offset, length uint64) ([]byte, error) {
 	sp := trace.FromContext(ctx).Child("store.Get")
 	defer sp.End()
+	release, err := s.admit(ctx, sp, sched.ClassPoint)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if s.hist != nil {
 		defer func(start time.Time) {
 			s.hist.Observe(opKey("Get"), time.Since(start))
@@ -45,21 +51,21 @@ func (s *Store) GetContext(ctx context.Context, name string, offset, length uint
 	if err != nil {
 		return nil, err
 	}
-	data, err := s.getWithMeta(sp, meta, offset, length)
+	data, err := s.getWithMeta(ctx, sp, meta, offset, length)
 	if err != nil {
 		// The metadata may have been captured before a concurrent
 		// overwrite committed: the blocks it points at can be
 		// garbage-collected mid-read. Re-resolve against the quorum and
 		// retry once iff the object really moved to a newer epoch.
 		if fresh := s.refreshedMeta(name, meta); fresh != nil {
-			return s.getWithMeta(sp, fresh, offset, length)
+			return s.getWithMeta(ctx, sp, fresh, offset, length)
 		}
 	}
 	return data, err
 }
 
 // getWithMeta runs a Get against one specific metadata snapshot.
-func (s *Store) getWithMeta(sp *trace.Span, meta *ObjectMeta, offset, length uint64) ([]byte, error) {
+func (s *Store) getWithMeta(ctx context.Context, sp *trace.Span, meta *ObjectMeta, offset, length uint64) ([]byte, error) {
 	if offset > meta.Size {
 		return nil, fmt.Errorf("store: offset %d beyond object of %d bytes", offset, meta.Size)
 	}
@@ -76,9 +82,9 @@ func (s *Store) getWithMeta(sp *trace.Span, meta *ObjectMeta, offset, length uin
 	}
 	sp.Count(trace.BytesRequested, length)
 	if meta.Mode == LayoutFAC {
-		return s.getFAC(sp, meta, offset, length)
+		return s.getFAC(ctx, sp, meta, offset, length)
 	}
-	return s.getFixed(sp, meta, offset, length)
+	return s.getFixed(ctx, sp, meta, offset, length)
 }
 
 // refreshedMeta re-resolves an object's metadata against the quorum after a
@@ -105,7 +111,7 @@ type segment struct {
 }
 
 // getFAC gathers the range from the items covering it.
-func (s *Store) getFAC(sp *trace.Span, meta *ObjectMeta, offset, length uint64) ([]byte, error) {
+func (s *Store) getFAC(ctx context.Context, sp *trace.Span, meta *ObjectMeta, offset, length uint64) ([]byte, error) {
 	segs := make([]segment, 0, len(meta.Items))
 	var pos uint64
 	end := offset + length
@@ -126,11 +132,11 @@ func (s *Store) getFAC(sp *trace.Span, meta *ObjectMeta, offset, length uint64) 
 	if pos != length {
 		return nil, fmt.Errorf("store: assembled %d bytes, want %d", pos, length)
 	}
-	return s.readSegments(sp, meta, segs, length)
+	return s.readSegments(ctx, sp, meta, segs, length)
 }
 
 // getFixed gathers the range from fixed blocks.
-func (s *Store) getFixed(sp *trace.Span, meta *ObjectMeta, offset, length uint64) ([]byte, error) {
+func (s *Store) getFixed(ctx context.Context, sp *trace.Span, meta *ObjectMeta, offset, length uint64) ([]byte, error) {
 	var segs []segment
 	bs := meta.BlockSize
 	k := uint64(s.opts.Params.K)
@@ -146,7 +152,7 @@ func (s *Store) getFixed(sp *trace.Span, meta *ObjectMeta, offset, length uint64
 		})
 		pos += n
 	}
-	return s.readSegments(sp, meta, segs, length)
+	return s.readSegments(ctx, sp, meta, segs, length)
 }
 
 // readSegments assembles a Get's segments into one buffer. Segments that
@@ -158,7 +164,7 @@ func (s *Store) getFixed(sp *trace.Span, meta *ObjectMeta, offset, length uint64
 // coordinator checks the received block against the stripe checksum in its
 // own metadata (covering both bit rot and transit corruption), so the node
 // is told to skip its redundant at-rest pass.
-func (s *Store) readSegments(sp *trace.Span, meta *ObjectMeta, segs []segment, length uint64) ([]byte, error) {
+func (s *Store) readSegments(ctx context.Context, sp *trace.Span, meta *ObjectMeta, segs []segment, length uint64) ([]byte, error) {
 	out := make([]byte, length)
 	// Bytes requested per block; ranges never overlap (items are disjoint),
 	// so covering DataLens bytes means tiling the whole block.
@@ -182,13 +188,13 @@ func (s *Store) readSegments(sp *trace.Span, meta *ObjectMeta, segs []segment, l
 				need = append(need, key)
 			}
 		}
-		whole = s.prefetchWholeBlocks(sp, meta, need)
+		whole = s.prefetchWholeBlocks(ctx, sp, meta, need)
 	}
 	for _, g := range segs {
 		key := blockKey{g.stripe, g.bin}
 		st := meta.Stripes[g.stripe]
 		if s.opts.HedgeAfter > 0 || g.bin >= len(st.DataLens) || covered[key] != st.DataLens[g.bin] {
-			data, err := s.readStripeRange(sp, meta, g.stripe, g.bin, g.off, g.length)
+			data, err := s.readStripeRange(ctx, sp, meta, g.stripe, g.bin, g.off, g.length)
 			if err != nil {
 				return nil, err
 			}
@@ -198,7 +204,7 @@ func (s *Store) readSegments(sp *trace.Span, meta *ObjectMeta, segs []segment, l
 		block, ok := whole[key]
 		if !ok {
 			var err error
-			block, err = s.readWholeBlock(sp, meta, g.stripe, g.bin)
+			block, err = s.readWholeBlock(ctx, sp, meta, g.stripe, g.bin)
 			if err != nil {
 				return nil, err
 			}
@@ -219,16 +225,16 @@ func (s *Store) readSegments(sp *trace.Span, meta *ObjectMeta, segs []segment, l
 // entirely and — because it never touches s.call — contributes zero
 // bytes-from-nodes to read amplification. Misses are deduplicated by the
 // singleflight layer: N concurrent readers of one block trigger one fetch.
-func (s *Store) readWholeBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
+func (s *Store) readWholeBlock(ctx context.Context, sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
 	if !s.cacheOn() {
-		return s.fetchWholeBlock(sp, meta, stripe, bin)
+		return s.fetchWholeBlock(ctx, sp, meta, stripe, bin)
 	}
 	if v, ok := s.cache.Get(blockKeyOf(meta, stripe, bin)); ok {
 		sp.Count(trace.CacheHits, 1)
 		return v.([]byte), nil
 	}
 	v, err, _ := s.cache.Do("b/"+meta.Stripes[stripe].BlockIDs[bin], func() (any, error) {
-		block, err := s.fetchWholeBlock(sp, meta, stripe, bin)
+		block, err := s.fetchWholeBlock(ctx, sp, meta, stripe, bin)
 		if err != nil {
 			return nil, err
 		}
@@ -263,12 +269,12 @@ func (s *Store) cacheFillBlock(meta *ObjectMeta, stripe, bin int, block []byte) 
 // — and the node is told to skip its own at-rest pass. A failed read or a
 // checksum mismatch enqueues a repair and serves the block from the
 // stripe's redundancy instead.
-func (s *Store) fetchWholeBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
+func (s *Store) fetchWholeBlock(ctx context.Context, sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
 	bsp := sp.Child("block")
 	defer bsp.End()
 	st := meta.Stripes[stripe]
 	verify := !s.opts.SkipChecksumVerify && bin < len(st.Checksums)
-	resp, err := s.call(bsp, st.Nodes[bin], &rpc.Request{
+	resp, err := s.call(ctx, bsp, st.Nodes[bin], &rpc.Request{
 		Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[bin], CallerVerifies: verify,
 	})
 	var fail error
@@ -294,8 +300,18 @@ func (s *Store) fetchWholeBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin in
 	default:
 		return resp.Data, nil
 	}
-	block, derr := s.reconstructBlock(bsp, meta, stripe, bin)
+	// A dead context dooms the reconstruction fan-out too; surface the
+	// caller's cancellation, not a misleading too-many-failures.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("store: read abandoned (direct: %v): %w", fail, cerr)
+	}
+	block, derr := s.reconstructBlock(ctx, bsp, meta, stripe, bin)
 	if derr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			// The deadline fired mid-reconstruction: the caller's budget,
+			// not shard availability, is what failed this read.
+			return nil, fmt.Errorf("store: read abandoned (direct: %v; degraded: %v): %w", fail, derr, cerr)
+		}
 		return nil, fmt.Errorf("store: degraded read failed (direct: %v): %w", fail, derr)
 	}
 	return block, nil
@@ -306,7 +322,7 @@ func (s *Store) fetchWholeBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin in
 // unreachable or its block is missing. With Options.HedgeAfter set, a
 // direct read that is merely slow also races a reconstruction fan-out and
 // the first result wins.
-func (s *Store) readStripeRange(sp *trace.Span, meta *ObjectMeta, stripe, bin int, off, length uint64) ([]byte, error) {
+func (s *Store) readStripeRange(ctx context.Context, sp *trace.Span, meta *ObjectMeta, stripe, bin int, off, length uint64) ([]byte, error) {
 	// With the cache enabled, partial reads are served at block
 	// granularity: a hit slices resident verified bytes, a miss fetches
 	// (and caches) the whole block so the next range of the same block is
@@ -318,7 +334,7 @@ func (s *Store) readStripeRange(sp *trace.Span, meta *ObjectMeta, stripe, bin in
 			return sliceBlock(v.([]byte), off, length)
 		}
 		if s.opts.HedgeAfter <= 0 && bin < len(meta.Stripes[stripe].DataLens) {
-			block, err := s.readWholeBlock(sp, meta, stripe, bin)
+			block, err := s.readWholeBlock(ctx, sp, meta, stripe, bin)
 			if err != nil {
 				return nil, err
 			}
@@ -332,19 +348,25 @@ func (s *Store) readStripeRange(sp *trace.Span, meta *ObjectMeta, stripe, bin in
 		Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[bin], Offset: off, Length: length,
 	}
 	if s.opts.HedgeAfter > 0 {
-		return s.readStripeRangeHedged(bsp, meta, stripe, bin, off, length, req)
+		return s.readStripeRangeHedged(ctx, bsp, meta, stripe, bin, off, length, req)
 	}
-	resp, err := s.call(bsp, st.Nodes[bin], req)
+	resp, err := s.call(ctx, bsp, st.Nodes[bin], req)
 	data, err := s.checkDirectRead(bsp, meta, stripe, bin, resp, err)
 	if err == nil {
 		return data, nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("store: read abandoned (direct: %v): %w", err, cerr)
 	}
 	// Degraded read: rebuild the whole block, then slice. A checksum
 	// failure lands here too — the rotted block is an erasure, the read is
 	// served from the stripe's redundancy, and the repair queue already has
 	// the block.
-	block, derr := s.reconstructBlock(bsp, meta, stripe, bin)
+	block, derr := s.reconstructBlock(ctx, bsp, meta, stripe, bin)
 	if derr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("store: read abandoned (direct: %v; degraded: %v): %w", err, derr, cerr)
+		}
 		return nil, fmt.Errorf("store: degraded read failed (direct: %v): %w", err, derr)
 	}
 	return sliceBlock(block, off, length)
@@ -378,7 +400,7 @@ func (s *Store) checkDirectRead(sp *trace.Span, meta *ObjectMeta, stripe, bin in
 
 // readStripeRangeHedged races the direct read against a reconstruction
 // fan-out fired once the direct read exceeds the hedging threshold.
-func (s *Store) readStripeRangeHedged(sp *trace.Span, meta *ObjectMeta, stripe, bin int, off, length uint64, req *rpc.Request) ([]byte, error) {
+func (s *Store) readStripeRangeHedged(ctx context.Context, sp *trace.Span, meta *ObjectMeta, stripe, bin int, off, length uint64, req *rpc.Request) ([]byte, error) {
 	node := meta.Stripes[stripe].Nodes[bin]
 	type result struct {
 		data   []byte
@@ -387,13 +409,13 @@ func (s *Store) readStripeRangeHedged(sp *trace.Span, meta *ObjectMeta, stripe, 
 	}
 	results := make(chan result, 2) // buffered: late finishers never block
 	go func() {
-		resp, err := s.call(sp, node, req)
+		resp, err := s.call(ctx, sp, node, req)
 		data, err := s.checkDirectRead(sp, meta, stripe, bin, resp, err)
 		results <- result{data: data, err: err}
 	}()
 	launchHedge := func() {
 		go func() {
-			block, err := s.reconstructBlock(sp, meta, stripe, bin)
+			block, err := s.reconstructBlock(ctx, sp, meta, stripe, bin)
 			if err != nil {
 				results <- result{err: err, hedged: true}
 				return
@@ -409,6 +431,11 @@ func (s *Store) readStripeRangeHedged(sp *trace.Span, meta *ObjectMeta, stripe, 
 	var firstErr error
 	for {
 		select {
+		case <-ctx.Done():
+			// The caller gave up: stop waiting. Both racers write to a
+			// buffered channel and their own RPCs observe ctx, so nothing
+			// leaks.
+			return nil, ctx.Err()
 		case r := <-results:
 			pending--
 			if r.err == nil {
@@ -460,7 +487,7 @@ func sliceBlock(block []byte, off, length uint64) ([]byte, error) {
 // flight; every RPC is idempotent, so a late response is harmless). This is
 // the one survivor-gathering path shared by block reconstruction, parity
 // reconstruction and the hedged-read fan-out.
-func (s *Store) gatherSurvivors(sp *trace.Span, meta *ObjectMeta, stripe, skip int) ([][]byte, error) {
+func (s *Store) gatherSurvivors(ctx context.Context, sp *trace.Span, meta *ObjectMeta, stripe, skip int) ([][]byte, error) {
 	p := s.opts.Params
 	st := meta.Stripes[stripe]
 	type result struct {
@@ -476,7 +503,7 @@ func (s *Store) gatherSurvivors(sp *trace.Span, meta *ObjectMeta, stripe, skip i
 		}
 		launched++
 		go func(j int) {
-			resp, err := s.call(sp, st.Nodes[j], &rpc.Request{
+			resp, err := s.call(ctx, sp, st.Nodes[j], &rpc.Request{
 				Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
 			})
 			if err != nil || resp.Err != "" {
@@ -521,12 +548,12 @@ func (s *Store) gatherSurvivors(sp *trace.Span, meta *ObjectMeta, stripe, skip i
 // lost block triggers exactly one survivor fan-out and one RS decode, and
 // every reader shares the result (which is also admitted to the cache, so
 // later readers hit without any decode at all).
-func (s *Store) reconstructBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
+func (s *Store) reconstructBlock(ctx context.Context, sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
 	if !s.cacheOn() {
-		return s.reconstructDataBlock(sp, meta, stripe, bin)
+		return s.reconstructDataBlock(ctx, sp, meta, stripe, bin)
 	}
 	v, err, _ := s.cache.Do("r/"+meta.Stripes[stripe].BlockIDs[bin], func() (any, error) {
-		block, err := s.reconstructDataBlock(sp, meta, stripe, bin)
+		block, err := s.reconstructDataBlock(ctx, sp, meta, stripe, bin)
 		if err != nil {
 			return nil, err
 		}
@@ -541,12 +568,12 @@ func (s *Store) reconstructBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin i
 
 // reconstructDataBlock is the actual survivor-gathering RS rebuild of a
 // data block.
-func (s *Store) reconstructDataBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
+func (s *Store) reconstructDataBlock(ctx context.Context, sp *trace.Span, meta *ObjectMeta, stripe, bin int) ([]byte, error) {
 	rsp := sp.Child("reconstruct")
 	defer rsp.End()
 	rsp.Count(trace.DegradedReads, 1)
 	st := meta.Stripes[stripe]
-	shards, err := s.gatherSurvivors(rsp, meta, stripe, bin)
+	shards, err := s.gatherSurvivors(ctx, rsp, meta, stripe, bin)
 	if err != nil {
 		return nil, err
 	}
@@ -563,11 +590,11 @@ func (s *Store) reconstructDataBlock(sp *trace.Span, meta *ObjectMeta, stripe, b
 }
 
 // reconstructParity rebuilds a parity block from the stripe's survivors.
-func (s *Store) reconstructParity(sp *trace.Span, meta *ObjectMeta, stripe, idx int) ([]byte, error) {
+func (s *Store) reconstructParity(ctx context.Context, sp *trace.Span, meta *ObjectMeta, stripe, idx int) ([]byte, error) {
 	rsp := sp.Child("reconstruct-parity")
 	defer rsp.End()
 	rsp.Count(trace.DegradedReads, 1)
-	shards, err := s.gatherSurvivors(rsp, meta, stripe, idx)
+	shards, err := s.gatherSurvivors(ctx, rsp, meta, stripe, idx)
 	if err != nil {
 		return nil, err
 	}
@@ -649,7 +676,7 @@ func (s *Store) RepairNodeContext(ctx context.Context, name string, node int) (i
 			// Fast path for rejoin catch-up: a block the node still holds
 			// with verifying bytes needs no reconstruction.
 			if j < len(st.Checksums) {
-				if resp, err := s.call(sp, node, &rpc.Request{
+				if resp, err := s.call(ctx, sp, node, &rpc.Request{
 					Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
 				}); err == nil && resp.Err == "" && cluster.Checksum(resp.Data) == st.Checksums[j] {
 					continue
@@ -657,14 +684,14 @@ func (s *Store) RepairNodeContext(ctx context.Context, name string, node int) (i
 			}
 			var block []byte
 			if j < p.K {
-				block, err = s.reconstructBlock(sp, meta, si, j)
+				block, err = s.reconstructBlock(ctx, sp, meta, si, j)
 			} else {
-				block, err = s.reconstructParity(sp, meta, si, j)
+				block, err = s.reconstructParity(ctx, sp, meta, si, j)
 			}
 			if err != nil {
 				return repaired, fmt.Errorf("store: repairing stripe %d block %d: %w", si, j, err)
 			}
-			if err := s.rewriteBlock(sp, meta, si, j, block); err != nil {
+			if err := s.rewriteBlock(ctx, sp, meta, si, j, block); err != nil {
 				return repaired, err
 			}
 			repaired++
@@ -677,13 +704,13 @@ func (s *Store) RepairNodeContext(ctx context.Context, name string, node int) (i
 // checksummed write, verifying the rebuilt bytes against the stripe
 // metadata first — a repair must never replace a rotted block with
 // different garbage.
-func (s *Store) rewriteBlock(sp *trace.Span, meta *ObjectMeta, stripe, bin int, block []byte) error {
+func (s *Store) rewriteBlock(ctx context.Context, sp *trace.Span, meta *ObjectMeta, stripe, bin int, block []byte) error {
 	st := meta.Stripes[stripe]
 	crc := cluster.Checksum(block)
 	if bin < len(st.Checksums) && crc != st.Checksums[bin] {
 		return fmt.Errorf("store: rebuilt block %s failed checksum verification", st.BlockIDs[bin])
 	}
-	_, err := s.callChecked(sp, st.Nodes[bin], &rpc.Request{
+	_, err := s.callChecked(ctx, sp, st.Nodes[bin], &rpc.Request{
 		Kind: rpc.KindPutBlock, BlockID: st.BlockIDs[bin], Data: block,
 		Object: meta.Name, Epoch: meta.Epoch, Crc: crc,
 	})

@@ -269,7 +269,7 @@ func (s *Store) predispatchGroupWorks(st *execState, works []*groupWork, kinds [
 		g := order[i]
 		sub := st.fork()
 		forks[i] = sub
-		resps, err := s.batchCall(sub, sub.sp, g.node, g.subs)
+		resps, err := s.batchCall(sub.ctx, sub, sub.sp, g.node, g.subs)
 		if err != nil {
 			return // whole frame lost: every row group here falls back
 		}
@@ -302,7 +302,7 @@ func (s *Store) pushdownGroupAgg(st *execState, w *groupWork, kinds []sql.AggKin
 		AggKinds:  kinds,
 		MaxGroups: maxNodeGroups,
 	}
-	resp, err := s.callChecked(st.sp, w.node, req)
+	resp, err := s.callChecked(st.ctx, st.sp, w.node, req)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/metakv"
 	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/sched"
 	"github.com/fusionstore/fusion/internal/trace"
 )
 
@@ -47,6 +48,11 @@ func (s *Store) Put(name string, data []byte) (*PutStats, error) {
 func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutStats, error) {
 	sp := trace.FromContext(ctx).Child("store.Put")
 	defer sp.End()
+	release, err := s.admit(ctx, sp, sched.ClassPut)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if s.hist != nil {
 		defer func(start time.Time) {
 			s.hist.Observe(opKey("Put"), time.Since(start))
@@ -110,12 +116,12 @@ func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutS
 	// stranding blocks on the nodes that did accept the write.
 	var placed []placedBlock
 	if mode == LayoutFAC {
-		if err := s.putFAC(sp, meta, data, layout, stats, &placed); err != nil {
+		if err := s.putFAC(ctx, sp, meta, data, layout, stats, &placed); err != nil {
 			s.undoPlacement(placed)
 			return nil, err
 		}
 	} else {
-		if err := s.putFixed(sp, meta, data, stats, &placed); err != nil {
+		if err := s.putFixed(ctx, sp, meta, data, stats, &placed); err != nil {
 			s.undoPlacement(placed)
 			return nil, err
 		}
@@ -136,6 +142,14 @@ func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutS
 	// failure; after it, the attempt is durable and the remaining steps
 	// (commit fan-out, previous-version GC) are best-effort — orphan
 	// reconciliation finishes either if the coordinator dies here.
+	// Cancellation checkpoint at the commit point: a Put whose caller gave
+	// up before the metadata publish rolls the attempt back instead of
+	// committing an object nobody is waiting for. Past this check the
+	// publish and cleanup run to completion.
+	if err := ctx.Err(); err != nil {
+		s.undoPlacement(placed)
+		return nil, err
+	}
 	rsp := sp.Child("replicate-meta")
 	err = s.replicateMeta(meta)
 	rsp.End()
@@ -171,7 +185,7 @@ type placedBlock struct {
 // so the debris is unreachable either way).
 func (s *Store) undoPlacement(placed []placedBlock) {
 	for _, pb := range placed {
-		_, _ = s.call(nil, pb.node, &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: pb.id})
+		_, _ = s.call(context.Background(), nil, pb.node, &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: pb.id})
 	}
 }
 
@@ -189,14 +203,16 @@ func (s *Store) commitBlocks(sp *trace.Span, meta *ObjectMeta) {
 	csp := sp.Child("commit-blocks")
 	defer csp.End()
 	for n := range nodes {
-		_, _ = s.call(csp, n, &rpc.Request{
+		// Post-commit fan-out is best effort and survives caller
+		// cancellation: the write is already durable.
+		_, _ = s.call(context.Background(), csp, n, &rpc.Request{
 			Kind: rpc.KindCommitObject, Object: meta.Name, Epoch: meta.Epoch,
 		})
 	}
 }
 
 // putFAC encodes and stores the object under a FAC layout.
-func (s *Store) putFAC(sp *trace.Span, meta *ObjectMeta, data []byte, layout fac.Layout, stats *PutStats, placed *[]placedBlock) error {
+func (s *Store) putFAC(ctx context.Context, sp *trace.Span, meta *ObjectMeta, data []byte, layout fac.Layout, stats *PutStats, placed *[]placedBlock) error {
 	p := s.opts.Params
 	meta.ItemLocs = facLayoutToMeta(layout, meta.Items)
 	for si, st := range layout.Stripes {
@@ -239,7 +255,7 @@ func (s *Store) putFAC(sp *trace.Span, meta *ObjectMeta, data []byte, layout fac
 				bins[j] = []byte{}
 			}
 		}
-		if err := s.placeStripe(sp, meta, si, bins, &sm, stats, placed); err != nil {
+		if err := s.placeStripe(ctx, sp, meta, si, bins, &sm, stats, placed); err != nil {
 			return err
 		}
 		meta.Stripes = append(meta.Stripes, sm)
@@ -249,7 +265,7 @@ func (s *Store) putFAC(sp *trace.Span, meta *ObjectMeta, data []byte, layout fac
 
 // putFixed encodes and stores the object as fixed-size blocks (the
 // conventional layout; also the FAC budget fallback).
-func (s *Store) putFixed(sp *trace.Span, meta *ObjectMeta, data []byte, stats *PutStats, placed *[]placedBlock) error {
+func (s *Store) putFixed(ctx context.Context, sp *trace.Span, meta *ObjectMeta, data []byte, stats *PutStats, placed *[]placedBlock) error {
 	p := s.opts.Params
 	bs := s.opts.FixedBlockSize
 	// Objects smaller than one full stripe shrink the block size so the
@@ -295,7 +311,7 @@ func (s *Store) putFixed(sp *trace.Span, meta *ObjectMeta, data []byte, stats *P
 		if err := s.coder.Encode(padded); err != nil {
 			return fmt.Errorf("store: encoding stripe %d: %w", si, err)
 		}
-		if err := s.placeStripe(sp, meta, si, blocks, &sm, stats, placed); err != nil {
+		if err := s.placeStripe(ctx, sp, meta, si, blocks, &sm, stats, placed); err != nil {
 			return err
 		}
 		meta.Stripes = append(meta.Stripes, sm)
@@ -310,19 +326,24 @@ func (s *Store) putFixed(sp *trace.Span, meta *ObjectMeta, data []byte, stats *P
 // stores the block tagged pending under (object, epoch), and serves it like
 // any other block; the epoch only becomes reachable at the metadata commit
 // point. Every accepted write is appended to tracker for rollback.
-func (s *Store) placeStripe(sp *trace.Span, meta *ObjectMeta, si int, blocks [][]byte, sm *StripeMeta, stats *PutStats, tracker *[]placedBlock) error {
+func (s *Store) placeStripe(ctx context.Context, sp *trace.Span, meta *ObjectMeta, si int, blocks [][]byte, sm *StripeMeta, stats *PutStats, tracker *[]placedBlock) error {
 	ssp := sp.Child("place-stripe")
 	defer ssp.End()
 	p := s.opts.Params
 	candidates := s.nodeOrder()
 	next := 0
 	for j := 0; j < p.N; j++ {
+		// A cancelled or expired Put must surface the context error, not
+		// burn through every candidate into ErrTooManyFailures.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		id := blockID(meta.Name, meta.Epoch, si, j)
 		crc := cluster.Checksum(blocks[j])
 		placed := false
 		for ; next < len(candidates); next++ {
 			node := candidates[next]
-			if _, err := s.callChecked(ssp, node, &rpc.Request{
+			if _, err := s.callChecked(ctx, ssp, node, &rpc.Request{
 				Kind: rpc.KindPrepareBlock, BlockID: id, Data: blocks[j],
 				Object: meta.Name, Epoch: meta.Epoch, Crc: crc,
 			}); err != nil {
@@ -401,7 +422,7 @@ func (s *Store) Meta(name string) (*ObjectMeta, error) {
 func (s *Store) deleteBlocks(meta *ObjectMeta) {
 	for _, st := range meta.Stripes {
 		for j, id := range st.BlockIDs {
-			_, _ = s.call(nil, st.Nodes[j], &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: id})
+			_, _ = s.call(context.Background(), nil, st.Nodes[j], &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: id})
 		}
 	}
 }
@@ -411,6 +432,21 @@ func (s *Store) deleteBlocks(meta *ObjectMeta) {
 // would miss the blocks of a newer epoch written through another
 // coordinator, stranding them as orphans.
 func (s *Store) Delete(name string) error {
+	return s.DeleteContext(context.Background(), name)
+}
+
+// DeleteContext is Delete under a context. Cancellation is observed before
+// any destructive step; once block deletion has begun it runs to completion
+// (a half-cancelled delete would only strand orphans for the reconciler).
+func (s *Store) DeleteContext(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	release, err := s.admit(ctx, nil, sched.ClassPut)
+	if err != nil {
+		return err
+	}
+	defer release()
 	meta, err := s.metaQuorum(name)
 	if err != nil {
 		if errors.Is(err, metakv.ErrNotFound) {

@@ -12,6 +12,7 @@ import (
 	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/sched"
 	"github.com/fusionstore/fusion/internal/simnet"
 	"github.com/fusionstore/fusion/internal/sql"
 	"github.com/fusionstore/fusion/internal/trace"
@@ -84,6 +85,7 @@ type QueryStats struct {
 // concurrent accounting on a shared state safe.
 type execState struct {
 	store *Store
+	ctx   context.Context // caller's context; fan-out tasks observe it
 	meta  *ObjectMeta
 	coord int
 	nowSt int         // current stage index
@@ -107,7 +109,7 @@ func (e *execState) addOp(op simnet.OpCost) {
 // single worker goroutine and carry the parent's stage index and span (the
 // span itself is concurrency-safe, so tasks account into it directly).
 func (e *execState) fork() *execState {
-	return &execState{store: e.store, meta: e.meta, coord: e.coord, nowSt: e.nowSt, sp: e.sp}
+	return &execState{store: e.store, ctx: e.ctx, meta: e.meta, coord: e.coord, nowSt: e.nowSt, sp: e.sp}
 }
 
 // join folds a child's accounting back into e. Callers join children in
@@ -169,6 +171,11 @@ func (s *Store) Query(query string) (*Result, error) {
 func (s *Store) QueryContext(ctx context.Context, query string) (*Result, error) {
 	qsp := trace.FromContext(ctx).Child("store.Query")
 	defer qsp.End()
+	release, err := s.admit(ctx, qsp, sched.ClassScan)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if s.hist != nil {
 		defer func(start time.Time) {
 			s.hist.Observe(opKey("Query"), time.Since(start))
@@ -185,13 +192,18 @@ func (s *Store) QueryContext(ctx context.Context, query string) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.runQuery(qsp, q, meta, start)
+	res, err := s.runQuery(ctx, qsp, q, meta, start)
 	if err != nil {
+		// A cancelled or expired caller must not burn a second full pass —
+		// the retry below exists for concurrent overwrites, not deadlines.
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		// A concurrent overwrite can garbage-collect the blocks this
 		// metadata snapshot points at mid-query. Re-resolve against the
 		// quorum and retry once iff the object moved to a newer epoch.
 		if fresh := s.refreshedMeta(q.Table, meta); fresh != nil {
-			return s.runQuery(qsp, q, fresh, start)
+			return s.runQuery(ctx, qsp, q, fresh, start)
 		}
 	}
 	return res, err
@@ -201,11 +213,11 @@ func (s *Store) QueryContext(ctx context.Context, query string) (*Result, error)
 // The parsed query is copied first: star expansion appends to Projections,
 // and a retry against fresh metadata must start from the original SELECT
 // list, not one already expanded.
-func (s *Store) runQuery(qsp *trace.Span, orig *sql.Query, meta *ObjectMeta, start time.Time) (*Result, error) {
+func (s *Store) runQuery(ctx context.Context, qsp *trace.Span, orig *sql.Query, meta *ObjectMeta, start time.Time) (*Result, error) {
 	qc := *orig
 	qc.Projections = append([]sql.Projection(nil), orig.Projections...)
 	q := &qc
-	st := &execState{store: s, meta: meta, coord: s.CoordinatorFor(q.Table), sp: qsp}
+	st := &execState{store: s, ctx: ctx, meta: meta, coord: s.CoordinatorFor(q.Table), sp: qsp}
 
 	// Resolve the SELECT list.
 	if q.Star {
@@ -254,6 +266,12 @@ func (s *Store) runQuery(qsp *trace.Span, orig *sql.Query, meta *ObjectMeta, sta
 	}
 	// Pruned row groups still count toward total rows.
 	st.stats.Selectivity = measuredSelectivity(selected, meta.Footer.NumRows())
+
+	// Stage boundary: a caller that gave up during the filter stage must not
+	// pay for (or inflict on the cluster) the projection stage.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 2: projection — or grouped aggregation, which produces its own
 	// result table (one row per group) and applies ORDER BY/LIMIT itself.
@@ -364,6 +382,12 @@ func (s *Store) filterStage(st *execState, q *sql.Query, colIdx map[string]int) 
 	results := make([]rgResult, len(rgs))
 	runTasks(s.queryWorkers(), len(rgs), func(rg int) {
 		r := &results[rg]
+		// Row-group boundary is the filter stage's cancellation checkpoint:
+		// once the caller gives up, the remaining row groups do no work.
+		if err := st.ctx.Err(); err != nil {
+			r.err = err
+			return
+		}
 		if q.Where == nil {
 			r.bm = bitmap.NewFull(rgs[rg].NumRows)
 			return
@@ -461,7 +485,7 @@ func (s *Store) pushdownFilter(st *execState, c *sql.Compare, colType lpq.Type, 
 		Op:    c.Op,
 		Value: c.Value,
 	}
-	resp, err := s.callChecked(st.sp, node, req)
+	resp, err := s.callChecked(st.ctx, st.sp, node, req)
 	if err != nil {
 		return nil, err
 	}
@@ -549,7 +573,7 @@ func (s *Store) reconstructChunkBytes(st *execState, rg, ci int) ([]byte, error)
 	if meta.Mode == LayoutFAC {
 		itemIdx := meta.ChunkItemIndex(rg, ci)
 		loc := meta.ItemLocs[itemIdx]
-		block, err := s.reconstructBlock(st.sp, meta, loc.Stripe, loc.Bin)
+		block, err := s.reconstructBlock(st.ctx, st.sp, meta, loc.Stripe, loc.Bin)
 		if err != nil {
 			return nil, err
 		}
@@ -588,7 +612,7 @@ func (s *Store) reconstructChunkBytes(st *execState, rg, ci int) ([]byte, error)
 	stored := make([][]byte, len(spans))
 	for i, sp := range spans {
 		sm := meta.Stripes[sp.stripe]
-		resp, err := s.call(st.sp, sm.Nodes[sp.bin], &rpc.Request{
+		resp, err := s.call(st.ctx, st.sp, sm.Nodes[sp.bin], &rpc.Request{
 			Kind: rpc.KindGetBlock, BlockID: sm.BlockIDs[sp.bin],
 		})
 		if err == nil && resp.Err == "" {
@@ -601,7 +625,7 @@ func (s *Store) reconstructChunkBytes(st *execState, rg, ci int) ([]byte, error)
 		for i, sp := range spans {
 			var block []byte
 			if i == suspect || stored[i] == nil {
-				rebuilt, err := s.reconstructBlock(st.sp, meta, sp.stripe, sp.bin)
+				rebuilt, err := s.reconstructBlock(st.ctx, st.sp, meta, sp.stripe, sp.bin)
 				if err != nil {
 					ok = false
 					break
@@ -651,7 +675,7 @@ func (s *Store) fetchChunkBytes(st *execState, rg, ci int) ([]byte, error) {
 		loc := meta.ItemLocs[itemIdx]
 		stripe := meta.Stripes[loc.Stripe]
 		node := stripe.Nodes[loc.Bin]
-		data, err := s.readStripeRange(st.sp, meta, loc.Stripe, loc.Bin, loc.BinOffset, ch.Size)
+		data, err := s.readStripeRange(st.ctx, st.sp, meta, loc.Stripe, loc.Bin, loc.BinOffset, ch.Size)
 		if err != nil {
 			return nil, err
 		}
@@ -676,7 +700,7 @@ func (s *Store) fetchChunkBytes(st *execState, rg, ci int) ([]byte, error) {
 		bin := int(blockIdx % k)
 		within := pos - blockIdx*bs
 		n := min(bs-within, end-pos)
-		data, err := s.readStripeRange(st.sp, meta, stripe, bin, within, n)
+		data, err := s.readStripeRange(st.ctx, st.sp, meta, stripe, bin, within, n)
 		if err != nil {
 			return nil, err
 		}
@@ -934,7 +958,7 @@ func (s *Store) aggregateChunk(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *
 			},
 			Bitmap: bm.Marshal(),
 		}
-		resp, err := s.callChecked(st.sp, node, req)
+		resp, err := s.callChecked(st.ctx, st.sp, node, req)
 		if err == nil && resp.Agg != nil {
 			st.sp.Count(trace.BytesRequested, ch.Size)
 			st.stats.AggregateRPCs++
@@ -982,7 +1006,7 @@ func (s *Store) pushdownProject(st *execState, rg, ci int, ch lpq.ChunkMeta, bm 
 		},
 		Bitmap: bm.Marshal(),
 	}
-	resp, err := s.callChecked(st.sp, node, req)
+	resp, err := s.callChecked(st.ctx, st.sp, node, req)
 	if err != nil {
 		return lpq.ColumnData{}, err
 	}

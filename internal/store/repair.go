@@ -237,15 +237,17 @@ func (s *Store) repairBlock(it RepairItem) error {
 		return fmt.Errorf("store: block %d out of range", it.Block)
 	}
 	var block []byte
+	// Repair is background maintenance: it runs under Background, never a
+	// caller's context, so foreground cancellation cannot strand a rebuild.
 	if it.Block < p.K {
-		block, err = s.reconstructBlock(sp, meta, it.Stripe, it.Block)
+		block, err = s.reconstructBlock(context.Background(), sp, meta, it.Stripe, it.Block)
 	} else {
-		block, err = s.reconstructParity(sp, meta, it.Stripe, it.Block)
+		block, err = s.reconstructParity(context.Background(), sp, meta, it.Stripe, it.Block)
 	}
 	if err != nil {
 		return err
 	}
-	return s.rewriteBlock(sp, meta, it.Stripe, it.Block, block)
+	return s.rewriteBlock(context.Background(), sp, meta, it.Stripe, it.Block, block)
 }
 
 // DiscoverObjects returns every object name any reachable node holds
@@ -257,7 +259,7 @@ func (s *Store) DiscoverObjects() ([]string, error) {
 	names := map[string]bool{}
 	answered := 0
 	for node := 0; node < s.client.NumNodes(); node++ {
-		resp, err := s.call(nil, node, &rpc.Request{Kind: rpc.KindListBlocks})
+		resp, err := s.call(context.Background(), nil, node, &rpc.Request{Kind: rpc.KindListBlocks})
 		if err != nil || resp.Err != "" {
 			continue
 		}
@@ -430,7 +432,7 @@ func (s *Store) ReconcileOrphans(force bool) (*ReconcileReport, error) {
 	}
 	answered := 0
 	for node := 0; node < s.client.NumNodes(); node++ {
-		resp, err := s.call(nil, node, &rpc.Request{Kind: rpc.KindListBlocks})
+		resp, err := s.call(context.Background(), nil, node, &rpc.Request{Kind: rpc.KindListBlocks})
 		if err != nil || resp.Err != "" {
 			continue
 		}
@@ -451,7 +453,7 @@ func (s *Store) ReconcileOrphans(force bool) (*ReconcileReport, error) {
 				if b.Pending {
 					// Half-commit: the metadata publish made this epoch
 					// durable, the per-node commit never arrived.
-					_, _ = s.call(nil, node, &rpc.Request{
+					_, _ = s.call(context.Background(), nil, node, &rpc.Request{
 						Kind: rpc.KindCommitObject, Object: object, Epoch: epoch,
 					})
 					report.Committed++
@@ -472,7 +474,7 @@ func (s *Store) ReconcileOrphans(force bool) (*ReconcileReport, error) {
 				report.Skipped++
 				continue
 			}
-			_, _ = s.call(nil, node, &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: b.ID})
+			_, _ = s.call(context.Background(), nil, node, &rpc.Request{Kind: rpc.KindDeleteBlock, BlockID: b.ID})
 			report.Deleted++
 		}
 	}

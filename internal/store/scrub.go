@@ -71,7 +71,7 @@ func (s *Store) ScrubContext(ctx context.Context, name string, opts ScrubOptions
 		shards := make([][]byte, p.N)
 		var missing []int
 		for j := 0; j < p.N; j++ {
-			resp, err := s.call(ssp, st.Nodes[j], &rpc.Request{
+			resp, err := s.call(ctx, ssp, st.Nodes[j], &rpc.Request{
 				Kind: rpc.KindGetBlock, BlockID: st.BlockIDs[j],
 			})
 			if err != nil || resp.Err != "" {
@@ -117,7 +117,7 @@ func (s *Store) ScrubContext(ctx context.Context, name string, opts ScrubOptions
 				if j < p.K {
 					data = data[:st.DataLens[j]]
 				}
-				if err := s.rewriteBlock(sp, meta, si, j, data); err != nil {
+				if err := s.rewriteBlock(ctx, sp, meta, si, j, data); err != nil {
 					return report, err
 				}
 				shards[j] = work[j]
@@ -131,7 +131,7 @@ func (s *Store) ScrubContext(ctx context.Context, name string, opts ScrubOptions
 		if !ok {
 			report.CorruptStripes++
 			if opts.Repair {
-				n, err := s.repairCorruptStripe(sp, meta, si, shards)
+				n, err := s.repairCorruptStripe(ctx, sp, meta, si, shards)
 				if err != nil {
 					return report, err
 				}
@@ -145,7 +145,7 @@ func (s *Store) ScrubContext(ctx context.Context, name string, opts ScrubOptions
 // repairCorruptStripe localizes corruption within a parity-inconsistent
 // stripe using the per-chunk CRCs (FAC mode), then rebuilds the bad blocks
 // from the remaining ones. It returns the number of blocks rewritten.
-func (s *Store) repairCorruptStripe(sp *trace.Span, meta *ObjectMeta, si int, shards [][]byte) (int, error) {
+func (s *Store) repairCorruptStripe(ctx context.Context, sp *trace.Span, meta *ObjectMeta, si int, shards [][]byte) (int, error) {
 	p := s.opts.Params
 	st := meta.Stripes[si]
 	bad := map[int]bool{}
@@ -181,7 +181,7 @@ func (s *Store) repairCorruptStripe(sp *trace.Span, meta *ObjectMeta, si int, sh
 		}
 		n := 0
 		for j := p.K; j < p.N; j++ {
-			if err := s.rewriteBlock(sp, meta, si, j, work[j]); err != nil {
+			if err := s.rewriteBlock(ctx, sp, meta, si, j, work[j]); err != nil {
 				return n, err
 			}
 			n++
@@ -206,7 +206,7 @@ func (s *Store) repairCorruptStripe(sp *trace.Span, meta *ObjectMeta, si int, sh
 		if j < p.K {
 			data = data[:st.DataLens[j]]
 		}
-		if err := s.rewriteBlock(sp, meta, si, j, data); err != nil {
+		if err := s.rewriteBlock(ctx, sp, meta, si, j, data); err != nil {
 			return n, err
 		}
 		n++

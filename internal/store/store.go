@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -16,6 +17,7 @@ import (
 	"github.com/fusionstore/fusion/internal/metakv"
 	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/rpc"
+	"github.com/fusionstore/fusion/internal/sched"
 	"github.com/fusionstore/fusion/internal/simnet"
 	"github.com/fusionstore/fusion/internal/trace"
 )
@@ -134,6 +136,18 @@ type Options struct {
 	// frame (the pre-batching behavior). Intended for A/B benchmarks of the
 	// batching layer; leave false in production.
 	DisableBatch bool
+	// Sched, when set, is the admission scheduler every top-level operation
+	// (Get, Put, Delete, Query) passes through before doing any work:
+	// per-tenant weighted-fair queuing under global and per-class concurrency
+	// caps, with explicit load shedding (sched.ErrOverloaded) once a tenant's
+	// queue is full or the estimated wait exceeds the caller's deadline. Nil
+	// (the default) disables admission control entirely.
+	Sched *sched.Scheduler
+	// Tenant is the tenant this store's operations are accounted to by the
+	// admission scheduler when the caller's context carries none
+	// (sched.WithTenant overrides it per call). Empty means
+	// sched.DefaultTenant.
+	Tenant string
 	// Seed drives stripe placement.
 	Seed int64
 	// Model, when set, computes simulated query latencies from the
@@ -171,14 +185,15 @@ func BaselineOptions() Options {
 // for the requests routed to it (§5: requests route to a node by object-name
 // hash — see CoordinatorFor).
 type Store struct {
-	client cluster.Client
-	opts   Options
-	coder  *erasure.Coder
+	client  cluster.Client
+	opts    Options
+	coder   *erasure.Coder
 	retry   cluster.Policy
 	health  *metrics.Health
 	hist    *metrics.HistogramSet
 	repairs *repairQueue
 	cache   *cache.Cache
+	sched   *sched.Scheduler
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -224,8 +239,30 @@ func New(client cluster.Client, opts Options) (*Store, error) {
 			Bytes:       opts.CacheBytes,
 			MetaEntries: opts.MetaCacheEntries,
 		}),
-		rng: rand.New(rand.NewSource(opts.Seed)),
+		sched: opts.Sched,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
 	}, nil
+}
+
+// SchedStats snapshots the admission scheduler's per-tenant counters (the
+// zero value when no scheduler is configured).
+func (s *Store) SchedStats() sched.Stats { return s.sched.Stats() }
+
+// admit passes one top-level operation through the admission scheduler.
+// With no scheduler configured it admits immediately. The returned release
+// must be called when the operation finishes (it frees the slot and
+// dispatches the next queued waiter); time spent queued is charged to the
+// request span so traces show added-by-choice latency separately from
+// service time.
+func (s *Store) admit(ctx context.Context, sp *trace.Span, class sched.Class) (release func(), err error) {
+	release, wait, err := s.sched.Acquire(ctx, s.opts.Tenant, class)
+	if err != nil {
+		return nil, err
+	}
+	if wait > 0 {
+		sp.Count(trace.QueueWaitMicros, uint64(wait.Microseconds()))
+	}
+	return release, nil
 }
 
 // Health returns the store's per-node failure/retry/hedge counters.
@@ -246,16 +283,33 @@ func opKey(op string) metrics.Key {
 
 // call is the hardened transport entry for coordinator→node RPCs: bounded
 // retries with backoff and per-attempt deadlines per Options.Retry, with
-// per-node health accounting. When sp is non-nil the call charges its RPC,
-// retry and bytes-from-node counters to that request span; when the store
-// has a histogram set, the call's latency is recorded under the node and
-// request kind. Both are nil by default and then cost nothing.
-func (s *Store) call(sp *trace.Span, node int, req *rpc.Request) (*rpc.Response, error) {
+// per-node health accounting, all bounded end to end by ctx — a done
+// context issues no attempt, and a context deadline is stamped onto the
+// request as a relative microsecond budget (rpc.Request.DeadlineMicros) so
+// the node, too, can refuse or abandon expired work. When sp is non-nil the
+// call charges its RPC, retry and bytes-from-node counters to that request
+// span; when the store has a histogram set, the call's latency is recorded
+// under the node and request kind. Both are nil by default and then cost
+// nothing.
+func (s *Store) call(ctx context.Context, sp *trace.Span, node int, req *rpc.Request) (*rpc.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		// Round the budget up so a sub-microsecond remainder is never
+		// stamped as "no deadline".
+		req.DeadlineMicros = rem.Microseconds() + 1
+	}
 	if sp == nil && s.hist == nil {
-		return cluster.CallRetry(s.client, node, req, s.retry)
+		resp, _, err := cluster.CallRetryCtx(ctx, s.client, node, req, s.retry)
+		return resp, err
 	}
 	start := time.Now()
-	resp, attempts, err := cluster.CallRetryN(s.client, node, req, s.retry)
+	resp, attempts, err := cluster.CallRetryCtx(ctx, s.client, node, req, s.retry)
 	s.hist.Observe(metrics.Key{Op: "rpc." + req.Kind.String(), Node: node}, time.Since(start))
 	sp.Count(trace.RPCs, uint64(attempts))
 	if isDataKind(req.Kind) {
@@ -291,13 +345,19 @@ func isDataKind(k rpc.Kind) bool {
 // into scatter-gather batch frames.
 func (s *Store) batchOn() bool { return !s.opts.DisableBatch }
 
-// callChecked is call with application errors converted to Go errors.
-func (s *Store) callChecked(sp *trace.Span, node int, req *rpc.Request) (*rpc.Response, error) {
-	resp, err := s.call(sp, node, req)
+// callChecked is call with application errors converted to Go errors. A
+// node-side deadline rejection surfaces as context.DeadlineExceeded (via
+// errors.Is) so callers and the load harness classify it like any other
+// expired request.
+func (s *Store) callChecked(ctx context.Context, sp *trace.Span, node int, req *rpc.Request) (*rpc.Response, error) {
+	resp, err := s.call(ctx, sp, node, req)
 	if err != nil {
 		return nil, err
 	}
 	if resp.Err != "" {
+		if cluster.IsExpiredErr(resp.Err) {
+			return resp, fmt.Errorf("cluster: node %d: %s: %w", node, resp.Err, context.DeadlineExceeded)
+		}
 		return resp, fmt.Errorf("cluster: node %d: %s", node, resp.Err)
 	}
 	return resp, nil

@@ -257,7 +257,7 @@ func (s *Store) predispatchTopKWorks(st *execState, works []*topKWork, ci, k int
 		g := order[i]
 		sub := st.fork()
 		forks[i] = sub
-		resps, err := s.batchCall(sub, sub.sp, g.node, g.subs)
+		resps, err := s.batchCall(sub.ctx, sub, sub.sp, g.node, g.subs)
 		if err != nil {
 			return // whole frame lost: every row group here falls back
 		}
@@ -293,7 +293,7 @@ func (s *Store) pushdownTopK(st *execState, rg, ci int, ch lpq.ChunkMeta, bm *bi
 		Desc:   desc,
 		RG:     int32(rg),
 	}
-	resp, err := s.callChecked(st.sp, node, req)
+	resp, err := s.callChecked(st.ctx, st.sp, node, req)
 	if err != nil {
 		return nil, err
 	}

@@ -164,3 +164,30 @@ func TestBatchDecodeRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchFrameCarriesDeadline: the envelope's relative deadline budget
+// (rpc.Request.DeadlineMicros) must survive the explicit batch codec — it
+// is what lets a remote node abandon a scan at a sub-op boundary — and
+// per-sub budgets must round-trip too.
+func TestBatchFrameCarriesDeadline(t *testing.T) {
+	req := sampleBatchRequest()
+	req.DeadlineMicros = 250_000
+	req.Subs[1].DeadlineMicros = 10_000
+	payload, err := appendBatchRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeBatchRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DeadlineMicros != 250_000 {
+		t.Fatalf("envelope DeadlineMicros = %d, want 250000", got.DeadlineMicros)
+	}
+	if got.Subs[1].DeadlineMicros != 10_000 {
+		t.Fatalf("sub DeadlineMicros = %d, want 10000", got.Subs[1].DeadlineMicros)
+	}
+	if !reflect.DeepEqual(req, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, req)
+	}
+}

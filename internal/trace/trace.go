@@ -66,6 +66,10 @@ const (
 	// partial states would outweigh the chunks) and fell back to
 	// coordinator-side grouping.
 	GroupSpills
+	// QueueWaitMicros is the time (in microseconds) the operation spent in
+	// the admission scheduler's fair queue before running — latency the
+	// store chose to add under load, distinct from service time.
+	QueueWaitMicros
 	numCounters
 )
 
@@ -73,6 +77,7 @@ var counterNames = [numCounters]string{
 	"bytes_requested", "bytes_from_nodes", "rpcs", "retries",
 	"hedges", "hedge_wins", "degraded_reads", "checksum_failures",
 	"cache_hits", "round_trips", "group_partials", "group_spills",
+	"queue_wait_us",
 }
 
 func (c Counter) String() string {

@@ -1,0 +1,314 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fusionstore/fusion/internal/loadgen"
+	"github.com/fusionstore/fusion/internal/sched"
+	"github.com/fusionstore/fusion/internal/store"
+)
+
+// KneeConfig parameterizes the saturation-knee experiment: a geometric
+// arrival-rate ladder walked until the SLOs fail (the knee is the last rate
+// that held them), then a multi-tenant shed leg at twice the knee that
+// verifies the store degrades by *refusing* work — classified, retryable
+// ErrOverloaded with bounded tails for admitted ops — rather than timing
+// out wholesale.
+type KneeConfig struct {
+	// Seed drives schedules and corpora, exactly as in the load ladder.
+	Seed int64
+	// StartRate is the first rung (ops/sec); each rung multiplies by Factor.
+	StartRate float64
+	Factor    float64
+	// MaxRungs bounds the ladder walk; if every rung passes, the knee is
+	// reported at the last rung and Saturated stays false.
+	MaxRungs int
+	// Window is each rung's arrival horizon.
+	Window time.Duration
+	// Objects and RowsPerObject size the corpus (shared by every rung and
+	// both shed-leg tenants).
+	Objects       int
+	RowsPerObject int
+	// OpDeadline is the end-to-end budget attached to every shed-leg op —
+	// what deadline propagation carries to the nodes and what the scheduler
+	// sheds against.
+	OpDeadline time.Duration
+	// TailBound is the shed-leg p99.9 ceiling as a multiple of OpDeadline.
+	// Admitted or shed, every op must resolve within it: a deadline-bounded
+	// system has no business showing an unbounded tail.
+	TailBound float64
+	// PointFrac is the latency-sensitive point-read tenant's rate as a
+	// fraction of the knee; the aggressor tenant offers 2x knee on top.
+	PointFrac float64
+	// Sched bounds the admission scheduler for the shed leg.
+	Sched sched.Config
+}
+
+// DefaultKneeConfig returns the canonical knee experiment: a x2 ladder from
+// 1000 ops/s, 800 ms windows, and a shed leg where a scan-heavy aggressor
+// offers twice the knee while a weighted point-read tenant expects service.
+func DefaultKneeConfig() KneeConfig {
+	return KneeConfig{
+		Seed:          11,
+		StartRate:     1000,
+		Factor:        2,
+		MaxRungs:      7,
+		Window:        800 * time.Millisecond,
+		Objects:       24,
+		RowsPerObject: 120,
+		OpDeadline:    250 * time.Millisecond,
+		TailBound:     4,
+		PointFrac:     0.10,
+		Sched: sched.Config{
+			Slots:      64,
+			ScanSlots:  16,
+			PutSlots:   16,
+			QueueDepth: 64,
+			// The point tenant outweighs the aggressor 8:1 — fairness, not
+			// priority: the aggressor still runs, it just cannot starve.
+			Weights: map[string]int{"point": 8, "aggressor": 1},
+		},
+	}
+}
+
+// KneeRung is one ladder rung's outcome summary.
+type KneeRung struct {
+	RateOps    float64 `json:"rate_ops"`
+	SLOPass    bool    `json:"slo_pass"`
+	GoodputOps float64 `json:"goodput_ops"`
+	GetP50Us   float64 `json:"get_p50_us"`
+	GetP999Us  float64 `json:"get_p999_us"`
+	ReadAvail  float64 `json:"read_availability"`
+}
+
+// ShedTenant is one shed-leg tenant's outcome summary.
+type ShedTenant struct {
+	RateOps                  float64 `json:"rate_ops"`
+	Attempted                uint64  `json:"attempted"`
+	Succeeded                uint64  `json:"succeeded"`
+	Shed                     uint64  `json:"shed"`
+	DeadlineFails            uint64  `json:"deadline_fails"`
+	Unclassified             uint64  `json:"unclassified"`
+	AdmittedReadAvailability float64 `json:"admitted_read_availability"`
+	GetP50Us                 float64 `json:"get_p50_us"`
+	GetP999Us                float64 `json:"get_p999_us"`
+	OracleChecks             uint64  `json:"oracle_checks"`
+	OracleMismatches         uint64  `json:"oracle_mismatches"`
+}
+
+// ShedStats is the shed leg's outcome: the store at twice its measured
+// capacity, judged on *how* it fails.
+type ShedStats struct {
+	// OfferedOps is the total offered arrival rate across tenants.
+	OfferedOps   float64                `json:"offered_ops"`
+	OpDeadlineMS float64                `json:"op_deadline_ms"`
+	TailBoundUs  float64                `json:"tail_bound_us"`
+	Tenants      map[string]*ShedTenant `json:"tenants"`
+	// Pass is the shed verdict: admitted reads ≥99% available, every
+	// rejection classified, tails bounded, zero oracle mismatches.
+	Pass     bool     `json:"pass"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// KneeStats is the saturation-knee experiment's machine-readable result,
+// recorded in BENCH_load.json alongside the canonical ladder.
+type KneeStats struct {
+	Rungs []KneeRung `json:"rungs"`
+	// KneeOps is the peak sustainable rate: the last rung that held its
+	// SLOs. Saturated reports whether a failing rung was actually observed
+	// (false means the ladder topped out before the knee).
+	KneeOps   float64    `json:"knee_ops"`
+	Saturated bool       `json:"saturated"`
+	Shed      *ShedStats `json:"shed,omitempty"`
+}
+
+// MeasureKnee walks the rate ladder to the saturation knee, then runs the
+// multi-tenant shed leg at twice the knee.
+func MeasureKnee(l *Lab, cfg KneeConfig) (*KneeStats, error) {
+	const nodes = 9
+	st := &KneeStats{}
+	rate := cfg.StartRate
+	for i := 0; i < cfg.MaxRungs; i++ {
+		// A fresh, scheduler-less deployment per rung: the knee measures the
+		// raw system's capacity, not the shedder's opinion of it.
+		s, _, err := loadStore(nodes, cfg.Seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		run, err := loadgen.Run(loadgen.StoreTarget{S: s}, loadgen.Config{
+			Seed:          cfg.Seed,
+			Rate:          rate,
+			Duration:      cfg.Window,
+			Objects:       cfg.Objects,
+			RowsPerObject: cfg.RowsPerObject,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("workload: knee rung %g: %w", rate, err)
+		}
+		rung := KneeRung{
+			RateOps:    rate,
+			SLOPass:    run.SLOPass,
+			GoodputOps: run.GoodputOps,
+			ReadAvail:  run.ReadAvailability(),
+		}
+		if g := run.PerOp["get"]; g != nil {
+			rung.GetP50Us, rung.GetP999Us = g.P50Us, g.P999Us
+		}
+		st.Rungs = append(st.Rungs, rung)
+		if !run.SLOPass {
+			st.Saturated = true
+			break
+		}
+		st.KneeOps = rate
+		rate *= cfg.Factor
+	}
+	if st.KneeOps == 0 {
+		return nil, fmt.Errorf("workload: knee ladder failed at its first rung (%g ops/s) — start lower", cfg.StartRate)
+	}
+
+	shed, err := measureShed(cfg, st.KneeOps)
+	if err != nil {
+		return nil, err
+	}
+	st.Shed = shed
+	return st, nil
+}
+
+// measureShed runs the 2x-past-knee leg: an admission-controlled store, a
+// scan-heavy aggressor offering twice the knee, and a weighted point-read
+// tenant at PointFrac of the knee, every op carrying OpDeadline.
+func measureShed(cfg KneeConfig, knee float64) (*ShedStats, error) {
+	const nodes = 9
+	s, _, err := loadStoreWith(nodes, cfg.Seed, 0, func(o *store.Options) {
+		o.Sched = sched.New(cfg.Sched)
+	})
+	if err != nil {
+		return nil, err
+	}
+	aggressorRate := 2 * knee
+	pointRate := cfg.PointFrac * knee
+	runs := []loadgen.TenantRun{
+		{Name: "aggressor", Cfg: loadgen.Config{
+			Seed:          cfg.Seed,
+			Rate:          aggressorRate,
+			Duration:      cfg.Window,
+			Mix:           loadgen.Mix{Get: 0.15, Put: 0.05, Query: 0.80},
+			Objects:       cfg.Objects,
+			RowsPerObject: cfg.RowsPerObject,
+			OpDeadline:    cfg.OpDeadline,
+			SLOs:          []loadgen.SLO{}, // judged by the shed verdict, not per-op SLOs
+		}},
+		{Name: "point", Cfg: loadgen.Config{
+			Seed:          cfg.Seed,
+			Rate:          pointRate,
+			Duration:      cfg.Window,
+			Mix:           loadgen.Mix{Get: 1},
+			Objects:       cfg.Objects,
+			RowsPerObject: cfg.RowsPerObject,
+			OpDeadline:    cfg.OpDeadline,
+			SLOs:          []loadgen.SLO{},
+		}},
+	}
+	stats, err := loadgen.RunTenants(loadgen.StoreTarget{S: s}, runs)
+	if err != nil {
+		return nil, fmt.Errorf("workload: shed leg: %w", err)
+	}
+
+	out := &ShedStats{
+		OfferedOps:   aggressorRate + pointRate,
+		OpDeadlineMS: float64(cfg.OpDeadline) / float64(time.Millisecond),
+		TailBoundUs:  cfg.TailBound * float64(cfg.OpDeadline) / float64(time.Microsecond),
+		Tenants:      map[string]*ShedTenant{},
+		Pass:         true,
+	}
+	fail := func(format string, args ...any) {
+		out.Pass = false
+		out.Failures = append(out.Failures, fmt.Sprintf(format, args...))
+	}
+	for name, run := range stats {
+		t := &ShedTenant{
+			RateOps:                  run.RateOps,
+			Shed:                     run.Shed(),
+			Unclassified:             run.UnclassifiedErrors(),
+			AdmittedReadAvailability: run.AdmittedReadAvailability(),
+			OracleChecks:             run.OracleChecks,
+			OracleMismatches:         run.OracleMismatches,
+		}
+		for _, o := range run.PerOp {
+			t.Attempted += o.Attempted
+			t.Succeeded += o.Succeeded
+			t.DeadlineFails += o.Errors[loadgen.ErrClassDeadline]
+		}
+		if g := run.PerOp["get"]; g != nil {
+			t.GetP50Us, t.GetP999Us = g.P50Us, g.P999Us
+		}
+		out.Tenants[name] = t
+
+		// The verdict: past the knee, shedding is expected and legal —
+		// unclassified failure, unavailable *admitted* reads, silent
+		// corruption or an unbounded tail are not.
+		if t.AdmittedReadAvailability < 0.99 {
+			fail("%s: admitted read availability %.4f < 0.99", name, t.AdmittedReadAvailability)
+		}
+		if t.Unclassified > 0 {
+			fail("%s: %d unclassified errors under overload", name, t.Unclassified)
+		}
+		if t.OracleMismatches > 0 {
+			fail("%s: %d oracle mismatches: %v", name, t.OracleMismatches, run.MismatchSamples)
+		}
+		for op, o := range run.PerOp {
+			if o.Attempted > 0 && o.P999Us > out.TailBoundUs {
+				fail("%s: %s p99.9 %.0fµs exceeds bound %.0fµs", name, op, o.P999Us, out.TailBoundUs)
+			}
+		}
+	}
+	// The whole point of weighted admission: the aggressor's overload must
+	// not translate into the point tenant being mostly shed.
+	if pt := out.Tenants["point"]; pt != nil && pt.Attempted > 0 {
+		if served := float64(pt.Succeeded) / float64(pt.Attempted); served < 0.90 {
+			fail("point tenant served only %.1f%% of its offered load under aggressor", served*100)
+		}
+	}
+	return out, nil
+}
+
+// KneeReport is the registry driver: the knee ladder and shed verdict as a
+// printable table.
+func (l *Lab) KneeReport() *Report {
+	st, err := MeasureKnee(l, DefaultKneeConfig())
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	r := &Report{
+		ID:     "knee",
+		Title:  "saturation knee + 2x-past-knee shed verdict",
+		Header: []string{"rate ops/s", "slo", "goodput", "get p50 µs", "get p99.9 µs", "read avail"},
+	}
+	for _, rung := range st.Rungs {
+		verdict := "pass"
+		if !rung.SLOPass {
+			verdict = "FAIL (knee)"
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%.0f", rung.RateOps), verdict,
+			fmt.Sprintf("%.0f", rung.GoodputOps),
+			fmt.Sprintf("%.0f", rung.GetP50Us), fmt.Sprintf("%.0f", rung.GetP999Us),
+			fmt.Sprintf("%.4f", rung.ReadAvail),
+		})
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("knee: %.0f ops/s (saturated=%v)", st.KneeOps, st.Saturated))
+	if sh := st.Shed; sh != nil {
+		verdict := "pass"
+		if !sh.Pass {
+			verdict = fmt.Sprintf("FAIL: %v", sh.Failures)
+		}
+		r.Notes = append(r.Notes, fmt.Sprintf("shed @ %.0f ops/s (2x knee + point tenant): %s", sh.OfferedOps, verdict))
+		for name, t := range sh.Tenants {
+			r.Notes = append(r.Notes, fmt.Sprintf(
+				"  %s: offered %.0f ops/s, shed %d/%d, deadline %d, admitted-read avail %.4f, get p99.9 %.0fµs",
+				name, t.RateOps, t.Shed, t.Attempted, t.DeadlineFails, t.AdmittedReadAvailability, t.GetP999Us))
+		}
+	}
+	return r
+}

@@ -76,6 +76,11 @@ type LoadStats struct {
 	} `json:"config"`
 	Ladder []*loadgen.RunStats `json:"ladder"`
 	Soak   *loadgen.SoakStats  `json:"soak"`
+	// Knee is the saturation-knee experiment: the geometric ladder walked to
+	// SLO failure plus the 2x-past-knee shed verdict (see knee.go). The shed
+	// gate (FUSION_SHED_GATE) re-measures this, so the artifact and the CI
+	// verdict describe the same workload.
+	Knee *KneeStats `json:"knee,omitempty"`
 }
 
 // JSON renders the stats as indented JSON with a trailing newline.
@@ -92,6 +97,12 @@ func (st *LoadStats) JSON() ([]byte, error) {
 // the coordinator cache so chaos also exercises PR 5's invalidation under
 // concurrent overwrites.
 func loadStore(nodes int, seed int64, cacheBytes int64) (*store.Store, *faultnet.Injector, error) {
+	return loadStoreWith(nodes, seed, cacheBytes, nil)
+}
+
+// loadStoreWith is loadStore with an options hook — the knee experiment's
+// shed leg uses it to attach an admission scheduler.
+func loadStoreWith(nodes int, seed int64, cacheBytes int64, tweak func(*store.Options)) (*store.Store, *faultnet.Injector, error) {
 	cfg := simnet.DefaultConfig()
 	cfg.Nodes = nodes
 	inj := faultnet.New(simnet.New(cfg), seed)
@@ -105,6 +116,9 @@ func loadStore(nodes int, seed int64, cacheBytes int64) (*store.Store, *faultnet
 		MaxBackoff:  2 * time.Millisecond,
 		Jitter:      cluster.NewJitterSource(seed),
 	}
+	if tweak != nil {
+		tweak(&opts)
+	}
 	s, err := store.New(inj, opts)
 	if err != nil {
 		return nil, nil, err
@@ -116,6 +130,21 @@ func loadStore(nodes int, seed int64, cacheBytes int64) (*store.Store, *faultnet
 // ladder on a healthy cluster, then the chaos-under-load soak.
 func MeasureLoad(l *Lab) (*LoadStats, error) {
 	return MeasureLoadWith(l, DefaultLoadConfig())
+}
+
+// MeasureLoadFull is MeasureLoad plus the saturation-knee experiment — the
+// full BENCH_load.json artifact.
+func MeasureLoadFull(l *Lab) (*LoadStats, error) {
+	st, err := MeasureLoad(l)
+	if err != nil {
+		return nil, err
+	}
+	knee, err := MeasureKnee(l, DefaultKneeConfig())
+	if err != nil {
+		return nil, err
+	}
+	st.Knee = knee
+	return st, nil
 }
 
 // MeasureLoadWith runs a specific ladder configuration (the SLO gate uses

@@ -46,6 +46,7 @@ var Experiments = []Experiment{
 	{"hotpath", "hot-path microbenchmarks: kernels, batching, allocs", (*Lab).Hotpath},
 	{"load", "open-loop load ladder: arrival rate → latency percentiles + SLO verdicts", (*Lab).LoadReport},
 	{"soak", "chaos-under-load soak: crash-walk + corruption while serving", (*Lab).SoakReport},
+	{"knee", "saturation knee: rate ladder to SLO failure + 2x-past-knee shed verdict", (*Lab).KneeReport},
 }
 
 // Find returns the experiment with the given id.
