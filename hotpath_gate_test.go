@@ -9,8 +9,10 @@ import (
 
 	"github.com/fusionstore/fusion/internal/erasure"
 	"github.com/fusionstore/fusion/internal/gf256"
+	"github.com/fusionstore/fusion/internal/simnet"
 	"github.com/fusionstore/fusion/internal/store"
 	"github.com/fusionstore/fusion/internal/trace"
+	"github.com/fusionstore/fusion/internal/workload"
 )
 
 // gateFloat reads a float gate parameter from the environment, falling back
@@ -94,23 +96,46 @@ const batchGateQuery = "SELECT SUM(l_extendedprice), AVG(l_quantity) FROM lineit
 	" WHERE l_quantity > 10 AND l_extendedprice < 50000 AND l_discount < 0.05"
 
 // tracedQueryRoundTrips runs one traced query and returns the number of
-// data-plane round trips (batch frames plus lone data RPCs) it took.
-func tracedQueryRoundTrips(t *testing.T, s *store.Store, query string) uint64 {
+// data-plane round trips (batch frames plus lone data RPCs) it took, plus
+// the span snapshot for per-stage inspection.
+func tracedQueryRoundTrips(t *testing.T, s *store.Store, query string) (uint64, trace.SpanJSON) {
 	t.Helper()
 	ctx, sp := trace.Start(context.Background(), "gate.query")
 	if _, err := s.QueryContext(ctx, query); err != nil {
 		t.Fatal(err)
 	}
 	sp.End()
-	return sp.Total(trace.RoundTrips)
+	return sp.Total(trace.RoundTrips), sp.Snapshot()
+}
+
+// spanFind returns the first span named name in a snapshot tree.
+func spanFind(sp trace.SpanJSON, name string) (trace.SpanJSON, bool) {
+	if sp.Name == name {
+		return sp, true
+	}
+	for _, c := range sp.Children {
+		if found, ok := spanFind(c, name); ok {
+			return found, true
+		}
+	}
+	return trace.SpanJSON{}, false
+}
+
+// spanRoundTrips sums the round_trips counter over a snapshot subtree.
+func spanRoundTrips(sp trace.SpanJSON) uint64 {
+	n := sp.Counters["round_trips"]
+	for _, c := range sp.Children {
+		n += spanRoundTrips(c)
+	}
+	return n
 }
 
 // TestBatchedQueryRoundTripGate is the CI ceiling on coordinator chattiness:
 // a pushdown scan over the benchmark lineitem object must finish within
-// FUSION_BATCH_GATE_MAX (default 40) data round trips, and must use at least
-// 1.3x fewer round trips than per-op dispatch. (The filter stage still pays
-// one frame per node a row group's predicate chunks land on, so the total
-// reduction is bounded by chunk placement, not by the batch protocol.)
+// FUSION_BATCH_GATE_MAX (default 40) data round trips, must use at least
+// 1.3x fewer round trips than per-op dispatch, and — since the filter stage
+// batches across row groups — the filter stage itself must cost at most one
+// frame per storage node, independent of how many row groups the object has.
 // Unlike the timing gates this one is deterministic, but it shares the
 // env-gate convention so the CI recipe stays uniform. Runs when
 // FUSION_BATCH_GATE=1.
@@ -120,7 +145,7 @@ func TestBatchedQueryRoundTripGate(t *testing.T) {
 	}
 	ceiling := uint64(gateFloat(t, "FUSION_BATCH_GATE_MAX", 40))
 
-	run := func(disable bool) uint64 {
+	run := func(disable bool) (uint64, trace.SpanJSON) {
 		opts := store.FusionOptions()
 		opts.Pushdown = store.PushdownAlways
 		opts.AggregatePushdown = true
@@ -131,14 +156,61 @@ func TestBatchedQueryRoundTripGate(t *testing.T) {
 		}
 		return tracedQueryRoundTrips(t, s, batchGateQuery)
 	}
-	batched := run(false)
-	unbatched := run(true)
+	batched, snap := run(false)
+	unbatched, _ := run(true)
 	t.Logf("round trips per query: batched %d, per-op %d (ceiling %d)", batched, unbatched, ceiling)
 	if batched > ceiling {
 		t.Fatalf("batched query took %d data round trips, ceiling %d", batched, ceiling)
 	}
 	if batched*13 > unbatched*10 {
 		t.Fatalf("batched query took %d round trips vs %d per-op: want ≥1.3x reduction", batched, unbatched)
+	}
+	// Cross-row-group batching: one filter frame per node per stage, so the
+	// filter subtree's round trips are capped by the cluster size.
+	fsp, ok := spanFind(snap, "filter")
+	if !ok {
+		t.Fatal("traced query snapshot has no filter span")
+	}
+	nodes := uint64(simnet.DefaultConfig().Nodes)
+	filterTrips := spanRoundTrips(fsp)
+	t.Logf("filter-stage round trips: %d (node cap %d)", filterTrips, nodes)
+	if filterTrips == 0 || filterTrips > nodes {
+		t.Fatalf("filter stage took %d round trips, want 1..%d (one frame per node)", filterTrips, nodes)
+	}
+}
+
+// TestStreamingPutGate is the CI guard for the streaming put pipeline: a
+// 64 MiB object streamed through PutReader must hold the coordinator's
+// pipeline buffering to at most two stripes' arenas — O(stripe), not
+// O(object) — and must sustain at least FUSION_PUT_GATE_X (default 0.05)
+// of the raw nibble-kernel encode throughput end to end, so a regression
+// that silently materializes the whole object or serializes the pipeline
+// fails CI. Runs when FUSION_PUT_GATE=1.
+func TestStreamingPutGate(t *testing.T) {
+	if os.Getenv("FUSION_PUT_GATE") == "" {
+		t.Skip("set FUSION_PUT_GATE=1 to run the streaming put gate")
+	}
+	x := gateFloat(t, "FUSION_PUT_GATE_X", 0.05)
+	r := workload.MeasurePutLadder([]int{64})[0]
+	t.Logf("streaming put 64MB: %.0f MB/s, peak pipeline %d KiB, max stripe %d KiB, %.0f allocs/op",
+		r.MBps, r.PeakPipelineBytes>>10, r.MaxStripeBytes>>10, r.AllocsPerOp)
+	if r.PeakPipelineBytes == 0 || r.MaxStripeBytes == 0 {
+		t.Fatalf("pipeline accounting missing: %+v", r)
+	}
+	if r.PeakPipelineBytes > 2*r.MaxStripeBytes {
+		t.Fatalf("peak pipeline %d B exceeds two stripes (max stripe %d B)",
+			r.PeakPipelineBytes, r.MaxStripeBytes)
+	}
+	// A materialized put would hold at least the whole object in encoded
+	// blocks; the pipeline must stay well under that.
+	if r.PeakPipelineBytes*2 > 64<<20 {
+		t.Fatalf("peak pipeline %d B is not O(stripe) for a 64 MiB object", r.PeakPipelineBytes)
+	}
+	nibble := testing.Benchmark(BenchmarkEncodeKernelNibble)
+	encMBps := float64(nibble.Bytes) * float64(nibble.N) / 1e6 / nibble.T.Seconds()
+	if floor := encMBps * x; r.MBps < floor {
+		t.Fatalf("streaming put %.0f MB/s is below the floor %.0f MB/s (%.2f of nibble encode %.0f MB/s)",
+			r.MBps, floor, x, encMBps)
 	}
 }
 

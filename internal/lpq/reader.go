@@ -28,42 +28,61 @@ func Open(data []byte) (*File, error) {
 // decoding any data (§5 "Storing Objects").
 func ParseFooter(data []byte) (*Footer, error) {
 	ml := len(Magic)
-	if len(data) < 2*ml+4 {
+	if len(data) < 2*ml+4 || string(data[:ml]) != Magic {
 		return nil, ErrFormat
 	}
-	if string(data[:ml]) != Magic || string(data[len(data)-ml:]) != Magic {
-		return nil, ErrFormat
-	}
-	d := &decBuf{b: data[len(data)-ml-4 : len(data)-ml]}
-	flen := int(d.u32())
-	if d.err != nil {
-		return nil, d.err
-	}
-	end := len(data) - ml - 4
-	if flen <= 0 || flen > end-ml {
-		return nil, ErrFormat
-	}
-	return decodeFooter(data[end-flen : end])
+	return ParseFooterTail(data, uint64(len(data)))
 }
 
 // FooterSize returns the byte length of the footer region (footer bytes +
 // length word + trailing magic) of a complete file, so callers can treat
 // [data..footer) and footer separately.
 func FooterSize(data []byte) (int, error) {
+	return FooterSizeTail(data, uint64(len(data)))
+}
+
+// FooterSizeTail is FooterSize computed from only the trailing bytes of a
+// file: tail holds the last len(tail) bytes of a size-byte lpq file. This is
+// the streaming-Put entry point — the coordinator probes the tail of the
+// source to learn the footer length without holding the body.
+func FooterSizeTail(tail []byte, size uint64) (int, error) {
 	ml := len(Magic)
-	if len(data) < 2*ml+4 {
+	if size < uint64(2*ml+4) || len(tail) < ml+4 || uint64(len(tail)) > size {
 		return 0, ErrFormat
 	}
-	d := &decBuf{b: data[len(data)-ml-4 : len(data)-ml]}
+	if string(tail[len(tail)-ml:]) != Magic {
+		return 0, ErrFormat
+	}
+	d := &decBuf{b: tail[len(tail)-ml-4 : len(tail)-ml]}
 	flen := int(d.u32())
 	if d.err != nil {
 		return 0, d.err
 	}
 	total := flen + 4 + ml
-	if total > len(data) {
+	// The footer region must fit after the leading magic.
+	if flen <= 0 || uint64(total) > size-uint64(ml) {
 		return 0, ErrFormat
 	}
 	return total, nil
+}
+
+// ParseFooterTail decodes the footer given only the trailing bytes of a
+// size-byte file. tail must cover at least the whole footer region (callers
+// probe with FooterSizeTail and re-read a longer tail when the first probe
+// was too short). The leading magic is not visible here; streaming callers
+// verify it with a separate 4-byte read of the file head.
+func ParseFooterTail(tail []byte, size uint64) (*Footer, error) {
+	total, err := FooterSizeTail(tail, size)
+	if err != nil {
+		return nil, err
+	}
+	if total > len(tail) {
+		return nil, fmt.Errorf("lpq: footer region is %d bytes, tail holds %d: %w", total, len(tail), ErrFormat)
+	}
+	ml := len(Magic)
+	end := len(tail) - ml - 4
+	flen := total - 4 - ml
+	return decodeFooter(tail[end-flen : end])
 }
 
 // Footer returns the parsed footer.

@@ -1,0 +1,95 @@
+package lpq
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestFooterTailParsing: the tail APIs must decode the footer from any
+// suffix that covers the footer region, and agree exactly with the
+// whole-file parse.
+func TestFooterTailParsing(t *testing.T) {
+	data, _ := buildTestFile(t, DefaultWriterOptions(), 3, 200)
+	want, err := ParseFooter(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsize, err := FooterSize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := uint64(len(data))
+	// Tails from the exact footer region up to the whole file.
+	for _, tailLen := range []int{fsize, fsize + 1, fsize + 100, len(data)} {
+		if tailLen > len(data) {
+			continue
+		}
+		tail := data[len(data)-tailLen:]
+		gotSize, err := FooterSizeTail(tail, size)
+		if err != nil {
+			t.Fatalf("tail %d: FooterSizeTail: %v", tailLen, err)
+		}
+		if gotSize != fsize {
+			t.Fatalf("tail %d: footer size %d, want %d", tailLen, gotSize, fsize)
+		}
+		got, err := ParseFooterTail(tail, size)
+		if err != nil {
+			t.Fatalf("tail %d: ParseFooterTail: %v", tailLen, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("tail %d: footer differs from whole-file parse", tailLen)
+		}
+	}
+}
+
+// TestFooterTailTooShort: a tail that does not cover the whole footer region
+// reports the region's size (so the caller can re-read) but refuses to parse.
+func TestFooterTailTooShort(t *testing.T) {
+	data, _ := buildTestFile(t, DefaultWriterOptions(), 2, 100)
+	fsize, err := FooterSize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := uint64(len(data))
+	short := data[len(data)-(fsize-3):]
+	if got, err := FooterSizeTail(short, size); err != nil || got != fsize {
+		t.Fatalf("FooterSizeTail on short tail = (%d, %v), want (%d, nil)", got, err, fsize)
+	}
+	if _, err := ParseFooterTail(short, size); !errors.Is(err, ErrFormat) {
+		t.Fatalf("ParseFooterTail on short tail: %v, want ErrFormat", err)
+	}
+}
+
+// TestFooterTailRejectsGarbage: corrupted magic, absurd length words, and
+// sizes that cannot hold a footer are all ErrFormat, never a panic or a
+// bogus parse.
+func TestFooterTailRejectsGarbage(t *testing.T) {
+	data, _ := buildTestFile(t, DefaultWriterOptions(), 2, 100)
+	size := uint64(len(data))
+	ml := len(Magic)
+
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0xFF // trailing magic corrupted
+	if _, err := FooterSizeTail(bad, size); !errors.Is(err, ErrFormat) {
+		t.Fatalf("corrupt magic: %v", err)
+	}
+
+	bad = append([]byte(nil), data...)
+	// Length word claiming a footer larger than the file.
+	for i := 0; i < 4; i++ {
+		bad[len(bad)-ml-4+i] = 0xFF
+	}
+	if _, err := FooterSizeTail(bad, size); !errors.Is(err, ErrFormat) {
+		t.Fatalf("oversized length word: %v", err)
+	}
+
+	// Declared file size too small to hold header+footer at all.
+	if _, err := FooterSizeTail(data[len(data)-ml-4:], uint64(ml)); !errors.Is(err, ErrFormat) {
+		t.Fatal("tiny size must be rejected")
+	}
+	// Tail longer than the declared size is inconsistent.
+	if _, err := FooterSizeTail(data, size-1); !errors.Is(err, ErrFormat) {
+		t.Fatal("tail longer than declared size must be rejected")
+	}
+}

@@ -170,6 +170,10 @@ type Request struct {
 	// row budget (<=0 keeps every selected row), Desc the direction, and RG
 	// the row group's global index, echoed into the returned TopRows so the
 	// coordinator's merge tie-breaks on (rg, row) without re-mapping.
+	//
+	// RG also tags the sub-ops of a batched filter stage: the coordinator
+	// ships one KindBatch frame per node per stage covering every row group,
+	// so each Filter sub-op carries the row group its bitmap answers for.
 	K    int
 	Desc bool
 	RG   int32

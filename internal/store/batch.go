@@ -104,88 +104,189 @@ func exprLeaves(e sql.Expr, out []*sql.Compare) []*sql.Compare {
 	return out
 }
 
-// rowGroupFilterBatched evaluates one row group's WHERE tree with the leaf
-// pushdowns grouped into one scatter-gather frame per node. Stats-pruned
-// leaves never touch the network; leaves whose batched filter failed (node
-// down, corrupt chunk) fall back to fetching the chunk, exactly like the
-// per-op path.
-func (s *Store) rowGroupFilterBatched(st *execState, q *sql.Query, colIdx map[string]int, rg int) (*bitmap.Bitmap, error) {
+// filterStageBatched computes every row group's selection bitmap with the
+// stage's leaf pushdowns planned globally: ONE scatter-gather frame per node
+// covering every (row group, leaf) pair that node hosts — sub-ops carry the
+// row-group id in Request.RG — instead of one frame per node per row group.
+// The planner's shortcuts are applied first and never touch the network:
+// whole row groups pruned (or accepted) by the footer-stats verdict, then
+// per-leaf chunk-stats verdicts. Leaves whose batched filter failed (node
+// down, corrupt chunk, lost frame) fall back to fetching the chunk during
+// consolidation, exactly like the per-op path.
+func (s *Store) filterStageBatched(st *execState, q *sql.Query, colIdx map[string]int) (map[int]*bitmap.Bitmap, error) {
 	meta := st.meta
-	rgMeta := meta.Footer.RowGroups[rg]
-	nRows := rgMeta.NumRows
+	rgs := meta.Footer.RowGroups
 	leaves := exprLeaves(q.Where, nil)
-	pre := make(map[*sql.Compare]*bitmap.Bitmap, len(leaves))
-
+	type rgState struct {
+		pruned bool // footer stats prove no row matches
+		full   bool // footer stats prove every row matches
+		pre    map[*sql.Compare]*bitmap.Bitmap
+	}
+	states := make([]rgState, len(rgs))
 	type leafRef struct {
+		rg  int
 		cmp *sql.Compare
 		ch  lpq.ChunkMeta
 	}
 	type nodeGroup struct {
+		node  int
 		subs  []rpc.Request
 		leafs []leafRef
+		bms   []*bitmap.Bitmap // filled by this node's dispatch task
 	}
 	groups := make(map[int]*nodeGroup)
-	var order []int
-	for _, c := range leaves {
-		ci := colIdx[c.Column]
-		ch := rgMeta.Chunks[ci]
-		colType := meta.Footer.Columns[ci].Type
-		// Chunk-level stats shortcut (no I/O at all), same as the per-op path.
-		switch sql.CheckStats(c, colType, ch.Stats) {
+	var order []*nodeGroup
+	for rg := range rgs {
+		rs := &states[rg]
+		switch rgVerdict(q.Where, meta.Footer, colIdx, rg) {
 		case sql.StatsNone:
-			pre[c] = bitmap.New(nRows)
+			rs.pruned = true
 			continue
 		case sql.StatsAll:
-			pre[c] = bitmap.NewFull(nRows)
+			rs.full = true
 			continue
 		}
-		node, ref, ok := chunkLocation(meta, rg, ci, ch)
-		if !ok {
-			continue // no item: the fallback closure fetches locally
+		rs.pre = make(map[*sql.Compare]*bitmap.Bitmap, len(leaves))
+		nRows := rgs[rg].NumRows
+		for _, c := range leaves {
+			ci := colIdx[c.Column]
+			ch := rgs[rg].Chunks[ci]
+			colType := meta.Footer.Columns[ci].Type
+			// Chunk-level stats shortcut (no I/O at all), same as the per-op
+			// path.
+			switch sql.CheckStats(c, colType, ch.Stats) {
+			case sql.StatsNone:
+				rs.pre[c] = bitmap.New(nRows)
+				continue
+			case sql.StatsAll:
+				rs.pre[c] = bitmap.NewFull(nRows)
+				continue
+			}
+			node, ref, ok := chunkLocation(meta, rg, ci, ch)
+			if !ok {
+				continue // no item: the fallback closure fetches locally
+			}
+			g := groups[node]
+			if g == nil {
+				g = &nodeGroup{node: node}
+				groups[node] = g
+				order = append(order, g)
+			}
+			g.subs = append(g.subs, rpc.Request{
+				Kind: rpc.KindFilter, Chunk: ref, Op: c.Op, Value: c.Value, RG: int32(rg),
+			})
+			g.leafs = append(g.leafs, leafRef{rg: rg, cmp: c, ch: ch})
 		}
-		g := groups[node]
-		if g == nil {
-			g = &nodeGroup{}
-			groups[node] = g
-			order = append(order, node)
-		}
-		g.subs = append(g.subs, rpc.Request{Kind: rpc.KindFilter, Chunk: ref, Op: c.Op, Value: c.Value})
-		g.leafs = append(g.leafs, leafRef{cmp: c, ch: ch})
 	}
-	for _, node := range order {
-		g := groups[node]
-		resps, err := s.batchCall(st.ctx, st, st.sp, node, g.subs)
-		if err != nil {
-			continue // whole frame lost: every leaf on this node falls back
+	// Ship the stage: the per-node frames go out concurrently, each task
+	// accounting into a forked state; forks are joined in node-first-
+	// appearance order so the cost sheets stay deterministic. Each task
+	// writes only its own group's bms slice — the shared pre maps are
+	// filled sequentially below.
+	forks := make([]*execState, len(order))
+	runTasks(s.queryWorkers(), len(order), func(i int) {
+		g := order[i]
+		sub := st.fork()
+		forks[i] = sub
+		if sub.ctx.Err() != nil {
+			return // cancelled: leaves fall back (and consolidation re-checks)
 		}
+		resps, err := s.batchCall(sub.ctx, sub, sub.sp, g.node, g.subs)
+		if err != nil {
+			return // whole frame lost: every leaf on this node falls back
+		}
+		g.bms = make([]*bitmap.Bitmap, len(g.leafs))
 		for j, lr := range g.leafs {
 			if resps[j].Err != "" {
 				continue
 			}
 			bm, err := bitmap.Unmarshal(resps[j].Data)
-			if err != nil || bm.Len() != nRows {
+			if err != nil || bm.Len() != rgs[lr.rg].NumRows {
 				continue
 			}
 			// The filter logically touched the chunk but only the bitmap
 			// crossed the network.
-			st.sp.Count(trace.BytesRequested, lr.ch.Size)
-			st.stats.FilterRPCs++
-			pre[lr.cmp] = bm
+			sub.sp.Count(trace.BytesRequested, lr.ch.Size)
+			sub.stats.FilterRPCs++
+			g.bms[j] = bm
+		}
+	})
+	for i, sub := range forks {
+		if sub != nil {
+			st.join(sub)
+		}
+		g := order[i]
+		if g.bms == nil {
+			continue
+		}
+		for j, lr := range g.leafs {
+			if g.bms[j] != nil {
+				states[lr.rg].pre[lr.cmp] = g.bms[j]
+			}
 		}
 	}
-	leaf := func(c *sql.Compare) (*bitmap.Bitmap, error) {
-		if bm, ok := pre[c]; ok {
-			return bm, nil
+	// Consolidate per row group on the worker pool (the fallback path
+	// fetches chunks, so this can do real I/O), forked and joined in
+	// row-group order exactly like the per-op filterStage.
+	type rgResult struct {
+		bm  *bitmap.Bitmap
+		sub *execState
+		err error
+	}
+	results := make([]rgResult, len(rgs))
+	runTasks(s.queryWorkers(), len(rgs), func(rg int) {
+		r := &results[rg]
+		rs := &states[rg]
+		if rs.pruned {
+			return
 		}
-		ci := colIdx[c.Column]
-		col, err := s.fetchChunkColumn(st, rg, ci)
+		nRows := rgs[rg].NumRows
+		if rs.full {
+			r.bm = bitmap.NewFull(nRows)
+			return
+		}
+		// Row-group boundary is the consolidation's cancellation checkpoint.
+		if err := st.ctx.Err(); err != nil {
+			r.err = err
+			return
+		}
+		r.sub = st.fork()
+		leaf := func(c *sql.Compare) (*bitmap.Bitmap, error) {
+			if bm, ok := rs.pre[c]; ok {
+				return bm, nil
+			}
+			ci := colIdx[c.Column]
+			col, err := s.fetchChunkColumn(r.sub, rg, ci)
+			if err != nil {
+				return nil, err
+			}
+			r.sub.chargeCoordCPU(rgs[rg].Chunks[ci].RawSize)
+			return sql.EvalCompare(c, col)
+		}
+		bm, err := sql.EvalExpr(q.Where, nRows, leaf)
 		if err != nil {
-			return nil, err
+			r.err = err
+			return
 		}
-		st.chargeCoordCPU(rgMeta.Chunks[ci].RawSize)
-		return sql.EvalCompare(c, col)
+		if bm.Count() > 0 {
+			r.bm = bm // else leave nil: empty after exact filtering
+		}
+	})
+	out := make(map[int]*bitmap.Bitmap, len(rgs))
+	for rg := range results {
+		r := &results[rg]
+		if r.sub != nil {
+			st.join(r.sub)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if states[rg].pruned {
+			st.stats.PrunedRowGroups++
+		}
+		out[rg] = r.bm
 	}
-	return sql.EvalExpr(q.Where, nRows, leaf)
+	return out, nil
 }
 
 // chunkTask is one unit of projection-stage work: materializing (or in-situ

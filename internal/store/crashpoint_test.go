@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -23,6 +24,25 @@ import (
 //     registers — no pending flags, no debris — and the object still reads
 //     back and scrubs clean.
 func TestCrashPointMatrix(t *testing.T) {
+	runCrashPointMatrix(t, func(s *Store, name string, data []byte) error {
+		_, err := s.Put(name, data)
+		return err
+	})
+}
+
+// TestCrashPointMatrixStreaming replays the whole matrix through PutReader:
+// a crash mid-scatter now interrupts a live producer/consumer pipeline with
+// pooled stripe arenas in flight, and the contract — old-or-new-never-
+// hybrid, clean rollback mid-stripe, reconcile leaves no debris — must hold
+// identically.
+func TestCrashPointMatrixStreaming(t *testing.T) {
+	runCrashPointMatrix(t, func(s *Store, name string, data []byte) error {
+		_, err := s.PutReader(context.Background(), name, bytes.NewReader(data), uint64(len(data)))
+		return err
+	})
+}
+
+func runCrashPointMatrix(t *testing.T, put func(s *Store, name string, data []byte) error) {
 	seed := faultSeed(t)
 	dataOld, _, _ := makeObject(t, 2, 200, seed)
 	dataNew, _, _ := makeObject(t, 3, 150, seed+1)
@@ -57,12 +77,12 @@ func TestCrashPointMatrix(t *testing.T) {
 		pt := pt
 		t.Run(pt.name, func(t *testing.T) {
 			s1, inj := newFaultStore(t, 9, seed, fusionTestOptions())
-			if _, err := s1.Put("obj", dataOld); err != nil {
+			if err := put(s1, "obj", dataOld); err != nil {
 				t.Fatal(err)
 			}
 
 			inj.CrashClientAfter(pt.kind, pt.after)
-			_, putErr := s1.Put("obj", dataNew)
+			putErr := put(s1, "obj", dataNew)
 			if !inj.Crashed() {
 				t.Fatalf("crash point never reached (putErr = %v)", putErr)
 			}

@@ -161,6 +161,16 @@ func buildItems(data []byte, footer *lpq.Footer) ([]Item, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildItemsSized(uint64(len(data)), footerSize, footer)
+}
+
+// buildItemsSized is buildItems from the footer and the object's total size
+// alone — the streaming Put path computes the whole layout before a single
+// body byte is resident.
+func buildItemsSized(size uint64, footerSize int, footer *lpq.Footer) ([]Item, error) {
+	if uint64(footerSize) > size {
+		return nil, fmt.Errorf("store: footer region (%d bytes) exceeds object size %d", footerSize, size)
+	}
 	items := []Item{{Kind: ItemHeader, Offset: 0, Size: uint64(len(lpq.Magic))}}
 	for rg, rgMeta := range footer.RowGroups {
 		for col, ch := range rgMeta.Chunks {
@@ -169,7 +179,7 @@ func buildItems(data []byte, footer *lpq.Footer) ([]Item, error) {
 	}
 	items = append(items, Item{
 		Kind:   ItemFooter,
-		Offset: uint64(len(data) - footerSize),
+		Offset: size - uint64(footerSize),
 		Size:   uint64(footerSize),
 	})
 	// Verify exact tiling in offset order.
@@ -182,8 +192,8 @@ func buildItems(data []byte, footer *lpq.Footer) ([]Item, error) {
 		}
 		pos += it.Size
 	}
-	if pos != uint64(len(data)) {
-		return nil, fmt.Errorf("store: layout covers %d of %d object bytes", pos, len(data))
+	if pos != size {
+		return nil, fmt.Errorf("store: layout covers %d of %d object bytes", pos, size)
 	}
 	return items, nil
 }

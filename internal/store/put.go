@@ -1,14 +1,15 @@
 package store
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/fusionstore/fusion/internal/cluster"
 	"github.com/fusionstore/fusion/internal/fac"
-	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/metakv"
 	"github.com/fusionstore/fusion/internal/rpc"
 	"github.com/fusionstore/fusion/internal/sched"
@@ -23,6 +24,7 @@ type PutStats struct {
 	// coding was used instead.
 	FellBack bool
 	// LayoutTime is the stripe-construction time (the Fig. 16c numerator).
+	// When the FAC attempt falls back it includes the fixed-layout pass too.
 	LayoutTime time.Duration
 	// TotalTime is the wall-clock Put duration.
 	TotalTime time.Duration
@@ -32,6 +34,15 @@ type PutStats struct {
 	OverheadVsOptimal float64
 	// Stripes is the stripe count.
 	Stripes int
+	// PeakPipelineBytes is the high-water mark of coordinator buffering the
+	// streaming pipeline held at once — the pooled bin/parity arenas of the
+	// stripes in flight. The pipeline keeps at most two stripes resident, so
+	// this is O(stripe), never O(object).
+	PeakPipelineBytes uint64
+	// MaxStripeBytes is the largest single stripe's arena footprint (k data
+	// bins at capacity plus n−k parity blocks), the unit PeakPipelineBytes
+	// is bounded in multiples of.
+	MaxStripeBytes uint64
 }
 
 // Put stores an lpq analytics object. Under LayoutFAC the coordinator
@@ -43,9 +54,27 @@ func (s *Store) Put(name string, data []byte) (*PutStats, error) {
 	return s.PutContext(context.Background(), name, data)
 }
 
-// PutContext is Put under a (possibly traced) context: the span records
-// layout construction, per-stripe placement RPCs and metadata replication.
+// PutContext is Put under a (possibly traced) context. It is a thin wrapper
+// over PutReader: in-memory bytes and a streamed source run the identical
+// pipeline, so the two entry points produce bit-identical blocks and
+// metadata by construction.
 func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutStats, error) {
+	return s.PutReader(ctx, name, bytes.NewReader(data), uint64(len(data)))
+}
+
+// PutReader stores an lpq object of exactly size bytes read from r, without
+// ever materializing the whole object on the coordinator. The pipeline is
+// footer-parse (tail probe) → FAC layout (from footer sizes alone) →
+// per-stripe gather + erasure encode → scatter, with the gather/encode of
+// stripe i+1 overlapped with the scatter of stripe i, so at most two
+// stripes of pooled arenas are resident at once.
+//
+// Bounded memory requires random access (the lpq footer lives at the file
+// tail): when r implements io.ReaderAt the body is read stripe by stripe;
+// a purely sequential reader is materialized once and fed through the same
+// pipeline. The two-phase epoch protocol, rollback on failure, CRCs at
+// every layer and cache invalidation are identical to the in-memory path.
+func (s *Store) PutReader(ctx context.Context, name string, r io.Reader, size uint64) (*PutStats, error) {
 	sp := trace.FromContext(ctx).Child("store.Put")
 	defer sp.End()
 	release, err := s.admit(ctx, sp, sched.ClassPut)
@@ -59,27 +88,24 @@ func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutS
 		}(time.Now())
 	}
 	start := time.Now()
-	footer, err := lpq.ParseFooter(data)
+
+	src, err := newPutSource(r, size)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading source for %s: %w", name, err)
+	}
+	footer, footerSize, err := src.parseFooter()
 	if err != nil {
 		return nil, fmt.Errorf("store: %s is not a valid lpq object: %w", name, err)
 	}
-	items, err := buildItems(data, footer)
+	items, err := buildItemsSized(size, footerSize, footer)
 	if err != nil {
 		return nil, err
 	}
 	meta := &ObjectMeta{
 		Name:   name,
-		Size:   uint64(len(data)),
+		Size:   size,
 		Footer: footer,
 		Items:  items,
-	}
-	// Overwrites are fresh inserts (§5): new blocks are written under a
-	// fresh epoch, the metadata swap publishes them, and only then is the
-	// previous version garbage-collected.
-	var prev *ObjectMeta
-	if old, err := s.Meta(name); err == nil {
-		prev = old
-		meta.Version = old.Version + 1
 	}
 	// Reserve the write epoch on a quorum before any block exists. If this
 	// attempt dies, the epoch is burned — a retry allocates a higher one, so
@@ -91,57 +117,57 @@ func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutS
 	meta.Epoch = epoch
 	stats := &PutStats{}
 
+	// Layout selection. The layout span and LayoutTime cover the whole pass
+	// — including the fixed-layout fallback when the FAC attempt exceeds the
+	// budget — so /debug/fusionz put timings account every construction that
+	// actually ran. The plans are derived from footer sizes alone: the whole
+	// layout exists before a single body byte is resident.
 	mode := s.opts.Layout
-	var layout fac.Layout
+	lsp := sp.Child("layout")
+	layoutStart := time.Now()
+	var plans []stripePlan
 	if mode == LayoutFAC {
-		lsp := sp.Child("layout")
-		layoutStart := time.Now()
 		l, err := fac.ConstructWithBudget(s.opts.Params.N, s.opts.Params.K, itemSizes(items), s.opts.StorageBudget)
-		stats.LayoutTime = time.Since(layoutStart)
-		lsp.End()
 		switch {
 		case err == nil:
-			layout = l
+			meta.ItemLocs = facLayoutToMeta(l, items)
+			plans = facStripePlans(l, items)
 		case errors.Is(err, fac.ErrBudgetExceeded):
 			mode = LayoutFixed
 			stats.FellBack = true
 		default:
+			stats.LayoutTime = time.Since(layoutStart)
+			lsp.End()
 			return nil, err
 		}
 	}
-
+	if mode == LayoutFixed {
+		bs := s.fixedBlockSizeFor(size)
+		meta.BlockSize = bs
+		plans = fixedStripePlans(size, bs, s.opts.Params.K)
+	}
+	stats.LayoutTime = time.Since(layoutStart)
+	lsp.End()
 	meta.Mode = mode
+
 	// Every block this attempt scatters is recorded so a failure anywhere
 	// before the commit point can roll the whole attempt back instead of
 	// stranding blocks on the nodes that did accept the write.
 	var placed []placedBlock
-	if mode == LayoutFAC {
-		if err := s.putFAC(ctx, sp, meta, data, layout, stats, &placed); err != nil {
-			s.undoPlacement(placed)
-			return nil, err
-		}
-	} else {
-		if err := s.putFixed(ctx, sp, meta, data, stats, &placed); err != nil {
-			s.undoPlacement(placed)
-			return nil, err
-		}
+	if err := s.streamStripes(ctx, sp, meta, src, plans, stats, &placed); err != nil {
+		s.undoPlacement(placed)
+		return nil, err
 	}
 	// Overhead relative to the optimal footprint size × n/k, from the bytes
 	// actually persisted (data blocks are stored unpadded in both modes;
 	// parity blocks are full-capacity).
-	optimal := float64(len(data)) * float64(s.opts.Params.N) / float64(s.opts.Params.K)
+	optimal := float64(size) * float64(s.opts.Params.N) / float64(s.opts.Params.K)
 	if optimal > 0 {
 		stats.OverheadVsOptimal = float64(stats.StoredBytes)/optimal - 1
 	}
 	stats.Mode = mode
 	stats.Stripes = len(meta.Stripes)
 
-	// The metadata publish is the commit point: once the new metadata lands
-	// on a replica majority, every subsequent read observes this epoch's
-	// blocks. Before it, the attempt is invisible and fully rolled back on
-	// failure; after it, the attempt is durable and the remaining steps
-	// (commit fan-out, previous-version GC) are best-effort — orphan
-	// reconciliation finishes either if the coordinator dies here.
 	// Cancellation checkpoint at the commit point: a Put whose caller gave
 	// up before the metadata publish rolls the attempt back instead of
 	// committing an object nobody is waiting for. Past this check the
@@ -150,6 +176,27 @@ func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutS
 		s.undoPlacement(placed)
 		return nil, err
 	}
+	// Overwrites are fresh inserts (§5): new blocks are written under a
+	// fresh epoch, the metadata swap publishes them, and only then is the
+	// previous version garbage-collected. The previous version is resolved
+	// from the metadata quorum here at the commit point — never from the
+	// coordinator cache. A cache-served (possibly superseded) prev would let
+	// two concurrent overwriters publish the same Version+1 and leave the
+	// real previous epoch's blocks stranded while re-deleting long-gone
+	// ones; the quorum read pins prev to the version this publish actually
+	// supersedes.
+	var prev *ObjectMeta
+	if old, err := s.metaQuorum(name); err == nil {
+		prev = old
+		meta.Version = old.Version + 1
+	}
+
+	// The metadata publish is the commit point: once the new metadata lands
+	// on a replica majority, every subsequent read observes this epoch's
+	// blocks. Before it, the attempt is invisible and fully rolled back on
+	// failure; after it, the attempt is durable and the remaining steps
+	// (commit fan-out, previous-version GC) are best-effort — orphan
+	// reconciliation finishes either if the coordinator dies here.
 	rsp := sp.Child("replicate-meta")
 	err = s.replicateMeta(meta)
 	rsp.End()
@@ -166,11 +213,27 @@ func (s *Store) PutContext(ctx context.Context, name string, data []byte) (*PutS
 	s.cacheMeta(meta)
 	s.cache.InvalidateObject(meta.Name, meta.Epoch)
 	s.commitBlocks(sp, meta)
-	if prev != nil {
+	if prev != nil && prev.Epoch != meta.Epoch {
 		s.deleteBlocks(prev)
 	}
 	stats.TotalTime = time.Since(start)
 	return stats, nil
+}
+
+// fixedBlockSizeFor resolves the fixed-layout block size for an object.
+// Objects smaller than one full stripe shrink the block size so the object
+// still spreads over k shards (MinIO-style), instead of paying for
+// full-size parity blocks.
+func (s *Store) fixedBlockSizeFor(size uint64) uint64 {
+	k := uint64(s.opts.Params.K)
+	bs := s.opts.FixedBlockSize
+	if perShard := (size + k - 1) / k; perShard < bs {
+		bs = perShard
+		if bs == 0 {
+			bs = 1
+		}
+	}
+	return bs
 }
 
 // placedBlock records one block this Put attempt wrote, for rollback.
@@ -209,114 +272,6 @@ func (s *Store) commitBlocks(sp *trace.Span, meta *ObjectMeta) {
 			Kind: rpc.KindCommitObject, Object: meta.Name, Epoch: meta.Epoch,
 		})
 	}
-}
-
-// putFAC encodes and stores the object under a FAC layout.
-func (s *Store) putFAC(ctx context.Context, sp *trace.Span, meta *ObjectMeta, data []byte, layout fac.Layout, stats *PutStats, placed *[]placedBlock) error {
-	p := s.opts.Params
-	meta.ItemLocs = facLayoutToMeta(layout, meta.Items)
-	for si, st := range layout.Stripes {
-		sm := StripeMeta{
-			Capacity:  st.Capacity,
-			Nodes:     make([]int, p.N),
-			BlockIDs:  make([]string, p.N),
-			DataLens:  make([]uint64, p.K),
-			Checksums: make([]uint32, p.N),
-		}
-		// Materialize the k data bins (concatenated chunk bytes, unpadded).
-		bins := make([][]byte, p.N)
-		for j := 0; j < p.K; j++ {
-			bin := make([]byte, 0, st.BinSizes[j])
-			for _, itemIdx := range st.Bins[j] {
-				it := meta.Items[itemIdx]
-				bin = append(bin, data[it.Offset:it.Offset+it.Size]...)
-			}
-			bins[j] = bin
-			sm.DataLens[j] = uint64(len(bin))
-		}
-		// Parity is computed over capacity-padded bins; stored blocks keep
-		// their true length (padding is implicit zeros, §4.2 Fig. 9).
-		if st.Capacity > 0 {
-			padded := make([][]byte, p.N)
-			for j := 0; j < p.K; j++ {
-				padded[j] = padTo(bins[j], st.Capacity)
-			}
-			for j := p.K; j < p.N; j++ {
-				padded[j] = make([]byte, st.Capacity)
-			}
-			if err := s.coder.Encode(padded); err != nil {
-				return fmt.Errorf("store: encoding stripe %d: %w", si, err)
-			}
-			for j := p.K; j < p.N; j++ {
-				bins[j] = padded[j]
-			}
-		} else {
-			for j := p.K; j < p.N; j++ {
-				bins[j] = []byte{}
-			}
-		}
-		if err := s.placeStripe(ctx, sp, meta, si, bins, &sm, stats, placed); err != nil {
-			return err
-		}
-		meta.Stripes = append(meta.Stripes, sm)
-	}
-	return nil
-}
-
-// putFixed encodes and stores the object as fixed-size blocks (the
-// conventional layout; also the FAC budget fallback).
-func (s *Store) putFixed(ctx context.Context, sp *trace.Span, meta *ObjectMeta, data []byte, stats *PutStats, placed *[]placedBlock) error {
-	p := s.opts.Params
-	bs := s.opts.FixedBlockSize
-	// Objects smaller than one full stripe shrink the block size so the
-	// object still spreads over k shards (MinIO-style), instead of paying
-	// for full-size parity blocks.
-	if perShard := (uint64(len(data)) + uint64(p.K) - 1) / uint64(p.K); perShard < bs {
-		bs = perShard
-		if bs == 0 {
-			bs = 1
-		}
-	}
-	meta.BlockSize = bs
-	fb := fac.NewFixedBlockLayout(uint64(len(data)), bs, p.K)
-	for si := 0; si < fb.NumStripes; si++ {
-		sm := StripeMeta{
-			Capacity:  bs,
-			Nodes:     make([]int, p.N),
-			BlockIDs:  make([]string, p.N),
-			DataLens:  make([]uint64, p.K),
-			Checksums: make([]uint32, p.N),
-		}
-		// Data blocks are stored unpadded (the tail block is short); parity
-		// is computed over blocks zero-extended to the fixed size.
-		blocks := make([][]byte, p.N)
-		for j := 0; j < p.K; j++ {
-			start := (uint64(si)*uint64(p.K) + uint64(j)) * bs
-			var blk []byte
-			if start < uint64(len(data)) {
-				end := min(start+bs, uint64(len(data)))
-				blk = data[start:end]
-			}
-			blocks[j] = blk
-			sm.DataLens[j] = uint64(len(blk))
-		}
-		padded := make([][]byte, p.N)
-		for j := 0; j < p.K; j++ {
-			padded[j] = padTo(blocks[j], bs)
-		}
-		for j := p.K; j < p.N; j++ {
-			padded[j] = make([]byte, bs)
-			blocks[j] = padded[j]
-		}
-		if err := s.coder.Encode(padded); err != nil {
-			return fmt.Errorf("store: encoding stripe %d: %w", si, err)
-		}
-		if err := s.placeStripe(ctx, sp, meta, si, blocks, &sm, stats, placed); err != nil {
-			return err
-		}
-		meta.Stripes = append(meta.Stripes, sm)
-	}
-	return nil
 }
 
 // placeStripe writes a stripe's n blocks to n distinct nodes, trying

@@ -1,0 +1,256 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/fusionstore/fusion/internal/bufpool"
+	"github.com/fusionstore/fusion/internal/simnet"
+)
+
+// sequentialReader hides the io.ReaderAt of its wrapped reader, forcing
+// PutReader onto the documented materialize fallback.
+type sequentialReader struct{ r io.Reader }
+
+func (s *sequentialReader) Read(p []byte) (int, error) { return s.r.Read(p) }
+
+// clusterInventory snapshots every stored block as node/id → bytes.
+func clusterInventory(t *testing.T, cl *simnet.Cluster) map[string][]byte {
+	t.Helper()
+	inv := map[string][]byte{}
+	for i := 0; i < cl.NumNodes(); i++ {
+		ids := cl.Node(i).Blocks.IDs()
+		sort.Strings(ids)
+		for _, id := range ids {
+			data, err := cl.Node(i).Blocks.Get(id, 0, 0)
+			if err != nil {
+				t.Fatalf("node %d block %s: %v", i, id, err)
+			}
+			inv[fmt.Sprintf("%d/%s", i, id)] = append([]byte(nil), data...)
+		}
+	}
+	return inv
+}
+
+// TestStreamingEquivalenceMatrix: the materialized Put, the streaming
+// PutReader over a random-access source, and PutReader over a purely
+// sequential source must produce byte-identical metadata and byte-identical
+// block placement — for both FAC and fixed layouts. Each variant runs on
+// its own identically-seeded cluster, so any divergence (layout, node
+// choice, padding, CRC) shows up as an inventory mismatch.
+func TestStreamingEquivalenceMatrix(t *testing.T) {
+	data, _, _ := makeObject(t, 4, 350, 31)
+	layouts := []struct {
+		name string
+		opts func() Options
+	}{
+		{"fac", fusionTestOptions},
+		{"fixed", func() Options {
+			o := BaselineOptions()
+			o.FixedBlockSize = 4096 // force multi-stripe splits
+			return o
+		}},
+	}
+	for _, lay := range layouts {
+		t.Run(lay.name, func(t *testing.T) {
+			type variant struct {
+				name string
+				put  func(s *Store) (*PutStats, error)
+			}
+			variants := []variant{
+				{"materialized", func(s *Store) (*PutStats, error) {
+					return s.Put("obj", data)
+				}},
+				{"reader-at", func(s *Store) (*PutStats, error) {
+					return s.PutReader(context.Background(), "obj", bytes.NewReader(data), uint64(len(data)))
+				}},
+				{"sequential", func(s *Store) (*PutStats, error) {
+					return s.PutReader(context.Background(), "obj", &sequentialReader{r: bytes.NewReader(data)}, uint64(len(data)))
+				}},
+			}
+			var refMeta []byte
+			var refInv map[string][]byte
+			for _, v := range variants {
+				s, cl := newSimStore(t, lay.opts())
+				if _, err := v.put(s); err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				meta, err := s.Meta("obj")
+				if err != nil {
+					t.Fatal(err)
+				}
+				enc, err := EncodeMeta(meta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inv := clusterInventory(t, cl)
+				if refMeta == nil {
+					refMeta, refInv = enc, inv
+					continue
+				}
+				if !bytes.Equal(enc, refMeta) {
+					t.Errorf("%s: ObjectMeta differs from materialized path", v.name)
+				}
+				if len(inv) != len(refInv) {
+					t.Fatalf("%s: %d stored blocks, want %d", v.name, len(inv), len(refInv))
+				}
+				for key, want := range refInv {
+					got, ok := inv[key]
+					if !ok {
+						t.Fatalf("%s: block %s missing", v.name, key)
+					}
+					if !bytes.Equal(got, want) {
+						t.Errorf("%s: block %s bytes differ", v.name, key)
+					}
+				}
+				// And the object reads back whole.
+				got, err := s.Get("obj", 0, 0)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Fatalf("%s: Get mismatch: %v", v.name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPutReaderSizeValidation: a sequential source that disagrees with the
+// declared size must be rejected before any block is written — a short
+// source would under-fill the object, a long one would be silently
+// truncated.
+func TestPutReaderSizeValidation(t *testing.T) {
+	data, _, _ := makeObject(t, 2, 200, 32)
+	s, cl := newSimStore(t, fusionTestOptions())
+	short := &sequentialReader{r: bytes.NewReader(data[:len(data)-10])}
+	if _, err := s.PutReader(context.Background(), "obj", short, uint64(len(data))); err == nil {
+		t.Fatal("short sequential source must fail")
+	}
+	long := &sequentialReader{r: bytes.NewReader(append(append([]byte(nil), data...), 0xAA))}
+	if _, err := s.PutReader(context.Background(), "obj", long, uint64(len(data))); err == nil {
+		t.Fatal("long sequential source must fail")
+	}
+	// A truncated random-access source fails when the gather reads past it.
+	if _, err := s.PutReader(context.Background(), "obj", bytes.NewReader(data[:len(data)/2]), uint64(len(data))); err == nil {
+		t.Fatal("truncated ReaderAt source must fail")
+	}
+	// Nothing may have been committed or left behind by the failed attempts.
+	if _, err := s.Meta("obj"); err == nil {
+		t.Fatal("failed Put must not publish metadata")
+	}
+	for i := 0; i < cl.NumNodes(); i++ {
+		for _, id := range cl.Node(i).Blocks.IDs() {
+			if !strings.HasPrefix(id, "kv/") {
+				t.Fatalf("failed Put left block %q on node %d", id, i)
+			}
+		}
+	}
+}
+
+// TestPutReaderGarbageTail: a source whose tail is not an lpq footer must be
+// rejected by the tail probe without writing anything.
+func TestPutReaderGarbageTail(t *testing.T) {
+	s, cl := newSimStore(t, fusionTestOptions())
+	junk := bytes.Repeat([]byte{0x5A}, 4096)
+	if _, err := s.PutReader(context.Background(), "obj", bytes.NewReader(junk), uint64(len(junk))); err == nil {
+		t.Fatal("non-lpq source must fail footer parse")
+	}
+	for i := 0; i < cl.NumNodes(); i++ {
+		for _, id := range cl.Node(i).Blocks.IDs() {
+			if !strings.HasPrefix(id, "kv/") {
+				t.Fatalf("rejected Put left block %q on node %d", id, i)
+			}
+		}
+	}
+}
+
+// TestStreamingPutPooledBuffersNotAliased extends the poison-on-put alias
+// discipline to the put pipeline, under -race in CI: with pool poisoning
+// armed, the pooled bin/parity arenas the streaming Put rents, scatters and
+// releases must never alias bytes that reach a storage node or a reader.
+// Concurrent Puts + readbacks make any use-after-put show up as corrupted
+// round trips or a race report.
+func TestStreamingPutPooledBuffersNotAliased(t *testing.T) {
+	prev := bufpool.SetPoison(true)
+	defer bufpool.SetPoison(prev)
+
+	s, _ := newSimStore(t, fusionTestOptions())
+	const goroutines = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*2)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			data, _, _ := makeObject(t, 3, 250, int64(40+g))
+			name := fmt.Sprintf("obj%d", g)
+			for i := 0; i < 3; i++ {
+				if _, err := s.PutReader(context.Background(), name, bytes.NewReader(data), uint64(len(data))); err != nil {
+					errs <- err
+					return
+				}
+				got, err := s.Get(name, 0, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("%s: Put scattered poisoned/aliased bytes", name)
+					return
+				}
+				if bufpool.Poisoned(got) {
+					errs <- fmt.Errorf("%s: Get returned a returned-to-pool buffer", name)
+					return
+				}
+				if _, err := s.Query("SELECT count(*) FROM " + name + " WHERE qty < 25"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPutPipelineBoundedMemory: the pipeline's high-water mark must stay
+// within two stripes' arenas — the builder works at most one stripe ahead of
+// the scatter — on both layouts.
+func TestPutPipelineBoundedMemory(t *testing.T) {
+	data, _, _ := makeObject(t, 8, 1200, 33)
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"fac", fusionTestOptions()},
+		{"fixed", func() Options {
+			o := BaselineOptions()
+			o.FixedBlockSize = 4096
+			return o
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _ := newSimStore(t, tc.opts)
+			stats, err := s.PutReader(context.Background(), "obj", bytes.NewReader(data), uint64(len(data)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.MaxStripeBytes == 0 || stats.PeakPipelineBytes == 0 {
+				t.Fatalf("pipeline accounting missing: %+v", stats)
+			}
+			if stats.PeakPipelineBytes > 2*stats.MaxStripeBytes {
+				t.Fatalf("peak pipeline bytes %d exceed two stripes (max stripe %d)",
+					stats.PeakPipelineBytes, stats.MaxStripeBytes)
+			}
+			t.Logf("%s: %d stripes, max stripe %d B, peak %d B, object %d B",
+				tc.name, stats.Stripes, stats.MaxStripeBytes, stats.PeakPipelineBytes, len(data))
+		})
+	}
+}

@@ -372,6 +372,12 @@ func rgVerdict(e sql.Expr, footer *lpq.Footer, colIdx map[string]int, rg int) sq
 // output and cost sheet match a serial run exactly.
 func (s *Store) filterStage(st *execState, q *sql.Query, colIdx map[string]int) (map[int]*bitmap.Bitmap, error) {
 	meta := st.meta
+	// Batched pushdown plans the whole stage at once: one scatter-gather
+	// frame per node covering every row group's surviving leaves, cutting
+	// filter round trips from O(rowGroups×nodes) to O(nodes).
+	if q.Where != nil && s.batchOn() && s.opts.Exec == ExecPushdown && meta.Mode == LayoutFAC {
+		return s.filterStageBatched(st, q, colIdx)
+	}
 	rgs := meta.Footer.RowGroups
 	type rgResult struct {
 		bm     *bitmap.Bitmap
@@ -428,12 +434,11 @@ func (s *Store) filterStage(st *execState, q *sql.Query, colIdx map[string]int) 
 }
 
 // rowGroupFilter evaluates the WHERE tree for one row group, pushing each
-// leaf comparison to the node hosting its column chunk when possible.
+// leaf comparison to the node hosting its column chunk when possible. (The
+// batched pushdown path never reaches here — filterStage plans the whole
+// stage as per-node frames in filterStageBatched instead.)
 func (s *Store) rowGroupFilter(st *execState, q *sql.Query, colIdx map[string]int, rg int) (*bitmap.Bitmap, error) {
 	meta := st.meta
-	if s.batchOn() && s.opts.Exec == ExecPushdown && meta.Mode == LayoutFAC {
-		return s.rowGroupFilterBatched(st, q, colIdx, rg)
-	}
 	rgMeta := meta.Footer.RowGroups[rg]
 	nRows := rgMeta.NumRows
 	leaf := func(c *sql.Compare) (*bitmap.Bitmap, error) {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 
 	"github.com/fusionstore/fusion/internal/erasure"
 	"github.com/fusionstore/fusion/internal/gf256"
+	"github.com/fusionstore/fusion/internal/lpq"
 	"github.com/fusionstore/fusion/internal/metrics"
 	"github.com/fusionstore/fusion/internal/simnet"
 	"github.com/fusionstore/fusion/internal/store"
@@ -51,6 +53,19 @@ type HotpathStats struct {
 		Get   float64 `json:"get"`
 		Query float64 `json:"query"`
 	} `json:"allocs_per_op"`
+	// PutLadder tracks the streaming put pipeline at growing object sizes:
+	// end-to-end throughput plus the pipeline's buffering high-water mark,
+	// which must stay at two stripes regardless of object size.
+	PutLadder []PutRung `json:"put_ladder"`
+}
+
+// PutRung is one object size of the streaming-put ladder.
+type PutRung struct {
+	SizeMB            int     `json:"size_mb"`
+	MBps              float64 `json:"mbps"`
+	PeakPipelineBytes uint64  `json:"peak_pipeline_bytes"`
+	MaxStripeBytes    uint64  `json:"max_stripe_bytes"`
+	AllocsPerOp       float64 `json:"allocs_per_op"`
 }
 
 // hotpathQuery is the measured scan: a multi-leaf predicate with pushed
@@ -114,6 +129,90 @@ func (l *Lab) hotpathSystem(disableBatch bool, cacheBytes int64) *System {
 		panic(fmt.Sprintf("workload: loading lineitem: %v", err))
 	}
 	return &System{Cluster: cl, Model: model, Store: s}
+}
+
+// syntheticPutObject builds an lpq file of roughly sizeMB MiB of
+// incompressible int64 data, so put throughput measures the pipeline —
+// footer parse, layout, encode, scatter — rather than the compressor.
+func syntheticPutObject(sizeMB int) []byte {
+	const cols = 4
+	const rowsPerGroup = 1 << 16
+	rows := sizeMB << 20 / (8 * cols)
+	schema := make([]lpq.Column, cols)
+	for i := range schema {
+		schema[i] = lpq.Column{Name: fmt.Sprintf("c%d", i), Type: lpq.Int64}
+	}
+	w := lpq.NewWriter(schema, lpq.WriterOptions{DisableDict: true})
+	rng := rand.New(rand.NewSource(49))
+	for off := 0; off < rows; off += rowsPerGroup {
+		n := rowsPerGroup
+		if rows-off < n {
+			n = rows - off
+		}
+		group := make([]lpq.ColumnData, cols)
+		for c := range group {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = rng.Int63()
+			}
+			group[c] = lpq.IntColumn(vals)
+		}
+		if err := w.WriteRowGroup(group); err != nil {
+			panic(fmt.Sprintf("workload: %v", err))
+		}
+	}
+	data, err := w.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	return data
+}
+
+// MeasurePutLadder runs the streaming-put ladder: each rung streams an
+// incompressible synthetic object of the given size through PutReader on a
+// fresh simnet deployment and records end-to-end throughput, the pipeline's
+// buffering high-water mark, and allocations per operation. Every rung
+// overwrites one object name, so the cluster's footprint stays bounded to a
+// single object and the measurement includes steady-state previous-version
+// GC.
+func MeasurePutLadder(sizesMB []int) []PutRung {
+	rungs := make([]PutRung, 0, len(sizesMB))
+	for _, mb := range sizesMB {
+		data := syntheticPutObject(mb)
+		opts := store.FusionOptions()
+		opts.StorageBudget = ExperimentBudget
+		opts.FixedBlockSize = 1 << 20 // a fixed-layout fallback still splits into many stripes
+		cfg := simnet.DefaultConfig()
+		cl := simnet.New(cfg)
+		opts.Model = simnet.NewLatencyModel(cfg)
+		s, err := store.New(cl, opts)
+		if err != nil {
+			panic(fmt.Sprintf("workload: %v", err))
+		}
+		put := func() *store.PutStats {
+			st, err := s.PutReader(context.Background(), "putobj", bytes.NewReader(data), uint64(len(data)))
+			if err != nil {
+				panic(fmt.Sprintf("workload: put %d MB: %v", mb, err))
+			}
+			return st
+		}
+		put() // warm pools and the overwrite path
+		const iters = 3
+		var last *store.PutStats
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			last = put()
+		}
+		elapsed := time.Since(start).Seconds()
+		rungs = append(rungs, PutRung{
+			SizeMB:            mb,
+			MBps:              float64(len(data)) * iters / 1e6 / elapsed,
+			PeakPipelineBytes: last.PeakPipelineBytes,
+			MaxStripeBytes:    last.MaxStripeBytes,
+			AllocsPerOp:       allocsPerOp(2, func() { put() }),
+		})
+	}
+	return rungs
 }
 
 // queryRoundTrips runs one traced query and returns its data-plane round
@@ -182,6 +281,7 @@ func MeasureHotpath(l *Lab) *HotpathStats {
 			panic(fmt.Sprintf("workload: %v", err))
 		}
 	})
+	st.PutLadder = MeasurePutLadder([]int{4, 16, 64})
 	return st
 }
 
@@ -199,25 +299,35 @@ func (st *HotpathStats) JSON() ([]byte, error) {
 func (l *Lab) Hotpath() *Report {
 	st := MeasureHotpath(l)
 	f := func(v float64) string { return fmt.Sprintf("%.0f", v) }
+	rows := [][]string{
+		{"encode naive MB/s", f(st.EncodeMBps.Naive)},
+		{"encode table MB/s", f(st.EncodeMBps.Table)},
+		{"encode nibble MB/s", f(st.EncodeMBps.Nibble)},
+		{"query p50 batched µs", f(st.QueryLatencyUs.BatchedP50)},
+		{"query p99 batched µs", f(st.QueryLatencyUs.BatchedP99)},
+		{"query p50 per-op µs", f(st.QueryLatencyUs.UnbatchedP50)},
+		{"query p99 per-op µs", f(st.QueryLatencyUs.UnbatchedP99)},
+		{"round trips batched", fmt.Sprint(st.RoundTripsPerQuery.Batched)},
+		{"round trips per-op", fmt.Sprint(st.RoundTripsPerQuery.Unbatched)},
+		{"Get allocs/op (warm)", f(st.AllocsPerOp.Get)},
+		{"Query allocs/op (warm)", f(st.AllocsPerOp.Query)},
+	}
+	for _, r := range st.PutLadder {
+		rows = append(rows,
+			[]string{fmt.Sprintf("put %dMB MB/s", r.SizeMB), f(r.MBps)},
+			[]string{fmt.Sprintf("put %dMB peak pipeline KiB", r.SizeMB), fmt.Sprint(r.PeakPipelineBytes >> 10)},
+			[]string{fmt.Sprintf("put %dMB max stripe KiB", r.SizeMB), fmt.Sprint(r.MaxStripeBytes >> 10)},
+			[]string{fmt.Sprintf("put %dMB allocs/op", r.SizeMB), f(r.AllocsPerOp)},
+		)
+	}
 	return &Report{
 		ID:     "hotpath",
-		Title:  "hot-path microbenchmarks (kernels, batching, allocations)",
+		Title:  "hot-path microbenchmarks (kernels, batching, allocations, streaming put)",
 		Header: []string{"metric", "value"},
-		Rows: [][]string{
-			{"encode naive MB/s", f(st.EncodeMBps.Naive)},
-			{"encode table MB/s", f(st.EncodeMBps.Table)},
-			{"encode nibble MB/s", f(st.EncodeMBps.Nibble)},
-			{"query p50 batched µs", f(st.QueryLatencyUs.BatchedP50)},
-			{"query p99 batched µs", f(st.QueryLatencyUs.BatchedP99)},
-			{"query p50 per-op µs", f(st.QueryLatencyUs.UnbatchedP50)},
-			{"query p99 per-op µs", f(st.QueryLatencyUs.UnbatchedP99)},
-			{"round trips batched", fmt.Sprint(st.RoundTripsPerQuery.Batched)},
-			{"round trips per-op", fmt.Sprint(st.RoundTripsPerQuery.Unbatched)},
-			{"Get allocs/op (warm)", f(st.AllocsPerOp.Get)},
-			{"Query allocs/op (warm)", f(st.AllocsPerOp.Query)},
-		},
+		Rows:   rows,
 		Notes: []string{
 			"RS(9,6) encode on 1 MiB shards; scan = 3-leaf predicate + 2 pushed aggregates",
+			"put ladder streams incompressible objects through PutReader; peak pipeline stays at two stripes",
 			"refresh BENCH_hotpath.json with: fusion-bench -experiment hotpath -json BENCH_hotpath.json",
 		},
 	}
